@@ -1,0 +1,58 @@
+// Ablation: the three N>D concatenation methods of §3.5 — direct
+// concatenation vs forward doubling vs backward halving — isolated from the
+// configuration search. Sweeps K = N/D and reports bubble ratio and
+// throughput with and without forced recomputation, exposing exactly the
+// trade the paper describes: doubling removes intermediate bubbles but
+// needs recomputation (GPT-2 regime), halving keeps memory but halves the
+// backward micro-batch (efficiency loss), direct wins when the p2p overlap
+// already fills the intermediate bubbles (Bert regime).
+#include "bench_common.h"
+
+using namespace chimera;
+using namespace chimera::bench;
+
+int main() {
+  print_banner("Ablation — §3.5 scale-to-large-B̂ methods (Chimera, D=4)");
+
+  const ModelSpec bert = ModelSpec::bert48();
+  const MachineSpec daint = MachineSpec::piz_daint();
+  const int P = 32, D = 4, B = 8;
+  const int W = P / D;
+
+  const ScaleMethod methods[] = {ScaleMethod::kDirect,
+                                 ScaleMethod::kForwardDoubling,
+                                 ScaleMethod::kBackwardHalving};
+
+  TextTable t({"K=N/D", "B̂", "method", "B", "bubble %", "seq/s", "note"});
+  for (int K : {1, 2, 4, 8}) {
+    const long minibatch = static_cast<long>(B) * (K * D) * W;
+    for (ScaleMethod m : methods) {
+      ExecConfig cfg;
+      cfg.scheme = Scheme::kChimera;
+      cfg.W = W;
+      cfg.D = D;
+      // The doubling/halving-shaped schedule holds twice the in-flight
+      // activations of a plain unit: the paper runs backward halving at the
+      // sub-max B (Fig. 17 legend: direct B=8, halving B=4) so no
+      // recomputation is needed, and pairs doubling with recomputation.
+      cfg.B = m == ScaleMethod::kBackwardHalving ? B / 2 : B;
+      cfg.minibatch = minibatch;
+      cfg.scale = m;
+      const sim::SimResult r = sim::simulate(cfg, bert, daint);
+      t.add_row(K, minibatch, scale_method_name(m), cfg.B,
+                100.0 * r.bubble_ratio, r.throughput,
+                r.feasible ? r.note : "OOM");
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nShape to check against the paper (Fig. 17 discussion, Bert regime):\n"
+      "  * K=1: direct and doubling coincide (one basic unit); halving's\n"
+      "    sub-max B already costs kernel saturation.\n"
+      "  * K>=2: direct wins -- doubling pays recomputation ('R'), halving\n"
+      "    pays the sub-max micro-batch on every pass. For GPT-2, where\n"
+      "    recomputation is unavoidable for everyone, doubling's bubble\n"
+      "    removal turns into a win instead (bench/fig18).\n");
+  return 0;
+}

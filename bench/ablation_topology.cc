@@ -1,0 +1,48 @@
+// Ablation: hierarchical interconnect (NVLink islands + Infiniband fabric)
+// vs a flat network on the V100 cluster — how node topology shifts the
+// (W, D) sweet spot of §3.3. Deep pipelines want to stay inside a node
+// (p2p-bound); wide data parallelism crosses nodes anyway in the allreduce.
+#include "bench_common.h"
+
+using namespace chimera;
+using namespace chimera::bench;
+
+int main() {
+  print_banner("Ablation — V100 topology: NVLink islands vs flat fabric");
+
+  const ModelSpec bert = ModelSpec::bert48(512);
+  MachineSpec hier = MachineSpec::v100_cluster();
+  MachineSpec flat = hier;
+  flat.node_size = 0;  // every hop billed at inter-node cost
+
+  const int P = 32;
+  const long minibatch = 256;
+
+  TextTable t({"W", "D", "hier seq/s", "flat seq/s", "topology gain"});
+  for (int D : {2, 4, 8, 16, 32}) {
+    const int W = P / D;
+    ExecConfig cfg;
+    cfg.scheme = Scheme::kChimera;
+    cfg.W = W;
+    cfg.D = D;
+    cfg.B = 4;
+    cfg.minibatch = minibatch;
+    const sim::SimResult rh = sim::simulate(cfg, bert, hier);
+    const sim::SimResult rf = sim::simulate(cfg, bert, flat);
+    char gain[16];
+    if (rh.feasible && rf.feasible)
+      std::snprintf(gain, sizeof gain, "%.3fx", rh.throughput / rf.throughput);
+    else
+      std::snprintf(gain, sizeof gain, "-");
+    t.add_row(W, D, rh.feasible ? rh.throughput : 0.0,
+              rf.feasible ? rf.throughput : 0.0, gain);
+  }
+  t.print();
+
+  std::printf(
+      "\nShape: the gain peaks for pipelines that fit inside one 8-GPU node\n"
+      "(D<=8) where every stage boundary rides NVLink; D=16/32 straddle\n"
+      "servers and converge toward the flat model. This is why Fig. 16's\n"
+      "best configs keep D at 4-8 on the V100 cluster.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the figure/table benches: each bench binary regenerates
+// one table or figure of the paper (see DESIGN.md §4 for the index) and
+// prints the same rows/series the paper reports. Absolute values are
+// simulator-calibrated; the *shape* (who wins, by what factor, where
+// crossovers fall) is the reproduction target (EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/config_search.h"
+#include "core/perf_model.h"
+#include "sim/simulate.h"
+#include "support/table.h"
+
+namespace chimera::bench {
+
+inline Evaluator sim_evaluator(const ModelSpec& model, const MachineSpec& machine) {
+  return [&model, &machine](const ExecConfig& cfg, bool) {
+    return sim::simulated_throughput(cfg, model, machine);
+  };
+}
+
+/// Best configuration of `scheme` at scale P (baselines: full sweep;
+/// Chimera: greedy-B + model-selected (W, D), validated by the simulator).
+inline Candidate best_config(Scheme scheme, const ModelSpec& model,
+                             const MachineSpec& machine, int P, long minibatch,
+                             int max_B = 32) {
+  const Evaluator eval = sim_evaluator(model, machine);
+  if (scheme == Scheme::kChimera)
+    return chimera_greedy_search(model, machine, P, minibatch, max_B, eval).best;
+  return sweep_configs(scheme, model, machine, P, minibatch, max_B, eval).best;
+}
+
+/// "D=8, B=4, R" annotation string for figure legends.
+inline std::string config_label(const Candidate& c) {
+  if (!c.feasible) return "OOM";
+  std::string s = "W=" + std::to_string(c.cfg.W) + ", D=" + std::to_string(c.cfg.D) +
+                  ", B=" + std::to_string(c.cfg.B);
+  if (c.recompute) s += ", R";
+  return s;
+}
+
+inline const std::vector<Scheme>& all_schemes() {
+  static const std::vector<Scheme> schemes = {
+      Scheme::kPipeDream, Scheme::kPipeDream2BW, Scheme::kGPipe,
+      Scheme::kGems, Scheme::kDapple, Scheme::kChimera};
+  return schemes;
+}
+
+}  // namespace chimera::bench

@@ -1,0 +1,42 @@
+// Figures 2, 3, 7 and 8: the schedule timelines, regenerated as
+// dependency-exact ASCII Gantt charts with measured bubble ratios.
+#include "bench_common.h"
+#include "support/timeline.h"
+
+using namespace chimera;
+
+namespace {
+
+void show(const char* title, Scheme scheme, const ScheduleConfig& cfg,
+          const ReplayCosts& costs = {.forward = 1.0, .backward = 2.0}) {
+  PipelineSchedule s = build_schedule(scheme, cfg);
+  std::printf("--- %s ---\n%s\n", title, render_timeline(s, costs).c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Figure 2 — schemes at D=4, N=4 (backward = 2x forward)");
+  show("GPipe", Scheme::kGPipe, {4, 4, 1, ScaleMethod::kDirect});
+  show("DAPPLE (1F1B + flush)", Scheme::kDapple, {4, 4, 1, ScaleMethod::kDirect});
+  show("GEMS", Scheme::kGems, {4, 4, 1, ScaleMethod::kDirect});
+  show("PipeDream / PipeDream-2BW (async, no flush)", Scheme::kPipeDream,
+       {4, 4, 1, ScaleMethod::kDirect});
+  show("Chimera", Scheme::kChimera, {4, 4, 1, ScaleMethod::kDirect});
+
+  print_banner("Figure 3 — Chimera merge, equal F/B workloads");
+  show("Chimera (F = B = 1 slot)", Scheme::kChimera, {4, 4, 1, ScaleMethod::kDirect},
+       {.forward = 1.0, .backward = 1.0});
+
+  print_banner("Figure 7 — scaling to N = 2D micro-batches (D=4)");
+  show("(b) direct concatenation", Scheme::kChimera, {4, 8, 1, ScaleMethod::kDirect});
+  show("(d) forward doubling", Scheme::kChimera,
+       {4, 8, 1, ScaleMethod::kForwardDoubling});
+  show("backward halving", Scheme::kChimera,
+       {4, 8, 1, ScaleMethod::kBackwardHalving});
+
+  print_banner("Figure 8 — four pipelines, eight stages (f=2)");
+  show("Chimera f=2 (equal F/B)", Scheme::kChimera, {8, 8, 2, ScaleMethod::kDirect},
+       {.forward = 1.0, .backward = 1.0});
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 10: performance-tuning sweep for the baselines — Bert-48 on 32
+// workers, B̂ = 512. One series per (W, D), one point per micro-batch size B.
+#include "bench_common.h"
+
+using namespace chimera;
+using namespace chimera::bench;
+
+int main() {
+  const ModelSpec model = ModelSpec::bert48();
+  const MachineSpec machine = MachineSpec::piz_daint();
+  const int P = 32;
+  const long minibatch = 512;
+  const Evaluator eval = sim_evaluator(model, machine);
+
+  for (Scheme scheme : {Scheme::kDapple, Scheme::kGPipe, Scheme::kGems,
+                        Scheme::kPipeDream2BW, Scheme::kPipeDream}) {
+    print_banner(std::string("Figure 10 — ") + scheme_name(scheme) +
+                 " on 32 workers, Bert-48" +
+                 (scheme == Scheme::kPipeDream ? " (B̂ = B*W)" : ", B̂=512"));
+    SearchResult r = sweep_configs(scheme, model, machine, P, minibatch,
+                                   /*max_B=*/64, eval);
+    TextTable t({"W", "D", "B", "N", "note", "seq/s", "best"});
+    for (const Candidate& c : r.all) {
+      const bool best = c.feasible && c.cfg.W == r.best.cfg.W &&
+                        c.cfg.D == r.best.cfg.D && c.cfg.B == r.best.cfg.B;
+      if (!c.feasible) {
+        t.add_row(c.cfg.W, c.cfg.D, c.cfg.B, "-", c.note, "-", "");
+        continue;
+      }
+      t.add_row(c.cfg.W, c.cfg.D, c.cfg.B, c.cfg.num_micro(), c.note,
+                c.throughput, best ? "*" : "");
+    }
+    t.print();
+  }
+  std::printf(
+      "\nPaper reference: DAPPLE/GPipe peak at (W=8, D=4, B=4); GEMS prefers a\n"
+      "large B (W=8, D=4, B=32); PipeDream-2BW at (W=8, D=4, B=16, R);\n"
+      "PipeDream needs a deeper pipeline (W=4, D=8).\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 11: performance-tuning sweep for the baselines — GPT-2 on 512
+// workers, B̂ = 512 (PipeDream: B̂ = B·W limited by memory).
+#include "bench_common.h"
+
+using namespace chimera;
+using namespace chimera::bench;
+
+int main() {
+  const ModelSpec model = ModelSpec::gpt2_64();
+  const MachineSpec machine = MachineSpec::piz_daint();
+  const int P = 512;
+  const long minibatch = 512;
+  const Evaluator eval = sim_evaluator(model, machine);
+
+  for (Scheme scheme : {Scheme::kGems, Scheme::kGPipe, Scheme::kDapple,
+                        Scheme::kPipeDream2BW, Scheme::kPipeDream}) {
+    print_banner(std::string("Figure 11 — ") + scheme_name(scheme) +
+                 " on 512 workers, GPT-2");
+    SearchResult r = sweep_configs(scheme, model, machine, P, minibatch,
+                                   /*max_B=*/16, eval);
+    TextTable t({"D", "B", "note", "seq/s", "best"});
+    for (const Candidate& c : r.all) {
+      const bool best = c.feasible && c.cfg.D == r.best.cfg.D &&
+                        c.cfg.B == r.best.cfg.B;
+      if (!c.feasible) {
+        t.add_row(c.cfg.D, c.cfg.B, c.note, "-", "");
+        continue;
+      }
+      t.add_row(c.cfg.D, c.cfg.B, c.note, c.throughput, best ? "*" : "");
+    }
+    t.print();
+  }
+  std::printf("\nPaper reference: GEMS best at D=32 B=8-ish large B; GPipe and\n"
+              "DAPPLE at moderate depth with B=1 and recomputation; PipeDream\n"
+              "prefers deep pipelines to amortize per-micro-batch allreduce.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 12: gradient-synchronization strategies — eager-sync (launch a
+// nonblocking allreduce for every stage, middle stages included) vs
+// eager-sync-opt (skip middle stages whose grads finish with no bubble
+// left). Bert-48, D=4, B=8; B̂ scales 256→1024 as P scales 16→64.
+#include "bench_common.h"
+
+using namespace chimera;
+using namespace chimera::bench;
+
+int main() {
+  const ModelSpec model = ModelSpec::bert48();
+  const MachineSpec machine = MachineSpec::piz_daint();
+
+  print_banner("Figure 12 — eager-sync vs eager-sync-opt (Chimera, D=4, B=8)");
+  TextTable t({"nodes", "B̂", "eager-sync seq/s", "eager-sync-opt seq/s",
+               "opt speedup"});
+  for (int P : {16, 32, 64}) {
+    const long minibatch = 16L * P;
+    ExecConfig cfg;
+    cfg.scheme = Scheme::kChimera;
+    cfg.D = 4;
+    cfg.W = P / cfg.D;
+    cfg.B = 8;
+    cfg.minibatch = minibatch;
+
+    cfg.sync = SyncPolicy::kEager;
+    const double eager = sim::simulate(cfg, model, machine).throughput;
+    cfg.sync = SyncPolicy::kEagerOpt;
+    const double opt = sim::simulate(cfg, model, machine).throughput;
+    char speed[16];
+    std::snprintf(speed, sizeof speed, "%.3fx", opt / eager);
+    t.add_row(P, minibatch, eager, opt, speed);
+  }
+  t.print();
+  std::printf(
+      "\nPaper reference: eager-sync-opt reaches up to 1.09x over eager-sync on\n"
+      "64 nodes — launching collectives for the middle stages only adds\n"
+      "nonblocking-progression overhead to the critical path (§3.2).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 15: weak scaling for GPT-2 on Piz Daint — P scales 512→2048 with
+// B̂ 512→2048. Includes Chimera's parallel efficiency (paper: 91.4% at 2048
+// nodes relative to 512).
+#include "bench_common.h"
+
+using namespace chimera;
+using namespace chimera::bench;
+
+int main() {
+  const ModelSpec model = ModelSpec::gpt2_64();
+  const MachineSpec machine = MachineSpec::piz_daint();
+
+  print_banner("Figure 15 — weak scaling, GPT-2 on Piz Daint");
+  TextTable t({"nodes", "scheme", "best config", "seq/s", "Chimera speedup"});
+  double chimera_512 = 0.0, chimera_2048 = 0.0;
+  for (int P : {512, 1024, 2048}) {
+    const long minibatch = P;
+    Candidate chimera =
+        best_config(Scheme::kChimera, model, machine, P, minibatch, /*max_B=*/4);
+    const double ctp = sim::simulated_throughput(chimera.cfg, model, machine);
+    if (P == 512) chimera_512 = ctp;
+    if (P == 2048) chimera_2048 = ctp;
+    for (Scheme s : all_schemes()) {
+      Candidate c = s == Scheme::kChimera
+                        ? chimera
+                        : best_config(s, model, machine, P, minibatch, 4);
+      if (!c.feasible) {
+        t.add_row(P, scheme_name(s), "OOM", "-", "-");
+        continue;
+      }
+      const double tp = sim::simulated_throughput(c.cfg, model, machine);
+      char speed[16];
+      std::snprintf(speed, sizeof speed, "%.2fx", ctp / tp);
+      t.add_row(P, scheme_name(s), config_label(c), tp, speed);
+    }
+  }
+  t.print();
+  std::printf("\nChimera parallel efficiency at 2048 vs 512 nodes: %.1f%%\n",
+              100.0 * chimera_2048 / (4.0 * chimera_512));
+  std::printf(
+      "Paper reference (2048 nodes): Chimera 2.01x over PipeDream, 1.16x over\n"
+      "PipeDream-2BW, 1.42x over GPipe, 2.34x over GEMS, 1.38x over DAPPLE;\n"
+      "parallel efficiency 91.4%%.\n");
+  return 0;
+}

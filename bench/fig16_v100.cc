@@ -1,0 +1,38 @@
+// Figure 16: weak scaling for Bert-48 (max sequence length 512) on the
+// 32×V100 NVLink/Infiniband cluster — P scales 16→32 with B̂ 128→256.
+#include "bench_common.h"
+
+using namespace chimera;
+using namespace chimera::bench;
+
+int main() {
+  const ModelSpec model = ModelSpec::bert48(/*seq=*/512);
+  const MachineSpec machine = MachineSpec::v100_cluster();
+
+  print_banner("Figure 16 — weak scaling, Bert-48 (seq 512) on the V100 cluster");
+  TextTable t({"GPUs", "scheme", "best config", "seq/s", "Chimera speedup"});
+  for (int P : {16, 32}) {
+    const long minibatch = 8L * P;
+    Candidate chimera = best_config(Scheme::kChimera, model, machine, P, minibatch);
+    const double ctp = sim::simulated_throughput(chimera.cfg, model, machine);
+    for (Scheme s : all_schemes()) {
+      Candidate c = s == Scheme::kChimera
+                        ? chimera
+                        : best_config(s, model, machine, P, minibatch);
+      if (!c.feasible) {
+        t.add_row(P, scheme_name(s), "OOM", "-", "-");
+        continue;
+      }
+      const double tp = sim::simulated_throughput(c.cfg, model, machine);
+      char speed[16];
+      std::snprintf(speed, sizeof speed, "%.2fx", ctp / tp);
+      t.add_row(P, scheme_name(s), config_label(c), tp, speed);
+    }
+  }
+  t.print();
+  std::printf(
+      "\nPaper reference: on 32 V100s Chimera improves 1.10x-2.39x over the\n"
+      "synchronous and 1.05x-1.89x over the asynchronous approaches — the\n"
+      "same conclusions hold on newer machines.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Substrate microbenchmarks (google-benchmark): GEMM kernels, allreduce
+// algorithms over the thread fabric, schedule construction and the
+// discrete-event engine.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "comm/world.h"
+#include "core/schedule_analysis.h"
+#include "sim/event_engine.h"
+#include "tensor/kernels.h"
+
+namespace chimera {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a(n, n), b(n, n), c(n, n);
+  a.randn(rng, 1.0f);
+  b.randn(rng, 1.0f);
+  for (auto _ : state) {
+    gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2L * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  const auto algo = static_cast<comm::AllreduceAlgo>(state.range(2));
+  std::vector<int> group(ranks);
+  for (int i = 0; i < ranks; ++i) group[i] = i;
+  for (auto _ : state) {
+    comm::World world(ranks);
+    std::vector<std::vector<float>> data(ranks, std::vector<float>(n, 1.0f));
+    std::vector<std::thread> threads;
+    for (int r = 0; r < ranks; ++r)
+      threads.emplace_back([&, r] {
+        comm::Communicator c(world, r);
+        c.allreduce_sum(data[r].data(), n, group, 1, algo);
+      });
+    for (auto& t : threads) t.join();
+    benchmark::DoNotOptimize(data[0][0]);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<long>(n) * 4 * ranks);
+}
+BENCHMARK(BM_Allreduce)
+    ->Args({4, 1 << 16, static_cast<long>(comm::AllreduceAlgo::kRing)})
+    ->Args({4, 1 << 16, static_cast<long>(comm::AllreduceAlgo::kRabenseifner)})
+    ->Args({8, 1 << 16, static_cast<long>(comm::AllreduceAlgo::kRing)})
+    ->Args({8, 1 << 16, static_cast<long>(comm::AllreduceAlgo::kRabenseifner)});
+
+void BM_BuildChimeraSchedule(benchmark::State& state) {
+  const int D = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PipelineSchedule s =
+        build_schedule(Scheme::kChimera, ScheduleConfig{D, 4 * D, 1, ScaleMethod::kDirect});
+    benchmark::DoNotOptimize(s.worker_ops.data());
+  }
+}
+BENCHMARK(BM_BuildChimeraSchedule)->Arg(8)->Arg(32);
+
+void BM_EventEngine(benchmark::State& state) {
+  const int D = static_cast<int>(state.range(0));
+  PipelineSchedule s =
+      build_schedule(Scheme::kChimera, ScheduleConfig{D, 4 * D, 1, ScaleMethod::kDirect});
+  sim::EngineCosts costs;
+  costs.forward_seconds.assign(D, 1.0);
+  for (auto _ : state) {
+    sim::EngineResult r = sim::run_engine(s, costs);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(s.total_ops()));
+}
+BENCHMARK(BM_EventEngine)->Arg(8)->Arg(32);
+
+void BM_DependencyReplay(benchmark::State& state) {
+  const int D = static_cast<int>(state.range(0));
+  PipelineSchedule s =
+      build_schedule(Scheme::kChimera, ScheduleConfig{D, 4 * D, 1, ScaleMethod::kDirect});
+  for (auto _ : state) {
+    ReplayResult r = replay(s, ReplayCosts{});
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(s.total_ops()));
+}
+BENCHMARK(BM_DependencyReplay)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace chimera
+
+BENCHMARK_MAIN();

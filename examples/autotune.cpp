@@ -1,0 +1,73 @@
+// Autotune: pick the best (W, D, B) deployment for a model on a machine —
+// the paper's §3.4 configuration-selection workflow.
+//
+//   $ ./examples/autotune            # Bert-48 on 32 Piz-Daint nodes, B̂=512
+//   $ ./examples/autotune 512 512    # P=512 workers, B̂=512 (GPT-2 scale)
+//
+// Chimera's tuning space is tiny (greedy max-B + model-ranked (W,D));
+// baselines must sweep everything. Both paths are shown.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/config_search.h"
+#include "core/perf_model.h"
+#include "sim/simulate.h"
+#include "support/table.h"
+
+using namespace chimera;
+
+int main(int argc, char** argv) {
+  const int P = argc > 1 ? std::atoi(argv[1]) : 32;
+  const long minibatch = argc > 2 ? std::atol(argv[2]) : 512;
+  const ModelSpec model = P >= 128 ? ModelSpec::gpt2_64() : ModelSpec::bert48();
+  const MachineSpec machine = MachineSpec::piz_daint();
+
+  std::printf("Model: %s (%lld parameters), machine: %s\n", model.name.c_str(),
+              static_cast<long long>(model.total_params()), machine.name.c_str());
+  std::printf("P=%d workers, mini-batch B̂=%ld\n", P, minibatch);
+
+  const Evaluator sim_eval = [&](const ExecConfig& cfg, bool) {
+    return sim::simulated_throughput(cfg, model, machine);
+  };
+
+  // --- Chimera: greedy max-B, model-selected (W, D) ------------------------
+  PerfModel pm(model, machine);
+  const Evaluator model_eval = [&](const ExecConfig& cfg, bool) {
+    return pm.throughput(cfg);
+  };
+  SearchResult chimera = chimera_greedy_search(model, machine, P, minibatch,
+                                               /*max_B=*/32, model_eval);
+  print_banner("Chimera candidates (performance model, §3.4)");
+  TextTable ct({"W", "D", "B", "N", "recompute", "predicted seq/s", "simulated seq/s"});
+  for (const Candidate& c : chimera.all) {
+    if (!c.feasible) {
+      ct.add_row(c.cfg.W, c.cfg.D, "-", "-", c.note, "-", "-");
+      continue;
+    }
+    ct.add_row(c.cfg.W, c.cfg.D, c.cfg.B, c.cfg.num_micro(),
+               c.recompute ? "yes" : "no", c.throughput,
+               sim_eval(c.cfg, c.recompute));
+  }
+  ct.print();
+  std::printf("chosen: W=%d D=%d B=%d%s\n", chimera.best.cfg.W,
+              chimera.best.cfg.D, chimera.best.cfg.B,
+              chimera.best.recompute ? " (R)" : "");
+
+  // --- Baselines: full sweep ----------------------------------------------
+  print_banner("Baseline sweeps (simulator-evaluated best per scheme)");
+  TextTable bt({"scheme", "W", "D", "B", "recompute", "seq/s"});
+  for (Scheme s : {Scheme::kDapple, Scheme::kGPipe, Scheme::kGems,
+                   Scheme::kPipeDream, Scheme::kPipeDream2BW}) {
+    SearchResult r = sweep_configs(s, model, machine, P, minibatch, 32, sim_eval);
+    if (r.best.feasible)
+      bt.add_row(scheme_name(s), r.best.cfg.W, r.best.cfg.D, r.best.cfg.B,
+                 r.best.recompute ? "yes" : "no", r.best.throughput);
+    else
+      bt.add_row(scheme_name(s), "-", "-", "-", "OOM everywhere", 0.0);
+  }
+  bt.add_row("Chimera", chimera.best.cfg.W, chimera.best.cfg.D,
+             chimera.best.cfg.B, chimera.best.recompute ? "yes" : "no",
+             sim_eval(chimera.best.cfg, chimera.best.recompute));
+  bt.print();
+  return 0;
+}

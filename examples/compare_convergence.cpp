@@ -1,0 +1,96 @@
+// Synchronous vs asynchronous pipelines on the same task — the paper's
+// "convergence friendly" column (Table 2) made observable.
+//
+//   $ ./examples/compare_convergence
+//
+// All schemes train the same model on the same batches. The synchronous
+// group (Chimera, GPipe, DAPPLE, GEMS) produces *identical* loss sequences
+// — they are all exactly mini-batch SGD. The asynchronous group (PipeDream,
+// PipeDream-2BW) deviates: PipeDream updates per micro-batch, 2BW computes
+// on one-step-stale weights. The printout shows both the per-iteration loss
+// and the final weight distance from the synchronous reference.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "runtime/trainer.h"
+
+using namespace chimera;
+
+namespace {
+
+nn::MicroBatch make_batch(const nn::SmallModelConfig& cfg, int samples,
+                          std::uint64_t seed) {
+  nn::MicroBatch mb;
+  mb.batch = samples;
+  mb.seq = cfg.seq;
+  Rng rng(seed);
+  for (int i = 0; i < samples * cfg.seq; ++i) {
+    const int t = static_cast<int>(rng.next_below(cfg.vocab));
+    mb.tokens.push_back(t);
+    mb.targets.push_back((t * 3 + 1) % cfg.vocab);  // fixed learnable map
+  }
+  return mb;
+}
+
+double weight_distance(const std::vector<float>& a, const std::vector<float>& b) {
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    sq += (static_cast<double>(a[i]) - b[i]) * (a[i] - b[i]);
+  return std::sqrt(sq);
+}
+
+}  // namespace
+
+int main() {
+  nn::SmallModelConfig model;
+  model.vocab = 31;
+  model.hidden = 32;
+  model.heads = 4;
+  model.layers = 4;
+  model.seq = 10;
+  model.seed = 77;
+
+  const ScheduleConfig sched{4, 4, 1, ScaleMethod::kDirect};
+  const int iters = 10;
+  const int samples = 8;  // B=2 per micro-batch
+
+  const Scheme schemes[] = {Scheme::kChimera, Scheme::kGPipe, Scheme::kDapple,
+                            Scheme::kGems, Scheme::kPipeDream,
+                            Scheme::kPipeDream2BW};
+
+  std::vector<std::vector<double>> losses;
+  std::vector<std::vector<float>> final_w;
+  for (Scheme s : schemes) {
+    rt::TrainerOptions opts;
+    opts.optimizer.lr = 0.1f;
+    rt::PipelineTrainer t(model, s, sched, opts);
+    std::vector<double> curve;
+    for (int it = 0; it < iters; ++it)
+      curve.push_back(t.train_iteration(make_batch(model, samples, 40 + it)).loss);
+    losses.push_back(std::move(curve));
+    final_w.push_back(t.stage_weights(0, 0, 0));
+  }
+
+  std::printf("%-14s", "iter");
+  for (Scheme s : schemes) std::printf(" %13s", scheme_name(s));
+  std::printf("\n");
+  for (int it = 0; it < iters; ++it) {
+    std::printf("%-14d", it);
+    for (std::size_t k = 0; k < losses.size(); ++k)
+      std::printf(" %13.6f", losses[k][it]);
+    std::printf("\n");
+  }
+
+  std::printf("\nfinal stage-0 weight distance from Chimera:\n");
+  for (std::size_t k = 0; k < losses.size(); ++k)
+    std::printf("  %-14s %.3e%s\n", scheme_name(schemes[k]),
+                weight_distance(final_w[k], final_w[0]),
+                k == 0 ? " (reference)" : "");
+  std::printf(
+      "\nSynchronous schemes agree to float rounding (~1e-6: they sum the\n"
+      "same micro-batch gradients in different orders) — all are mini-batch\n"
+      "SGD. Asynchronous schemes drift by orders of magnitude more: that is\n"
+      "the staleness the paper trades against pipeline flushes.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: train a small GPT-style language model with Chimera's
+// bidirectional pipeline on 4 simulated workers (threads), and verify the
+// result is exactly mini-batch SGD by training the same model sequentially.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the three core API layers:
+//   1. build_schedule(...)       — construct the Chimera schedule
+//   2. analyze / render_timeline — inspect bubbles and memory
+//   3. rt::PipelineTrainer       — run real training on the schedule
+#include <cstdio>
+
+#include "core/schedule_analysis.h"
+#include "runtime/trainer.h"
+#include "support/timeline.h"
+
+using namespace chimera;
+
+int main() {
+  // --- 1. The schedule: D=4 stages, N=4 micro-batches, f=1 -----------------
+  const ScheduleConfig sched_cfg{/*depth=*/4, /*num_micro=*/4, /*pipes_f=*/1,
+                                 ScaleMethod::kDirect};
+  PipelineSchedule schedule = build_schedule(Scheme::kChimera, sched_cfg);
+  validate(schedule);
+
+  std::printf("Chimera bidirectional schedule (D=4, N=4), backward = 2x forward:\n%s\n",
+              render_timeline(schedule).c_str());
+
+  const auto inflight = max_inflight_micros(schedule);
+  std::printf("in-flight activation stashes per worker:");
+  for (int w = 0; w < schedule.depth; ++w) std::printf(" P%d=%d", w, inflight[w]);
+  std::printf("   (paper Table 2: between D/2+1 = 3 and D = 4)\n\n");
+
+  // --- 2. A small GPT model partitioned over the 4 workers -----------------
+  nn::SmallModelConfig model;
+  model.vocab = 41;
+  model.hidden = 32;
+  model.heads = 4;
+  model.layers = 8;  // 2 transformer blocks per stage
+  model.seq = 12;
+  model.seed = 7;
+
+  rt::TrainerOptions opts;
+  opts.optimizer.lr = 0.2f;
+  rt::PipelineTrainer chimera_trainer(model, Scheme::kChimera, sched_cfg, opts);
+  rt::SequentialTrainer reference(model, opts);
+
+  // Synthetic next-token task: target = successor of each token.
+  const int samples = 8;  // B=2 per micro-batch
+  nn::MicroBatch batch;
+  batch.batch = samples;
+  batch.seq = model.seq;
+  Rng rng(3);
+  for (int i = 0; i < samples * model.seq; ++i) {
+    const int t = static_cast<int>(rng.next_below(model.vocab));
+    batch.tokens.push_back(t);
+    batch.targets.push_back((t + 1) % model.vocab);
+  }
+
+  // --- 3. Train: pipeline vs sequential must match ------------------------
+  std::printf("iter |  Chimera loss | sequential loss\n");
+  for (int it = 0; it < 8; ++it) {
+    const double lc = chimera_trainer.train_iteration(batch).loss;
+    const double ls = reference.train_iteration(batch, sched_cfg.num_micro).loss;
+    std::printf("%4d | %12.6f | %12.6f\n", it, lc, ls);
+  }
+  std::printf("\nChimera is synchronous: identical losses, identical weights —\n"
+              "no staleness, unlike PipeDream-style asynchronous pipelining.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Schedule explorer: renders the pipeline schedules of the paper's figures
+// as ASCII timelines, for any scheme / depth / micro-batch count / pipe
+// count / scaling method.
+//
+//   $ ./examples/schedule_explorer                 # guided tour (Figs 2,3,7,8)
+//   $ ./examples/schedule_explorer chimera 8 16 2 doubling
+//                                   ^scheme ^D ^N ^f ^scale
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/schedule_analysis.h"
+#include "support/timeline.h"
+
+using namespace chimera;
+
+namespace {
+
+Scheme parse_scheme(const std::string& s) {
+  if (s == "chimera") return Scheme::kChimera;
+  if (s == "gpipe") return Scheme::kGPipe;
+  if (s == "dapple") return Scheme::kDapple;
+  if (s == "gems") return Scheme::kGems;
+  if (s == "pipedream") return Scheme::kPipeDream;
+  if (s == "2bw") return Scheme::kPipeDream2BW;
+  if (s == "1f1b") return Scheme::kOneF1B;
+  std::fprintf(stderr, "unknown scheme '%s'\n", s.c_str());
+  std::exit(1);
+}
+
+ScaleMethod parse_scale(const std::string& s) {
+  if (s == "direct") return ScaleMethod::kDirect;
+  if (s == "doubling") return ScaleMethod::kForwardDoubling;
+  if (s == "halving") return ScaleMethod::kBackwardHalving;
+  std::fprintf(stderr, "unknown scale method '%s'\n", s.c_str());
+  std::exit(1);
+}
+
+void show(const char* title, Scheme scheme, const ScheduleConfig& cfg) {
+  PipelineSchedule s = build_schedule(scheme, cfg);
+  validate(s);
+  std::printf("--- %s ---\n%s\n", title, render_timeline(s).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 4) {
+    ScheduleConfig cfg;
+    cfg.depth = std::atoi(argv[2]);
+    cfg.num_micro = std::atoi(argv[3]);
+    cfg.pipes_f = argc >= 5 ? std::atoi(argv[4]) : 1;
+    cfg.scale = argc >= 6 ? parse_scale(argv[5]) : ScaleMethod::kDirect;
+    show("custom schedule", parse_scheme(argv[1]), cfg);
+    return 0;
+  }
+
+  std::printf(
+      "Pipeline schedules of the paper, as dependency-exact timelines\n"
+      "(F/B: down-pipeline forward/backward, f/b: up pipeline, .: bubble)\n\n");
+
+  const ScheduleConfig d4n4{4, 4, 1, ScaleMethod::kDirect};
+  show("Fig. 2 — GPipe (D=4, N=4)", Scheme::kGPipe, d4n4);
+  show("Fig. 2 — DAPPLE / 1F1B with flush", Scheme::kDapple, d4n4);
+  show("Fig. 2 — GEMS (two replicas, <=2 active micro-batches)", Scheme::kGems, d4n4);
+  show("Fig. 2/3 — Chimera bidirectional pipelines", Scheme::kChimera, d4n4);
+  show("Fig. 7(b) — Chimera direct concatenation (N=2D)", Scheme::kChimera,
+       {4, 8, 1, ScaleMethod::kDirect});
+  show("Fig. 7(d) — Chimera forward doubling (N=2D)", Scheme::kChimera,
+       {4, 8, 1, ScaleMethod::kForwardDoubling});
+  show("Chimera backward halving (N=2D)", Scheme::kChimera,
+       {4, 8, 1, ScaleMethod::kBackwardHalving});
+  show("Fig. 8 — Chimera with four pipelines (D=8, f=2)", Scheme::kChimera,
+       {8, 8, 2, ScaleMethod::kDirect});
+
+  std::printf(
+      "Observations (match the paper):\n"
+      " * GPipe/DAPPLE show 2(D-1) bubbles; Chimera D-2 — a ~50%% reduction.\n"
+      " * Chimera's bubbles sit in the middle; forward doubling removes the\n"
+      "   intermediate bubbles of direct concatenation.\n"
+      " * With f=2 the bubble count halves again (D/f-2) at the cost of 2f\n"
+      "   model replicas per worker.\n");
+  return 0;
+}

@@ -1,0 +1,342 @@
+// Collective algorithms over the mailbox p2p layer. Every routine is a real
+// distributed algorithm (the message pattern a cluster implementation would
+// execute), not a shared-memory shortcut: ring reduce-scatter/allgather,
+// recursive doubling, recursive halving (Rabenseifner), binomial trees and
+// pairwise exchange — the textbook set (Thakur/Rabenseifner/Gropp 2005)
+// referenced by the paper's cost model (§3.4).
+#include <algorithm>
+#include <cstring>
+
+#include "comm/world.h"
+#include "support/check.h"
+
+namespace chimera::comm {
+
+const char* allreduce_algo_name(AllreduceAlgo a) {
+  switch (a) {
+    case AllreduceAlgo::kNaive: return "naive";
+    case AllreduceAlgo::kRing: return "ring";
+    case AllreduceAlgo::kRecursiveDoubling: return "recursive-doubling";
+    case AllreduceAlgo::kRabenseifner: return "rabenseifner";
+  }
+  return "?";
+}
+
+namespace {
+
+Tensor wrap(const float* data, std::size_t n) {
+  Tensor t(1, static_cast<int>(n));
+  std::memcpy(t.data(), data, n * sizeof(float));
+  return t;
+}
+
+int index_in(const std::vector<int>& group, int rank) {
+  auto it = std::find(group.begin(), group.end(), rank);
+  CHIMERA_CHECK_MSG(it != group.end(), "rank not in group");
+  return static_cast<int>(it - group.begin());
+}
+
+bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two ≥ g (the binomial-tree fan-out of the root).
+int pow2_ceil(int g) {
+  int p = 1;
+  while (p < g) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void Communicator::reduce_scatter_with_tag(float* data, std::size_t n,
+                                           const std::vector<int>& group,
+                                           std::int64_t tag) {
+  const int g = static_cast<int>(group.size());
+  const int me = index_in(group, rank_);
+  const int right = group[(me + 1) % g];
+  const int left = group[(me - 1 + g) % g];
+  auto seg = [&](int i) { return segment_begin(n, g, i); };
+  // Segment j starts one rank right of its owner and travels the ring
+  // accumulating; after g−1 hops it lands fully reduced on rank j. At step
+  // s, rank me therefore forwards segment me−s−1 and receives me−s−2.
+  for (int step = 0; step < g - 1; ++step) {
+    const int send_seg = (me - step - 1 + 2 * g) % g;
+    const int recv_seg = (me - step - 2 + 2 * g) % g;
+    const std::size_t sb = seg(send_seg), se = seg(send_seg + 1);
+    send(right, tag + step, wrap(data + sb, se - sb));
+    Tensor part = recv(left, tag + step);
+    const std::size_t rb = seg(recv_seg), re = seg(recv_seg + 1);
+    CHIMERA_CHECK(part.numel() == re - rb);
+    for (std::size_t i = 0; i < part.numel(); ++i) data[rb + i] += part[i];
+  }
+}
+
+void Communicator::allgather_with_tag(float* data, std::size_t n,
+                                      const std::vector<int>& group,
+                                      std::int64_t tag) {
+  const int g = static_cast<int>(group.size());
+  const int me = index_in(group, rank_);
+  const int right = group[(me + 1) % g];
+  const int left = group[(me - 1 + g) % g];
+  auto seg = [&](int i) { return segment_begin(n, g, i); };
+  // Rank me owns segment me; at step s it forwards the segment it received
+  // at step s−1 (its own at s=0) and receives segment me−s−1.
+  for (int step = 0; step < g - 1; ++step) {
+    const int send_seg = (me - step + 2 * g) % g;
+    const int recv_seg = (me - step - 1 + 2 * g) % g;
+    const std::size_t sb = seg(send_seg), se = seg(send_seg + 1);
+    send(right, tag + step, wrap(data + sb, se - sb));
+    Tensor part = recv(left, tag + step);
+    const std::size_t rb = seg(recv_seg), re = seg(recv_seg + 1);
+    CHIMERA_CHECK(part.numel() == re - rb);
+    std::memcpy(data + rb, part.data(), (re - rb) * sizeof(float));
+  }
+}
+
+void Communicator::allreduce_with_tag(float* data, std::size_t n,
+                                      const std::vector<int>& group,
+                                      std::int64_t tag, AllreduceAlgo algo) {
+  const int g = static_cast<int>(group.size());
+  const int me = index_in(group, rank_);
+
+  if (algo == AllreduceAlgo::kNaive) {
+    // Gather to group[0], reduce in group order, broadcast.
+    if (me == 0) {
+      for (int r = 1; r < g; ++r) {
+        Tensor part = recv(group[r], tag);
+        CHIMERA_CHECK(part.numel() == n);
+        for (std::size_t i = 0; i < n; ++i) data[i] += part[i];
+      }
+      for (int r = 1; r < g; ++r) send(group[r], tag, wrap(data, n));
+    } else {
+      send(group[0], tag, wrap(data, n));
+      Tensor result = recv(group[0], tag);
+      std::memcpy(data, result.data(), n * sizeof(float));
+    }
+    return;
+  }
+
+  if ((algo == AllreduceAlgo::kRecursiveDoubling ||
+       algo == AllreduceAlgo::kRabenseifner) &&
+      !is_pow2(g)) {
+    // Power-of-two algorithms fall back to ring for odd group sizes.
+    algo = AllreduceAlgo::kRing;
+  }
+
+  if (algo == AllreduceAlgo::kRecursiveDoubling) {
+    for (int dist = 1; dist < g; dist <<= 1) {
+      const int partner = group[me ^ dist];
+      send(partner, tag, wrap(data, n));
+      Tensor part = recv(partner, tag);
+      for (std::size_t i = 0; i < n; ++i) data[i] += part[i];
+      tag += 1;
+    }
+    return;
+  }
+
+  if (algo == AllreduceAlgo::kRabenseifner) {
+    // Recursive-halving reduce-scatter: after round k the rank owns a
+    // contiguous 1/2^k fraction of the vector, fully reduced over its
+    // subcube; then recursive-doubling allgather reassembles.
+    //
+    // range_at(r, stop): the segment rank-index r owns after applying the
+    // halving splits for distances g/2 ... stop. stop=1 is the fully
+    // scattered state; stop=2·dist is the state after the allgather step at
+    // distance dist.
+    const auto range_at = [&](int r, int stop) {
+      std::size_t lo = 0, hi = n;
+      for (int d = g >> 1; d >= stop; d >>= 1) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if ((r & d) == 0)
+          hi = mid;
+        else
+          lo = mid;
+      }
+      return std::pair<std::size_t, std::size_t>{lo, hi};
+    };
+    {
+      std::size_t lo = 0, hi = n;
+      for (int dist = g >> 1; dist >= 1; dist >>= 1) {
+        const int partner = group[me ^ dist];
+        const std::size_t mid = lo + (hi - lo) / 2;
+        const bool keep_low = (me & dist) == 0;
+        const std::size_t send_b = keep_low ? mid : lo;
+        const std::size_t send_e = keep_low ? hi : mid;
+        send(partner, tag, wrap(data + send_b, send_e - send_b));
+        Tensor part = recv(partner, tag);
+        const std::size_t keep_b = keep_low ? lo : mid;
+        const std::size_t keep_e = keep_low ? mid : hi;
+        CHIMERA_CHECK(part.numel() == keep_e - keep_b);
+        for (std::size_t i = 0; i < part.numel(); ++i) data[keep_b + i] += part[i];
+        lo = keep_b;
+        hi = keep_e;
+        tag += 1;
+      }
+    }
+    for (int dist = 1; dist < g; dist <<= 1) {
+      const int partner = group[me ^ dist];
+      const auto [cur_b, cur_e] = range_at(me, dist);
+      const auto [mrg_b, mrg_e] = range_at(me, 2 * dist);
+      send(partner, tag, wrap(data + cur_b, cur_e - cur_b));
+      Tensor part = recv(partner, tag);
+      // The partner holds the other half of the merged range.
+      const std::size_t other_b = cur_b == mrg_b ? cur_e : mrg_b;
+      const std::size_t other_e = cur_b == mrg_b ? mrg_e : cur_b;
+      CHIMERA_CHECK(part.numel() == other_e - other_b);
+      std::memcpy(data + other_b, part.data(), part.numel() * sizeof(float));
+      tag += 1;
+    }
+    return;
+  }
+
+  // Ring: g−1 reduce-scatter steps then g−1 allgather steps.
+  reduce_scatter_with_tag(data, n, group, tag);
+  allgather_with_tag(data, n, group, tag + g);
+}
+
+void Communicator::allreduce_sum(float* data, std::size_t n,
+                                 const std::vector<int>& group,
+                                 std::int64_t context, AllreduceAlgo algo) {
+  if (group.size() <= 1 || n == 0) return;
+  allreduce_with_tag(data, n, group, collective_tag(context), algo);
+}
+
+Request Communicator::iallreduce_sum(float* data, std::size_t n,
+                                     const std::vector<int>& group,
+                                     std::int64_t context, AllreduceAlgo algo) {
+  if (group.size() <= 1 || n == 0) return Request{};
+  // The tag is drawn on the caller thread so that per-(group, context)
+  // launch order defines matching across ranks; only the message exchange
+  // itself runs on the progress thread.
+  const std::int64_t tag = collective_tag(context);
+  auto state = std::make_unique<Request::State>();
+  Request::State* raw = state.get();
+  raw->thread = std::thread([this, data, n, group, tag, algo, raw] {
+    allreduce_with_tag(data, n, group, tag, algo);
+    raw->done.store(true);
+  });
+  return Request{std::move(state)};
+}
+
+void Communicator::broadcast(float* data, std::size_t n, int root_index,
+                             const std::vector<int>& group, std::int64_t context) {
+  const int g = static_cast<int>(group.size());
+  if (g <= 1 || n == 0) return;
+  CHIMERA_CHECK(root_index >= 0 && root_index < g);
+  const int me = index_in(group, rank_);
+  const std::int64_t tag = collective_tag(context);
+  // Binomial tree rooted at root_index: work in rank coordinates relative to
+  // the root; relative rank v receives from v − lowbit(v) and forwards to
+  // v + 2^k for all 2^k < lowbit-range above its reception round.
+  const int rel = (me - root_index + g) % g;
+  // Receive phase (non-roots): from the parent that clears my lowest set bit.
+  if (rel != 0) {
+    int lowbit = rel & -rel;
+    const int parent_rel = rel - lowbit;
+    Tensor part = recv(group[(parent_rel + root_index) % g], tag);
+    CHIMERA_CHECK(part.numel() == n);
+    std::memcpy(data, part.data(), n * sizeof(float));
+  }
+  // Send phase: forward to children rel + d, d descending from half my
+  // subtree span. The root's span is the smallest power of two ≥ g.
+  const int lowbit = rel == 0 ? pow2_ceil(g) : (rel & -rel);
+  for (int d = lowbit >> 1; d >= 1; d >>= 1) {
+    const int child_rel = rel + d;
+    if (child_rel < g)
+      send(group[(child_rel + root_index) % g], tag, wrap(data, n));
+  }
+}
+
+void Communicator::reduce_sum(float* data, std::size_t n, int root_index,
+                              const std::vector<int>& group, std::int64_t context) {
+  const int g = static_cast<int>(group.size());
+  if (g <= 1 || n == 0) return;
+  CHIMERA_CHECK(root_index >= 0 && root_index < g);
+  const int me = index_in(group, rank_);
+  const std::int64_t tag = collective_tag(context);
+  // Binomial tree, mirror image of broadcast: children send up first, each
+  // parent reduces in child order (deterministic summation order for a given
+  // group, required for cross-run determinism of the runtime).
+  const int rel = (me - root_index + g) % g;
+  const int lowbit = rel == 0 ? pow2_ceil(g) : (rel & -rel);
+  for (int d = 1; d < lowbit && rel + d < g; d <<= 1) {
+    Tensor part = recv(group[(rel + d + root_index) % g], tag);
+    CHIMERA_CHECK(part.numel() == n);
+    for (std::size_t i = 0; i < n; ++i) data[i] += part[i];
+  }
+  if (rel != 0)
+    send(group[(rel - lowbit + root_index) % g], tag, wrap(data, n));
+}
+
+void Communicator::reduce_scatter_sum(float* data, std::size_t n,
+                                      const std::vector<int>& group,
+                                      std::int64_t context) {
+  if (group.size() <= 1 || n == 0) return;
+  reduce_scatter_with_tag(data, n, group, collective_tag(context));
+}
+
+void Communicator::allgather(float* data, std::size_t n,
+                             const std::vector<int>& group, std::int64_t context) {
+  if (group.size() <= 1 || n == 0) return;
+  allgather_with_tag(data, n, group, collective_tag(context));
+}
+
+void Communicator::gather(const float* data, std::size_t n, float* out,
+                          int root_index, const std::vector<int>& group,
+                          std::int64_t context) {
+  const int g = static_cast<int>(group.size());
+  if (n == 0) return;
+  CHIMERA_CHECK(root_index >= 0 && root_index < g);
+  const int me = index_in(group, rank_);
+  const std::int64_t tag = collective_tag(context);
+  if (me == root_index) {
+    std::memcpy(out + static_cast<std::size_t>(me) * n, data, n * sizeof(float));
+    for (int r = 0; r < g; ++r) {
+      if (r == root_index) continue;
+      Tensor part = recv(group[r], tag + r);
+      CHIMERA_CHECK(part.numel() == n);
+      std::memcpy(out + static_cast<std::size_t>(r) * n, part.data(),
+                  n * sizeof(float));
+    }
+  } else {
+    send(group[root_index], tag + me, wrap(data, n));
+  }
+}
+
+void Communicator::alltoall(const float* send_buf, float* recv_buf, std::size_t n,
+                            const std::vector<int>& group, std::int64_t context) {
+  const int g = static_cast<int>(group.size());
+  if (n == 0) return;
+  const int me = index_in(group, rank_);
+  const std::int64_t tag = collective_tag(context);
+  std::memcpy(recv_buf + static_cast<std::size_t>(me) * n,
+              send_buf + static_cast<std::size_t>(me) * n, n * sizeof(float));
+  // Pairwise exchange: in round k exchange with me XOR k (power-of-two
+  // groups) or the (me+k, me−k) rotation otherwise.
+  for (int k = 1; k < g; ++k) {
+    int peer;
+    if (is_pow2(g)) {
+      peer = me ^ k;
+    } else {
+      peer = (me + k) % g;
+    }
+    const int from = is_pow2(g) ? peer : (me - k + g) % g;
+    send(group[peer], tag + k, wrap(send_buf + static_cast<std::size_t>(peer) * n, n));
+    Tensor part = recv(group[from], tag + k);
+    CHIMERA_CHECK(part.numel() == n);
+    std::memcpy(recv_buf + static_cast<std::size_t>(from) * n, part.data(),
+                n * sizeof(float));
+  }
+}
+
+void Communicator::barrier(const std::vector<int>& group, std::int64_t context) {
+  const int g = static_cast<int>(group.size());
+  if (g <= 1) return;
+  const int me = index_in(group, rank_);
+  const std::int64_t tag = collective_tag(context);
+  for (int dist = 1; dist < g; dist <<= 1) {
+    send(group[(me + dist) % g], tag + dist, Tensor(1, 1));
+    (void)recv(group[((me - dist) % g + g) % g], tag + dist);
+  }
+}
+
+}  // namespace chimera::comm

@@ -1,0 +1,169 @@
+#include "comm/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "support/check.h"
+
+namespace chimera::comm {
+
+const char* compression_name(GradCompression c) {
+  switch (c) {
+    case GradCompression::kNone: return "none";
+    case GradCompression::kInt8: return "int8";
+    case GradCompression::kInt4: return "int4";
+    case GradCompression::kTopK: return "topk";
+  }
+  return "?";
+}
+
+Quantizer::Quantizer(int bits) : bits_(bits), levels_((1 << (bits - 1)) - 1) {
+  CHIMERA_CHECK_MSG(bits >= 2 && bits <= 8, "quantizer supports 2..8 bits");
+}
+
+std::size_t Quantizer::packed_words(std::size_t n) { return (n + 3) / 4; }
+
+Tensor Quantizer::encode(const float* data, std::size_t n, Rng& rng) const {
+  float scale = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, std::abs(data[i]));
+  Tensor out(1, static_cast<int>(2 + packed_words(n)));
+  out[0] = scale;
+  out[1] = static_cast<float>(n);
+  if (scale == 0.0f) return out;  // all-zero payload decodes to zeros
+
+  std::int8_t* q = reinterpret_cast<std::int8_t*>(out.data() + 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::abs(data[i]) / scale * static_cast<float>(levels_);
+    const float floor_a = std::floor(a);
+    // Stochastic rounding: up with probability equal to the fraction, which
+    // makes E[q] = a and the codec unbiased.
+    int level = static_cast<int>(floor_a);
+    if (rng.next_double() < static_cast<double>(a - floor_a)) ++level;
+    level = std::min(level, levels_);
+    q[i] = static_cast<std::int8_t>(data[i] < 0.0f ? -level : level);
+  }
+  return out;
+}
+
+void Quantizer::add_decoded(const Tensor& packed, float* out,
+                            std::size_t n) const {
+  CHIMERA_CHECK(packed.numel() >= 2);
+  const float scale = packed[0];
+  CHIMERA_CHECK(static_cast<std::size_t>(packed[1]) == n);
+  if (scale == 0.0f) return;
+  CHIMERA_CHECK(packed.numel() == 2 + packed_words(n));
+  const std::int8_t* q = reinterpret_cast<const std::int8_t*>(packed.data() + 2);
+  const float unit = scale / static_cast<float>(levels_);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] += unit * static_cast<float>(q[i]);
+}
+
+TopKSparsifier::TopKSparsifier(double fraction) : fraction_(fraction) {
+  CHIMERA_CHECK_MSG(fraction > 0.0 && fraction <= 1.0,
+                    "top-k fraction must be in (0, 1]");
+}
+
+Tensor TopKSparsifier::encode(const float* data, std::size_t n,
+                              std::vector<float>& residual) const {
+  if (residual.empty()) residual.assign(n, 0.0f);
+  CHIMERA_CHECK(residual.size() == n);
+  // Error feedback: compress (gradient + carried residual), keep the rest.
+  std::vector<float> acc(n);
+  for (std::size_t i = 0; i < n; ++i) acc[i] = data[i] + residual[i];
+
+  const std::size_t k =
+      std::max<std::size_t>(1, static_cast<std::size_t>(fraction_ * n));
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  std::nth_element(idx.begin(), idx.begin() + (k - 1), idx.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     // Deterministic tie-break on index keeps all ranks'
+                     // encodings reproducible run to run.
+                     const float ma = std::abs(acc[a]), mb = std::abs(acc[b]);
+                     return ma != mb ? ma > mb : a < b;
+                   });
+  std::sort(idx.begin(), idx.begin() + k);  // ascending index order
+
+  Tensor out(1, static_cast<int>(2 + 2 * k));
+  out[0] = static_cast<float>(n);
+  out[1] = static_cast<float>(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t i = idx[j];
+    out[2 + 2 * j] = static_cast<float>(i);
+    out[2 + 2 * j + 1] = acc[i];
+    acc[i] = 0.0f;  // transmitted: no residual remains
+  }
+  residual.assign(acc.begin(), acc.end());
+  return out;
+}
+
+void TopKSparsifier::add_decoded(const Tensor& packed, float* out,
+                                 std::size_t n) {
+  CHIMERA_CHECK(packed.numel() >= 2);
+  CHIMERA_CHECK(static_cast<std::size_t>(packed[0]) == n);
+  const std::size_t k = static_cast<std::size_t>(packed[1]);
+  CHIMERA_CHECK(packed.numel() == 2 + 2 * k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t i = static_cast<std::size_t>(packed[2 + 2 * j]);
+    CHIMERA_CHECK(i < n);
+    out[i] += packed[2 + 2 * j + 1];
+  }
+}
+
+namespace {
+
+/// Allgather of one variable-size transport tensor per rank (gather to each
+/// member via pairwise exchange in group order), then caller-side decoding.
+/// Group sizes here are small (stage replica counts), so the linear exchange
+/// is the textbook choice.
+std::vector<Tensor> exchange_blocks(Communicator& comm, Tensor mine,
+                                    const std::vector<int>& group,
+                                    std::int64_t tag) {
+  const int g = static_cast<int>(group.size());
+  int me = -1;
+  for (int i = 0; i < g; ++i)
+    if (group[i] == comm.rank()) me = i;
+  CHIMERA_CHECK(me >= 0);
+  std::vector<Tensor> blocks(g);
+  for (int r = 0; r < g; ++r) {
+    if (r == me) continue;
+    comm.send(group[r], tag + me, mine);
+  }
+  blocks[me] = std::move(mine);
+  for (int r = 0; r < g; ++r) {
+    if (r == me) continue;
+    blocks[r] = comm.recv(group[r], tag + r);
+  }
+  return blocks;
+}
+
+}  // namespace
+
+void allreduce_quantized(Communicator& comm, float* data, std::size_t n,
+                         const std::vector<int>& group, std::int64_t context,
+                         const Quantizer& q, Rng& rng) {
+  if (group.size() <= 1 || n == 0) return;
+  Tensor mine = q.encode(data, n, rng);
+  // User-tag space: contexts are per-stage, rounds advance per iteration via
+  // the quantizer's rng; a fixed positive tag block per context suffices
+  // because each (src, tag) pair is consumed exactly once per exchange.
+  const std::int64_t tag = (context + 1) * (1ll << 20);
+  std::vector<Tensor> blocks = exchange_blocks(comm, std::move(mine), group, tag);
+  std::fill(data, data + n, 0.0f);
+  for (const Tensor& b : blocks) q.add_decoded(b, data, n);
+}
+
+void allreduce_topk(Communicator& comm, float* data, std::size_t n,
+                    const std::vector<int>& group, std::int64_t context,
+                    const TopKSparsifier& sparsifier,
+                    std::vector<float>& residual) {
+  if (group.size() <= 1 || n == 0) return;
+  Tensor mine = sparsifier.encode(data, n, residual);
+  const std::int64_t tag = (context + 1) * (1ll << 20);
+  std::vector<Tensor> blocks = exchange_blocks(comm, std::move(mine), group, tag);
+  std::fill(data, data + n, 0.0f);
+  for (const Tensor& b : blocks) TopKSparsifier::add_decoded(b, data, n);
+}
+
+}  // namespace chimera::comm

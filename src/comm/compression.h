@@ -1,0 +1,94 @@
+// Gradient compression for the synchronization allreduce — the extension the
+// paper names as its next step (§5: "reduce the communication cost of
+// gradient synchronization by exploiting sparsification and quantization").
+//
+// Two codecs, both with the properties the literature requires:
+//   * QSGD-style stochastic uniform quantization (Alistarh et al.):
+//     unbiased — E[decode(encode(x))] = x — with 2..8 bits per value packed
+//     four-per-float into the transport tensor.
+//   * Top-k sparsification with error feedback (SparCML-style): only the k
+//     largest-magnitude entries travel; the residual accumulates locally and
+//     re-enters the next round, so nothing is lost long-term.
+//
+// Compressed reduction uses the allgather formulation (every rank decodes
+// every contribution and sums locally): all group members observe the same
+// byte stream, so replicas stay bitwise consistent — the invariant the
+// pipeline runtime's weight-replication depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/world.h"
+#include "support/rng.h"
+
+namespace chimera::comm {
+
+/// Gradient-compression policy for the stage-gradient synchronization.
+enum class GradCompression {
+  kNone,  ///< exact allreduce
+  kInt8,  ///< 8-bit stochastic quantization
+  kInt4,  ///< 4-bit stochastic quantization
+  kTopK,  ///< top-k sparsification with error feedback
+};
+
+const char* compression_name(GradCompression c);
+
+/// Stochastic uniform quantizer with 2^(bits−1)−1 positive levels.
+class Quantizer {
+ public:
+  explicit Quantizer(int bits);
+
+  int bits() const { return bits_; }
+
+  /// Encodes `data[0..n)` into a transport tensor: [scale, n, packed levels]
+  /// (levels are int8, packed four per float word). Stochastic rounding
+  /// draws from `rng`, making the codec unbiased.
+  Tensor encode(const float* data, std::size_t n, Rng& rng) const;
+
+  /// Accumulates the decoded payload into `out[0..n)` (out += decode).
+  void add_decoded(const Tensor& packed, float* out, std::size_t n) const;
+
+  /// Transport floats needed for n values (the cost-model side).
+  static std::size_t packed_words(std::size_t n);
+
+ private:
+  int bits_;
+  int levels_;  ///< 2^(bits−1) − 1
+};
+
+/// Top-k sparsifier with caller-owned error-feedback residual.
+class TopKSparsifier {
+ public:
+  /// `fraction` of entries kept per round (at least one).
+  explicit TopKSparsifier(double fraction);
+
+  double fraction() const { return fraction_; }
+
+  /// Adds the residual to `data`, selects the top-k magnitudes, stores the
+  /// remainder back into `residual` (resized on first use) and returns the
+  /// transport tensor [n, k, idx0, val0, idx1, val1, ...].
+  Tensor encode(const float* data, std::size_t n,
+                std::vector<float>& residual) const;
+
+  /// Accumulates the decoded sparse payload into `out[0..n)`.
+  static void add_decoded(const Tensor& packed, float* out, std::size_t n);
+
+ private:
+  double fraction_;
+};
+
+/// Allgather-based quantized allreduce: every rank contributes its
+/// quantized vector, decodes all contributions and sums. The result is
+/// identical on every rank. `data` is overwritten with the (lossy) sum.
+void allreduce_quantized(Communicator& comm, float* data, std::size_t n,
+                         const std::vector<int>& group, std::int64_t context,
+                         const Quantizer& q, Rng& rng);
+
+/// Allgather-based top-k allreduce with per-rank error feedback.
+void allreduce_topk(Communicator& comm, float* data, std::size_t n,
+                    const std::vector<int>& group, std::int64_t context,
+                    const TopKSparsifier& sparsifier,
+                    std::vector<float>& residual);
+
+}  // namespace chimera::comm

@@ -1,0 +1,60 @@
+#include "comm/world.h"
+
+#include "support/check.h"
+
+namespace chimera::comm {
+
+World::World(int size) : size_(size) {
+  CHIMERA_CHECK(size >= 1);
+  boxes_.reserve(size);
+  for (int i = 0; i < size; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void Communicator::send(int dst, std::int64_t tag, Tensor payload) {
+  CHIMERA_CHECK_MSG(dst >= 0 && dst < world_->size(), "send to rank " << dst);
+  World::Mailbox& box = *world_->boxes_[dst];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.emplace(World::Key{rank_, tag}, std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+Tensor Communicator::recv(int src, std::int64_t tag) {
+  World::Mailbox& box = *world_->boxes_[rank_];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const World::Key key{src, tag};
+  box.cv.wait(lock, [&] { return box.messages.find(key) != box.messages.end(); });
+  auto it = box.messages.find(key);
+  Tensor out = std::move(it->second);
+  box.messages.erase(it);
+  return out;
+}
+
+std::int64_t Communicator::collective_tag(std::int64_t context) {
+  // High bits: context; low bits: per-context sequence. Keeps collective
+  // traffic disjoint from user tags (which must be non-negative and fit in
+  // the user range by convention: callers use tags ≥ 0 < 2^40). Each
+  // collective reserves a block of 2^12 consecutive tags for its internal
+  // rounds, so sequences advance in that stride.
+  const std::int64_t seq = seq_[context]++;
+  return -((context * (1ll << 24) + seq + 1) << 12);
+}
+
+Request& Request::operator=(Request&& other) noexcept {
+  if (this != &other) {
+    wait();
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+Request::~Request() { wait(); }
+
+void Request::wait() {
+  if (state_ && state_->thread.joinable()) state_->thread.join();
+}
+
+bool Request::test() const { return !state_ || state_->done.load(); }
+
+}  // namespace chimera::comm

@@ -1,0 +1,186 @@
+// In-process message-passing substrate: ranks are OS threads, channels are
+// tag-matched mailboxes, collectives are real distributed algorithms built
+// on the point-to-point layer (MPI-style, per the hpc-parallel guides).
+//
+// This substrate stands in for the multi-GPU cluster (DESIGN.md §1,
+// substitution 2): the training runtime exchanges real activation/gradient
+// tensors through it, so the pipeline schemes execute their true
+// communication patterns — including the per-stage gradient allreduce across
+// bidirectional-pipeline replicas and its nonblocking overlapped variant
+// (paper §3.2, "launch an asynchronous allreduce using nonblocking
+// collectives ... and a wait operation is called after all the local
+// computation").
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace chimera::comm {
+
+/// Allreduce algorithm selection. All algorithms produce results that are
+/// bitwise identical across ranks (each reduced element is computed once or
+/// via commutative same-operand additions).
+enum class AllreduceAlgo {
+  kNaive,              ///< gather to root, reduce, broadcast (reference)
+  kRing,               ///< ring reduce-scatter + ring allgather (any size)
+  kRecursiveDoubling,  ///< power-of-two group sizes
+  kRabenseifner,       ///< recursive-halving RS + recursive-doubling AG (§3.4)
+};
+
+const char* allreduce_algo_name(AllreduceAlgo a);
+
+class Communicator;
+
+/// Handle for a nonblocking collective. The operation progresses on a
+/// dedicated helper thread (the "progress thread" model of MPI nonblocking
+/// collectives); wait() blocks until completion, test() polls. Destroying an
+/// incomplete Request waits for it — a collective is never abandoned
+/// half-way through its message exchanges.
+class Request {
+ public:
+  Request() = default;
+  Request(Request&&) noexcept = default;
+  Request& operator=(Request&&) noexcept;
+  ~Request();
+
+  /// Blocks until the collective has completed on this rank.
+  void wait();
+  /// Returns true once the collective has completed on this rank.
+  bool test() const;
+  /// True if this handle refers to a launched operation.
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Communicator;
+  struct State {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  explicit Request(std::unique_ptr<State> s) : state_(std::move(s)) {}
+  std::unique_ptr<State> state_;
+};
+
+/// Shared mailbox fabric for `size` ranks. Create one World, then one
+/// Communicator per rank (each owned by exactly one application thread;
+/// helper threads spawned by nonblocking collectives only use the
+/// thread-safe p2p layer).
+class World {
+ public:
+  explicit World(int size);
+  int size() const { return size_; }
+
+ private:
+  friend class Communicator;
+  struct Key {
+    int src;
+    std::int64_t tag;
+    bool operator<(const Key& o) const {
+      return src != o.src ? src < o.src : tag < o.tag;
+    }
+  };
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::multimap<Key, Tensor> messages;
+  };
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+};
+
+/// Per-rank endpoint. send() copies the payload into the destination
+/// mailbox; recv() blocks until a matching (src, tag) message arrives.
+///
+/// Collective-ordering contract (MPI semantics): every member of a group
+/// must enter the group's *blocking* collectives in the same order.
+/// Nonblocking launches (iallreduce_sum) relax this: launch order may differ
+/// across ranks because each operation progresses independently; only the
+/// per-(group, context) launch sequence must match.
+class Communicator {
+ public:
+  Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int world_size() const { return world_->size(); }
+
+  void send(int dst, std::int64_t tag, Tensor payload);
+  Tensor recv(int src, std::int64_t tag);
+
+  /// In-place sum-allreduce of `data[0..n)` over `group` (sorted, must
+  /// contain this rank). `context` separates independent collective streams
+  /// (e.g. one per pipeline stage).
+  void allreduce_sum(float* data, std::size_t n, const std::vector<int>& group,
+                     std::int64_t context, AllreduceAlgo algo = AllreduceAlgo::kRing);
+
+  /// Nonblocking allreduce: returns immediately; the reduction runs on a
+  /// helper thread and `data` must stay alive and untouched until the
+  /// returned Request completes. This is the §3.2 eager gradient sync.
+  Request iallreduce_sum(float* data, std::size_t n, const std::vector<int>& group,
+                         std::int64_t context, AllreduceAlgo algo = AllreduceAlgo::kRing);
+
+  /// Broadcast from `group[root_index]` to all of `group` (binomial tree).
+  void broadcast(float* data, std::size_t n, int root_index,
+                 const std::vector<int>& group, std::int64_t context);
+
+  /// Sum-reduce to `group[root_index]` (binomial tree). Non-root buffers are
+  /// left unspecified (they are used as scratch).
+  void reduce_sum(float* data, std::size_t n, int root_index,
+                  const std::vector<int>& group, std::int64_t context);
+
+  /// Ring reduce-scatter: on return, rank i of the group holds the fully
+  /// reduced segment [seg_begin(i), seg_begin(i+1)) of `data` (the canonical
+  /// even split of n over the group); other positions are scratch.
+  void reduce_scatter_sum(float* data, std::size_t n, const std::vector<int>& group,
+                          std::int64_t context);
+
+  /// Ring allgather of the canonical segments: each rank contributes its own
+  /// segment of `data` and on return every rank holds all segments. The
+  /// inverse of reduce_scatter_sum; together they form the ZeRO-1 step.
+  void allgather(float* data, std::size_t n, const std::vector<int>& group,
+                 std::int64_t context);
+
+  /// Gather `n` elements from every rank to `group[root_index]`. On the root
+  /// `out` must have group.size()·n elements (filled in group order); on
+  /// other ranks it is ignored.
+  void gather(const float* data, std::size_t n, float* out, int root_index,
+              const std::vector<int>& group, std::int64_t context);
+
+  /// Pairwise-exchange alltoall: `send_buf` holds group.size() blocks of `n`
+  /// elements (block j for rank j of the group); on return `recv_buf[j·n..]`
+  /// holds the block rank j addressed to this rank.
+  void alltoall(const float* send_buf, float* recv_buf, std::size_t n,
+                const std::vector<int>& group, std::int64_t context);
+
+  /// Dissemination barrier over `group`.
+  void barrier(const std::vector<int>& group, std::int64_t context);
+
+ private:
+  std::int64_t collective_tag(std::int64_t context);
+  void allreduce_with_tag(float* data, std::size_t n, const std::vector<int>& group,
+                          std::int64_t tag, AllreduceAlgo algo);
+  void reduce_scatter_with_tag(float* data, std::size_t n,
+                               const std::vector<int>& group, std::int64_t tag);
+  void allgather_with_tag(float* data, std::size_t n, const std::vector<int>& group,
+                          std::int64_t tag);
+
+  World* world_;
+  int rank_;
+  /// Per-context sequence numbers for collective tag generation.
+  std::unordered_map<std::int64_t, std::int64_t> seq_;
+};
+
+/// Canonical segment bounds used by reduce_scatter_sum/allgather: segment i
+/// of g over n elements is [n·i/g, n·(i+1)/g).
+inline std::size_t segment_begin(std::size_t n, int g, int i) {
+  return n * static_cast<std::size_t>(i) / static_cast<std::size_t>(g);
+}
+
+}  // namespace chimera::comm

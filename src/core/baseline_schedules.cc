@@ -1,0 +1,157 @@
+#include "core/baseline_schedules.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace chimera {
+namespace {
+
+/// Skeleton for single-pipeline schemes: identity stage→worker mapping.
+PipelineSchedule make_single_pipe(Scheme scheme, const ScheduleConfig& cfg,
+                                  bool synchronous) {
+  CHIMERA_CHECK_MSG(cfg.depth >= 1, "need at least one stage");
+  CHIMERA_CHECK_MSG(cfg.num_micro >= 1, "need at least one micro-batch");
+  PipelineSchedule s;
+  s.scheme = scheme;
+  s.depth = cfg.depth;
+  s.num_micro = cfg.num_micro;
+  s.num_pipes = 1;
+  s.synchronous = synchronous;
+  s.stage_worker.assign(1, std::vector<int>(cfg.depth));
+  for (int i = 0; i < cfg.depth; ++i) s.stage_worker[0][i] = i;
+  s.pipe_of_micro.assign(cfg.num_micro, 0);
+  s.worker_ops.resize(cfg.depth);
+  return s;
+}
+
+Op fwd(int micro, int stage, int pipe = 0) {
+  return Op{OpKind::kForward, micro, 1, stage, pipe, 0, 1};
+}
+Op bwd(int micro, int stage, int pipe = 0) {
+  return Op{OpKind::kBackward, micro, 1, stage, pipe, 0, 1};
+}
+
+/// Emits the classic 1F1B order onto a single-pipe schedule skeleton:
+/// stage s runs min(N, D−s) warmup forwards, then alternates
+/// backward/forward, then drains the remaining backwards.
+void fill_one_f_one_b(PipelineSchedule& s) {
+  const int D = s.depth;
+  const int N = s.num_micro;
+  for (int w = 0; w < D; ++w) {
+    auto& ops = s.worker_ops[w];
+    const int warmup = std::min(N, D - w);
+    for (int m = 0; m < warmup; ++m) ops.push_back(fwd(m, w));
+    for (int i = 0; i + warmup < N; ++i) {
+      ops.push_back(bwd(i, w));
+      ops.push_back(fwd(warmup + i, w));
+    }
+    for (int i = std::max(0, N - warmup); i < N; ++i) ops.push_back(bwd(i, w));
+  }
+}
+
+}  // namespace
+
+PipelineSchedule build_gpipe_schedule(const ScheduleConfig& cfg) {
+  PipelineSchedule s = make_single_pipe(Scheme::kGPipe, cfg, /*synchronous=*/true);
+  for (int w = 0; w < s.depth; ++w) {
+    for (int m = 0; m < s.num_micro; ++m) s.worker_ops[w].push_back(fwd(m, w));
+    for (int m = 0; m < s.num_micro; ++m) s.worker_ops[w].push_back(bwd(m, w));
+  }
+  return s;
+}
+
+PipelineSchedule build_dapple_schedule(const ScheduleConfig& cfg) {
+  PipelineSchedule s = make_single_pipe(Scheme::kDapple, cfg, /*synchronous=*/true);
+  fill_one_f_one_b(s);
+  return s;
+}
+
+PipelineSchedule build_pipedream_schedule(const ScheduleConfig& cfg) {
+  PipelineSchedule s =
+      make_single_pipe(Scheme::kPipeDream, cfg, /*synchronous=*/false);
+  fill_one_f_one_b(s);
+  return s;
+}
+
+PipelineSchedule build_pipedream_2bw_schedule(const ScheduleConfig& cfg) {
+  PipelineSchedule s =
+      make_single_pipe(Scheme::kPipeDream2BW, cfg, /*synchronous=*/false);
+  fill_one_f_one_b(s);
+  return s;
+}
+
+PipelineSchedule build_gems_schedule(const ScheduleConfig& cfg) {
+  const int D = cfg.depth;
+  const int N = cfg.num_micro;
+  CHIMERA_CHECK_MSG(D >= 1, "need at least one stage");
+  CHIMERA_CHECK_MSG(N >= 1, "need at least one micro-batch");
+
+  PipelineSchedule s;
+  s.scheme = Scheme::kGems;
+  s.depth = D;
+  s.num_micro = N;
+  s.num_pipes = 2;
+  s.synchronous = true;
+  s.stage_worker.assign(2, std::vector<int>(D));
+  for (int i = 0; i < D; ++i) {
+    s.stage_worker[0][i] = i;          // down replica
+    s.stage_worker[1][i] = D - 1 - i;  // up replica
+  }
+  s.pipe_of_micro.resize(N);
+  for (int m = 0; m < N; ++m) s.pipe_of_micro[m] = m % 2;
+  s.worker_ops.resize(D);
+
+  // GEMS interleaves the backward of micro-batch m with the forward of
+  // micro-batch m+1 on the opposite replica. The per-worker order is derived
+  // from the analytic ready times of the canonical execution (forward = 1,
+  // backward = 2 time units), which reproduces the crossing of the two
+  // wavefronts the paper's Fig. 2 shows.
+  struct Timed {
+    double t;
+    int seq;  // tiebreak: emission sequence
+    Op op;
+  };
+  std::vector<std::vector<Timed>> per_worker(D);
+  int seq = 0;
+  double t0 = 0.0;  // ready time of the pair's first forward at its entry
+  for (int first = 0; first < N; first += 2) {
+    const bool has_second = first + 1 < N;
+    // F(first) flows down replica 0: worker w at t0 + w.
+    for (int w = 0; w < D; ++w)
+      per_worker[w].push_back({t0 + w, seq++, fwd(first, w, 0)});
+    // F(first+1) flows along replica 1 (stage s on worker D−1−s), entering
+    // after F(first) cleared the entry worker of replica 1.
+    const double f2_entry = t0 + D;
+    if (has_second)
+      for (int srev = 0; srev < D; ++srev)
+        per_worker[D - 1 - srev].push_back(
+            {f2_entry + srev, seq++, fwd(first + 1, srev, 1)});
+    // B(first) starts at the last stage right after the second forward
+    // cleared that worker, each hop costing 2 units.
+    const double b1_start = has_second ? f2_entry + 1 : t0 + D;
+    for (int sdown = D - 1; sdown >= 0; --sdown)
+      per_worker[sdown].push_back(
+          {b1_start + 2.0 * (D - 1 - sdown), seq++, bwd(first, sdown, 0)});
+    // B(first+1) starts once F(first+1) reached its last stage (worker 0).
+    const double b2_start = f2_entry + D;
+    if (has_second)
+      for (int srev = D - 1; srev >= 0; --srev)
+        per_worker[D - 1 - srev].push_back(
+            {b2_start + 2.0 * (D - 1 - srev), seq++, bwd(first + 1, srev, 1)});
+    // Next pair may enter once this pair's backwards drained (at most two
+    // active micro-batches — the GEMS memory guarantee).
+    t0 = std::max(b1_start, has_second ? b2_start : b1_start) + 2.0 * D;
+  }
+  for (int w = 0; w < D; ++w) {
+    auto& ops = per_worker[w];
+    std::stable_sort(ops.begin(), ops.end(), [](const Timed& a, const Timed& b) {
+      if (a.t != b.t) return a.t < b.t;
+      return a.seq < b.seq;
+    });
+    s.worker_ops[w].reserve(ops.size());
+    for (const auto& t : ops) s.worker_ops[w].push_back(t.op);
+  }
+  return s;
+}
+
+}  // namespace chimera

@@ -1,0 +1,33 @@
+// Construction of the baseline pipeline schedules the paper compares against
+// (Table 2): GPipe, DAPPLE (1F1B + flush), GEMS, PipeDream and
+// PipeDream-2BW, plus the plain single-pipeline 1F1B used in Fig. 19.
+#pragma once
+
+#include "core/schedule.h"
+
+namespace chimera {
+
+/// GPipe: all N forwards, then all N backwards, synchronous flush.
+PipelineSchedule build_gpipe_schedule(const ScheduleConfig& cfg);
+
+/// DAPPLE / 1F1B-with-flush: warmup of min(N, D−s) forwards on stage s, then
+/// one-forward-one-backward steady state, then drain. Also used for
+/// Scheme::kOneF1B.
+PipelineSchedule build_dapple_schedule(const ScheduleConfig& cfg);
+
+/// GEMS: two model replicas mapped in opposite directions; micro-batches
+/// alternate between them and at most two are ever active, which is what
+/// gives GEMS its minimal activation memory (and its large bubble).
+PipelineSchedule build_gems_schedule(const ScheduleConfig& cfg);
+
+/// PipeDream: asynchronous 1F1B without flushes. The per-iteration op order
+/// equals DAPPLE's; the asynchronous semantics (weight stashing, update after
+/// every micro-batch, no flush) are carried by schedule.synchronous=false and
+/// interpreted by the simulator and runtime.
+PipelineSchedule build_pipedream_schedule(const ScheduleConfig& cfg);
+
+/// PipeDream-2BW: asynchronous 1F1B with gradient accumulation over N
+/// micro-batches and double-buffered weights.
+PipelineSchedule build_pipedream_2bw_schedule(const ScheduleConfig& cfg);
+
+}  // namespace chimera

@@ -1,0 +1,196 @@
+#include "core/chimera_schedule.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace chimera {
+namespace {
+
+/// One op plus its synthetic slot, used only during construction. Slots
+/// define per-worker order (ties broken by unit, then pipe); they carry no
+/// duration information.
+struct SlottedOp {
+  long slot;
+  int unit;
+  Op op;
+};
+
+/// Shared construction state.
+struct Builder {
+  int depth;        // D
+  int f;            // pipeline pairs
+  int num_pipes;    // 2f
+  std::vector<std::vector<int>> stage_worker;  // [pipe][stage] -> worker
+  std::vector<std::vector<SlottedOp>> per_worker;
+  std::vector<int> pipe_of_micro;
+  int unit_index = 0;
+  long slot_base = 0;
+
+  Builder(int depth_, int f_) : depth(depth_), f(f_), num_pipes(2 * f_) {
+    stage_worker.assign(num_pipes, std::vector<int>(depth, -1));
+    const int offset_step = depth / f;  // D/f workers between pipeline entry points
+    for (int i = 0; i < f; ++i) {
+      for (int s = 0; s < depth; ++s) {
+        stage_worker[2 * i][s] = (i * offset_step + s) % depth;           // down
+        stage_worker[2 * i + 1][s] = (i * offset_step + depth - 1 - s) % depth;  // up
+      }
+    }
+    per_worker.resize(depth);
+  }
+
+  void emit(int pipe, int stage, long slot, Op op) {
+    per_worker[stage_worker[pipe][stage]].push_back(
+        SlottedOp{slot_base + slot, unit_index, op});
+  }
+
+  /// Distributes `count` micro-batches over the 2f pipes as evenly as
+  /// possible, in pipe order [down0, up0, down1, up1, ...] (paper Fig. 8
+  /// assigns contiguous micro-batch blocks in this order).
+  std::vector<int> split_micros(int count) const {
+    std::vector<int> per_pipe(num_pipes, count / num_pipes);
+    for (int p = 0; p < count % num_pipes; ++p) ++per_pipe[p];
+    return per_pipe;
+  }
+
+  /// Basic unit (paper §3.1): `count` ≤ D micro-batches starting at global id
+  /// `first`, one forward and one backward op per micro-batch.
+  void add_plain_unit(int first, int count) {
+    CHIMERA_CHECK(count >= 1 && count <= depth);
+    const auto per_pipe = split_micros(count);
+    int next = first;
+    for (int p = 0; p < num_pipes; ++p) {
+      for (int m = 0; m < per_pipe[p]; ++m) {
+        const int micro = next++;
+        pipe_of_micro[micro] = p;
+        for (int s = 0; s < depth; ++s) {
+          emit(p, s, s + 2L * m,
+               Op{OpKind::kForward, micro, 1, s, p, 0, 1});
+          emit(p, s, 2L * depth - 1 - s + 2L * m,
+               Op{OpKind::kBackward, micro, 1, s, p, 0, 1});
+        }
+      }
+    }
+    // Advance by the per-worker busy width so that the next unit's forwards
+    // interleave into this unit's trailing bubbles (Fig. 7(b)).
+    slot_base += 2L * count;
+    ++unit_index;
+  }
+
+  /// Forward-doubling unit (paper §3.5, Fig. 7(c)): covers exactly 2D
+  /// micro-batches; every forward op carries two micro-batches, the two
+  /// backwards run back to back where the base unit had one backward.
+  void add_doubled_unit(int first) {
+    const int pairs_per_pipe = depth / num_pipes;  // D/(2f) chunk ops per pipe
+    int next = first;
+    for (int p = 0; p < num_pipes; ++p) {
+      for (int m = 0; m < pairs_per_pipe; ++m) {
+        const int micro = next;
+        next += 2;
+        pipe_of_micro[micro] = p;
+        pipe_of_micro[micro + 1] = p;
+        for (int s = 0; s < depth; ++s) {
+          emit(p, s, 2L * (s + 2L * m),
+               Op{OpKind::kForward, micro, 2, s, p, 0, 1});
+          const long b = 2L * (2L * depth - 1 - s + 2L * m);
+          emit(p, s, b, Op{OpKind::kBackward, micro, 1, s, p, 0, 1});
+          emit(p, s, b + 1, Op{OpKind::kBackward, micro + 1, 1, s, p, 0, 1});
+        }
+      }
+    }
+    slot_base += 4L * depth;
+    ++unit_index;
+  }
+
+  /// Backward-halving unit (paper §3.5): same shape as forward doubling but
+  /// forwards keep one full micro-batch and each backward is split into two
+  /// half-batch ops. Covers `count` ≤ D micro-batches.
+  void add_halved_unit(int first, int count) {
+    CHIMERA_CHECK(count >= 1 && count <= depth);
+    const auto per_pipe = split_micros(count);
+    int next = first;
+    for (int p = 0; p < num_pipes; ++p) {
+      for (int m = 0; m < per_pipe[p]; ++m) {
+        const int micro = next++;
+        pipe_of_micro[micro] = p;
+        for (int s = 0; s < depth; ++s) {
+          emit(p, s, 2L * (s + 2L * m),
+               Op{OpKind::kForward, micro, 1, s, p, 0, 1});
+          const long b = 2L * (2L * depth - 1 - s + 2L * m);
+          emit(p, s, b, Op{OpKind::kBackward, micro, 1, s, p, 0, 2});
+          emit(p, s, b + 1, Op{OpKind::kBackward, micro, 1, s, p, 1, 2});
+        }
+      }
+    }
+    slot_base += 3L * count;
+    ++unit_index;
+  }
+};
+
+}  // namespace
+
+PipelineSchedule build_chimera_schedule(const ScheduleConfig& cfg) {
+  const int D = cfg.depth;
+  const int N = cfg.num_micro;
+  const int f = cfg.pipes_f;
+  CHIMERA_CHECK_MSG(D >= 2 && D % 2 == 0,
+                    "Chimera requires an even number of stages, got D=" << D);
+  CHIMERA_CHECK_MSG(f >= 1 && (D / 2) % f == 0,
+                    "pipes_f must divide D/2 (D=" << D << ", f=" << f << ")");
+  CHIMERA_CHECK_MSG(N >= 1, "need at least one micro-batch");
+
+  Builder b(D, f);
+  b.pipe_of_micro.assign(N, 0);
+
+  int done = 0;
+  switch (N <= D ? ScaleMethod::kDirect : cfg.scale) {
+    case ScaleMethod::kDirect:
+      while (done < N) {
+        const int count = std::min(D, N - done);
+        b.add_plain_unit(done, count);
+        done += count;
+      }
+      break;
+    case ScaleMethod::kForwardDoubling:
+      // ⌊K/2⌋ doubled units plus a residual plain unit if K is odd (§3.5);
+      // remainders that are not multiples of D fall back to plain units.
+      while (N - done >= 2 * D) {
+        b.add_doubled_unit(done);
+        done += 2 * D;
+      }
+      while (done < N) {
+        const int count = std::min(D, N - done);
+        b.add_plain_unit(done, count);
+        done += count;
+      }
+      break;
+    case ScaleMethod::kBackwardHalving:
+      while (done < N) {
+        const int count = std::min(D, N - done);
+        b.add_halved_unit(done, count);
+        done += count;
+      }
+      break;
+  }
+
+  PipelineSchedule s;
+  s.scheme = Scheme::kChimera;
+  s.depth = D;
+  s.num_micro = N;
+  s.num_pipes = b.num_pipes;
+  s.synchronous = true;
+  s.stage_worker = std::move(b.stage_worker);
+  s.pipe_of_micro = std::move(b.pipe_of_micro);
+  s.worker_ops.resize(D);
+  for (int w = 0; w < D; ++w) {
+    auto& ops = b.per_worker[w];
+    std::sort(ops.begin(), ops.end(), [](const SlottedOp& a, const SlottedOp& x) {
+      return std::tie(a.slot, a.unit, a.op.pipe, a.op.micro, a.op.half_index) <
+             std::tie(x.slot, x.unit, x.op.pipe, x.op.micro, x.op.half_index);
+    });
+    s.worker_ops[w].reserve(ops.size());
+    for (const auto& so : ops) s.worker_ops[w].push_back(so.op);
+  }
+  return s;
+}
+
+}  // namespace chimera

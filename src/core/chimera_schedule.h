@@ -1,0 +1,29 @@
+// Construction of Chimera's bidirectional pipeline schedules (paper §3.1,
+// §3.5, §3.6).
+//
+// The schedule of one "basic scheduling unit" (N ≤ D micro-batches) is built
+// from closed-form slot assignments that realize the conflict-free merge of
+// 2f pipelines the paper proves for even D:
+//
+//   down pipeline i (i ∈ [0,f)): stage s → worker (i·D/f + s) mod D
+//   up   pipeline i:             stage s → worker (i·D/f + D−1−s) mod D
+//   forward  of local micro m at stage s:  slot  s + 2m
+//   backward of local micro m at stage s:  slot  2D−1−s + 2m
+//
+// Larger iterations (N > D) concatenate units with the three methods of
+// §3.5: direct concatenation, forward doubling (chunk-2 forwards) and
+// backward halving (two half-sized backwards). Slots order ops per worker;
+// actual timing is always derived by dependency-driven replay, which is what
+// turns Fig. 7(c) into the fine-tuned Fig. 7(d) automatically.
+#pragma once
+
+#include "core/schedule.h"
+
+namespace chimera {
+
+/// Builds the Chimera schedule for cfg.depth stages, cfg.num_micro
+/// micro-batches and cfg.pipes_f down/up pipeline pairs.
+/// Requirements: depth even, pipes_f ≥ 1 and pipes_f divides depth/2.
+PipelineSchedule build_chimera_schedule(const ScheduleConfig& cfg);
+
+}  // namespace chimera

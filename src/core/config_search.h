@@ -1,0 +1,57 @@
+// Configuration selection (paper §3.4 and §4.2).
+//
+// Baselines must sweep the whole (W, D, B) space because of the bubble vs
+// computational-efficiency trade-off (Fig. 10/11). Chimera greatly
+// alleviates the bubble problem, so it greedily picks the maximum
+// micro-batch size B that fits device memory and only uses the performance
+// model to choose (W, D) — a much smaller tuning space (§3.4).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/exec_config.h"
+#include "core/model_spec.h"
+
+namespace chimera {
+
+struct Candidate {
+  ExecConfig cfg;
+  double throughput = 0.0;  ///< sequences/s under the evaluator
+  bool recompute = false;
+  bool feasible = false;
+  std::string note;
+};
+
+struct SearchResult {
+  Candidate best;
+  std::vector<Candidate> all;  ///< every evaluated point (for Fig. 10/11)
+};
+
+/// Throughput evaluator: sequences/s for a (feasible) config. Benches plug
+/// in either the performance model or the discrete-event simulator.
+using Evaluator = std::function<double(const ExecConfig&, bool recompute)>;
+
+/// Full sweep for one scheme over D ∈ powers of two dividing P (W = P/D) and
+/// B ∈ powers of two up to `max_B`. PipeDream's B̂ is fixed at B·W; all other
+/// schemes use `minibatch`. Infeasible points (memory, divisibility, depth >
+/// layers) are recorded with feasible=false.
+SearchResult sweep_configs(Scheme scheme, const ModelSpec& model,
+                           const MachineSpec& machine, int P, long minibatch,
+                           int max_B, const Evaluator& eval);
+
+/// Chimera's greedy strategy: for each (W, D) pick the maximum power-of-two
+/// B that fits without recomputation (falling back to the largest B that
+/// fits with recomputation), then rank (W, D) by the evaluator.
+SearchResult chimera_greedy_search(const ModelSpec& model,
+                                   const MachineSpec& machine, int P,
+                                   long minibatch, int max_B,
+                                   const Evaluator& eval, int pipes_f = 1,
+                                   ScaleMethod scale = ScaleMethod::kDirect);
+
+/// Candidate depths: powers of two d with d | P, d ≤ layers, d ≤ P.
+std::vector<int> candidate_depths(int P, int layers);
+
+}  // namespace chimera

@@ -1,0 +1,40 @@
+#include "core/cost_model.h"
+
+namespace chimera {
+
+MachineSpec MachineSpec::piz_daint() {
+  MachineSpec m;
+  m.name = "Piz Daint (P100 + Aries, GLOO)";
+  m.flops_peak = 9.3e12;        // P100 fp32 peak
+  m.flops_efficiency = 0.35;    // sustained, PyTorch-1.6-era kernels
+  m.alpha = 25e-6;              // GLOO/TCP over Aries, per message
+  m.beta = 1.0 / 5.0e9;         // ~5 GB/s effective p2p
+  m.ar_alpha = 30e-6;
+  m.ar_beta = 1.0 / 4.0e9;      // host-based allreduce slightly slower
+  m.device_mem_bytes = 15.0e9;  // 16 GB minus CUDA context/runtime
+  m.framework_overhead = 1.57;
+  m.nonblocking_cpu_fraction = 0.12;
+  m.tokens_half = 192.0;       // P100 GEMMs reach half rate near 192 tokens
+  return m;
+}
+
+MachineSpec MachineSpec::v100_cluster() {
+  MachineSpec m;
+  m.name = "V100 cluster (NVLink + Infiniband)";
+  m.flops_peak = 15.7e12;       // V100 fp32 peak
+  m.flops_efficiency = 0.42;
+  m.alpha = 8e-6;               // Infiniband between the 4 servers
+  m.beta = 1.0 / 8.0e9;
+  m.ar_alpha = 12e-6;
+  m.ar_beta = 1.0 / 7.0e9;
+  m.device_mem_bytes = 30.0e9;  // 32 GB minus runtime
+  m.framework_overhead = 1.6;
+  m.nonblocking_cpu_fraction = 0.12;
+  m.node_size = 8;              // 8 GPUs per server, NVLink inside
+  m.intra_alpha = 4e-6;
+  m.intra_beta = 1.0 / 14.0e9;  // GLOO-era effective NVLink/shared-memory
+  m.tokens_half = 256.0;        // bigger device: needs more work to saturate
+  return m;
+}
+
+}  // namespace chimera

@@ -1,0 +1,111 @@
+// Communication cost models and machine presets (paper §3.4).
+//
+// Point-to-point transfers follow the classic latency–bandwidth (α–β) model:
+// sending L bytes costs α + β·L. Gradient allreduce is modelled with
+// Rabenseifner's algorithm (reduce-scatter + allgather), which attains the
+// bandwidth lower bound for host-based allreduce:
+//
+//     T_allreduce(r, L) = 2·log2(r)·α + 2·((r−1)/r)·β·L
+//
+// MachineSpec bundles the calibrated constants of the two evaluation
+// platforms. Absolute values are calibrated stand-ins for Piz Daint
+// (P100 + Aries with the GLOO backend) and the V100/NVLink cluster; see
+// DESIGN.md §1 for the calibration rationale.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace chimera {
+
+/// Hardware/runtime constants of one evaluation platform.
+struct MachineSpec {
+  std::string name;
+  double flops_peak = 0.0;        ///< per-worker peak fp32 FLOP/s
+  double flops_efficiency = 0.0;  ///< sustained fraction on GEMM-heavy stages
+  double alpha = 0.0;             ///< p2p latency (s)
+  double beta = 0.0;              ///< p2p transfer time (s/byte)
+  double ar_alpha = 0.0;          ///< allreduce latency term (s)
+  double ar_beta = 0.0;           ///< allreduce transfer time (s/byte)
+  double device_mem_bytes = 0.0;  ///< usable accelerator memory
+  /// Multiplier on analytic activation bytes standing in for framework
+  /// (PyTorch-eager/GLOO/fragmentation) overheads; calibrated so the paper's
+  /// OOM/recompute pattern reproduces (DESIGN.md §1).
+  double framework_overhead = 1.0;
+  /// CPU time a nonblocking-collective launch steals from the worker
+  /// (initialization/threading overheads of §3.2), as a fraction of the
+  /// collective's duration. Drives the eager-sync vs eager-sync-opt gap.
+  double nonblocking_cpu_fraction = 0.0;
+  /// Hierarchical interconnect: when node_size > 0, workers whose linear
+  /// rank falls in the same node_size block share a node and communicate
+  /// over the faster intra-node link (NVLink on the V100 cluster) instead of
+  /// the inter-node fabric. 0 models a flat network (Piz Daint: one GPU per
+  /// node).
+  int node_size = 0;
+  double intra_alpha = 0.0;  ///< intra-node p2p latency (s)
+  double intra_beta = 0.0;   ///< intra-node transfer time (s/byte)
+
+  /// Kernel saturation: GEMM-like kernels reach flops_efficiency only with
+  /// enough rows in flight, and the row count of a transformer kernel is
+  /// B·s *tokens* (one long-sequence sample is already a large GEMM). At
+  /// B·s tokens the sustained fraction is scaled by
+  /// tokens/(tokens + tokens_half); 0 disables the effect. This term
+  /// carries the paper's central trade-off — "larger micro-batches improve
+  /// performance due to better re-use in the matrix-multiply-like
+  /// operations" (§1) — and the efficiency cost of backward halving's
+  /// sub-max B (§3.5).
+  double tokens_half = 0.0;
+
+  double effective_flops() const { return flops_peak * flops_efficiency; }
+
+  /// Saturation factor for micro-batch size B at sequence length `seq`
+  /// (1 when tokens_half is 0). Accepts fractional B: backward halving
+  /// runs B/2.
+  double micro_batch_saturation(double B, int seq) const {
+    if (tokens_half <= 0.0) return 1.0;
+    const double tokens = B * seq;
+    return tokens / (tokens + tokens_half);
+  }
+
+  /// Whether linear worker ranks a and b share a node.
+  bool same_node(int a, int b) const {
+    return node_size > 0 && a / node_size == b / node_size;
+  }
+
+  /// Piz Daint: Cray XC50, one P100 (16 GB) per node, Aries interconnect,
+  /// GLOO (TCP) backend as in the paper.
+  static MachineSpec piz_daint();
+  /// 4×8 V100 (32 GB) cluster with NVLink intra-node and Infiniband
+  /// inter-node.
+  static MachineSpec v100_cluster();
+
+  /// α–β cost of one point-to-point message of `bytes`.
+  double p2p_seconds(double bytes) const { return alpha + beta * bytes; }
+
+  /// α–β cost with link selection: intra-node when both ends share a node.
+  double p2p_seconds(double bytes, bool intra_node) const {
+    if (intra_node && node_size > 0) return intra_alpha + intra_beta * bytes;
+    return p2p_seconds(bytes);
+  }
+
+  /// Rabenseifner allreduce over `replicas` participants of `bytes` payload.
+  /// With a hierarchical interconnect the reduction decomposes into an
+  /// intra-node phase on the fast link plus an inter-node phase on the
+  /// fabric (the standard two-level algorithm).
+  double allreduce_seconds(int replicas, double bytes) const {
+    if (replicas <= 1) return 0.0;
+    auto phase = [bytes](double r, double a, double b) {
+      if (r <= 1.0) return 0.0;
+      return 2.0 * std::log2(r) * a + 2.0 * ((r - 1.0) / r) * b * bytes;
+    };
+    if (node_size <= 1 || replicas <= node_size)
+      return phase(replicas, ar_alpha, ar_beta);
+    const double intra = static_cast<double>(node_size);
+    const double inter =
+        static_cast<double>((replicas + node_size - 1) / node_size);
+    return phase(intra, intra_alpha, intra_beta) +
+           phase(inter, ar_alpha, ar_beta);
+  }
+};
+
+}  // namespace chimera

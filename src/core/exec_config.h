@@ -1,0 +1,45 @@
+// Execution configuration: one point in the (scheme, W, D, B, B̂, f, ...)
+// tuning space the paper's evaluation sweeps (§4.2).
+#pragma once
+
+#include "core/schedule.h"
+#include "core/sync_placement.h"
+#include "support/check.h"
+
+namespace chimera {
+
+enum class Recompute { kAuto, kOff, kOn };
+
+/// A complete description of one training deployment.
+struct ExecConfig {
+  Scheme scheme = Scheme::kChimera;
+  int W = 1;            ///< data-parallel width (replicated pipelines)
+  int D = 4;            ///< pipeline depth (stages)
+  int B = 1;            ///< micro-batch size
+  long minibatch = 0;   ///< B̂ = B·N·W (samples per training iteration)
+  int pipes_f = 1;      ///< Chimera: f down + f up pipelines
+  ScaleMethod scale = ScaleMethod::kDirect;
+  SyncPolicy sync = SyncPolicy::kEagerOpt;
+  Recompute recompute = Recompute::kAuto;
+
+  /// N: micro-batches per worker per iteration.
+  int num_micro() const {
+    CHIMERA_CHECK_MSG(minibatch % (static_cast<long>(W) * B) == 0,
+                      "minibatch " << minibatch << " not divisible by W*B="
+                                   << W * B);
+    return static_cast<int>(minibatch / (static_cast<long>(W) * B));
+  }
+
+  /// Total workers P = W·D.
+  int workers() const { return W * D; }
+
+  ScheduleConfig schedule_config() const {
+    return ScheduleConfig{D, num_micro(), pipes_f, scale};
+  }
+
+  /// Replicas participating in one stage's gradient allreduce:
+  /// data-parallel width × stage replicas within one pipeline group.
+  int allreduce_replicas(int num_pipes) const { return W * num_pipes; }
+};
+
+}  // namespace chimera

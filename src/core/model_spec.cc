@@ -1,0 +1,148 @@
+#include "core/model_spec.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace chimera {
+
+ModelSpec ModelSpec::bert48(int seq) {
+  ModelSpec m;
+  m.name = "Bert-48";
+  m.layers = 48;
+  m.hidden = 1024;
+  m.heads = 16;
+  m.vocab = 30522;
+  m.max_pos = 512;
+  m.type_vocab = 2;
+  m.seq = seq;
+  m.tied_head = false;  // untied MLM decoder (matches the 669,790,012 count)
+  m.bert_heads = true;
+  return m;
+}
+
+ModelSpec ModelSpec::gpt2_64(int seq) {
+  ModelSpec m;
+  m.name = "GPT-2";
+  m.layers = 64;
+  m.hidden = 1280;
+  m.heads = 20;
+  m.vocab = 50257;
+  m.max_pos = 1024;
+  m.type_vocab = 0;
+  m.seq = seq;
+  m.tied_head = false;  // untied LM head (matches the 1,389,327,360 count)
+  m.bert_heads = false;
+  return m;
+}
+
+ModelSpec ModelSpec::gpt2_32(int seq) {
+  ModelSpec m = gpt2_64(seq);
+  m.name = "GPT-2-32L";
+  m.layers = 32;
+  return m;
+}
+
+std::int64_t ModelSpec::embedding_params() const {
+  const std::int64_t h = hidden;
+  std::int64_t p = static_cast<std::int64_t>(vocab) * h +
+                   static_cast<std::int64_t>(max_pos) * h +
+                   static_cast<std::int64_t>(type_vocab) * h;
+  if (bert_heads) p += 2 * h;  // BERT embedding LayerNorm
+  return p;
+}
+
+std::int64_t ModelSpec::per_layer_params() const {
+  const std::int64_t h = hidden;
+  // QKV (3h²+3h) + attention projection (h²+h) + MLP (8h²+5h) + 2 LayerNorms
+  // (4h) = 12h² + 13h.
+  return 12 * h * h + 13 * h;
+}
+
+std::int64_t ModelSpec::head_params() const {
+  const std::int64_t h = hidden;
+  std::int64_t p = 0;
+  if (bert_heads) {
+    p += h * h + h;           // pooler
+    p += h * h + h + 2 * h;   // MLM transform dense + LayerNorm
+    p += 2 * h + 2;           // NSP classifier
+    p += vocab;               // MLM decoder bias
+    if (!tied_head) p += static_cast<std::int64_t>(vocab) * h;  // decoder
+  } else {
+    p += 2 * h;               // final LayerNorm
+    if (!tied_head) p += static_cast<std::int64_t>(vocab) * h;  // LM head
+  }
+  return p;
+}
+
+std::int64_t ModelSpec::total_params() const {
+  return embedding_params() + layers * per_layer_params() + head_params();
+}
+
+double ModelSpec::layer_fwd_flops(int B) const {
+  const double h = hidden;
+  const double s = seq;
+  return 24.0 * B * s * h * h + 4.0 * B * s * s * h;
+}
+
+double ModelSpec::head_fwd_flops(int B) const {
+  return 2.0 * B * static_cast<double>(seq) * hidden * vocab;
+}
+
+double ModelSpec::layer_activation_bytes(int B) const {
+  // Stashed fp32 elements per layer ≈ s·B·(18h + 2.5·a·s): the inputs of
+  // QKV/proj/MLP GEMMs, attention score and probability matrices, GELU
+  // inputs and LayerNorm statistics.
+  const double s = seq;
+  return 4.0 * s * B * (18.0 * hidden + 2.5 * heads * s);
+}
+
+double ModelSpec::boundary_bytes(int B) const {
+  return 4.0 * static_cast<double>(B) * seq * hidden;
+}
+
+StagePartition::StagePartition(const ModelSpec& model, int depth)
+    : model_(model), depth_(depth) {
+  CHIMERA_CHECK_MSG(depth >= 1 && depth <= model.layers,
+                    "cannot split " << model.layers << " layers into " << depth
+                                    << " stages");
+}
+
+int StagePartition::layers_in_stage(int stage) const {
+  const int base = model_.layers / depth_;
+  const int extra = model_.layers % depth_;
+  return base + (stage < extra ? 1 : 0);
+}
+
+std::int64_t StagePartition::stage_params(int stage) const {
+  std::int64_t p = layers_in_stage(stage) * model_.per_layer_params();
+  if (stage == 0) p += model_.embedding_params();
+  if (stage == depth_ - 1) p += model_.head_params();
+  return p;
+}
+
+double StagePartition::stage_fwd_flops(int stage, int B) const {
+  // The paper assumes balanced stages (§3.1); embedding/head compute is
+  // excluded from the pipeline clock, matching that assumption. Use
+  // ModelSpec::head_fwd_flops separately if the imbalanced case is needed.
+  return layers_in_stage(stage) * model_.layer_fwd_flops(B);
+}
+
+double StagePartition::stage_activation_bytes(int stage, int B) const {
+  return layers_in_stage(stage) * model_.layer_activation_bytes(B);
+}
+
+double StagePartition::max_stage_fwd_flops(int B) const {
+  double m = 0.0;
+  for (int st = 0; st < depth_; ++st)
+    m = std::max(m, stage_fwd_flops(st, B));
+  return m;
+}
+
+std::int64_t StagePartition::max_stage_params() const {
+  std::int64_t m = 0;
+  for (int st = 0; st < depth_; ++st) m = std::max(m, stage_params(st));
+  return m;
+}
+
+}  // namespace chimera

@@ -1,0 +1,79 @@
+// Transformer model specifications: exact parameter counting, FLOP model,
+// activation-footprint model and the layer-wise stage partition used by all
+// pipeline schemes (paper Table 4 and §4).
+//
+// The two evaluation models reproduce the paper's parameter counts exactly:
+//   Bert-48 (L=48, h=1024) ................ 669,790,012 parameters
+//   GPT-2   (L=64, h=1280) .............. 1,389,327,360 parameters
+// (verified by tests/model_spec_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace chimera {
+
+/// Architecture + sequence length of a Transformer language model.
+struct ModelSpec {
+  std::string name;
+  int layers = 0;       ///< number of Transformer blocks
+  int hidden = 0;       ///< hidden size h
+  int heads = 0;        ///< attention heads a
+  int vocab = 0;        ///< vocabulary size V
+  int max_pos = 0;      ///< learned position embeddings
+  int type_vocab = 0;   ///< BERT token-type embeddings (0 for GPT)
+  int seq = 0;          ///< training sequence length s
+  bool tied_head = false;   ///< LM head shares the input embedding
+  bool bert_heads = false;  ///< BERT pooler + MLM transform + NSP classifier
+
+  /// Bert-48 with max sequence length 128 (512 on the V100 cluster).
+  static ModelSpec bert48(int seq = 128);
+  /// The 64-layer, 1.3B-parameter GPT-2 of Table 4 (max seq length 632).
+  static ModelSpec gpt2_64(int seq = 632);
+  /// The 32-layer GPT-2 variant used in Fig. 9 and Fig. 19.
+  static ModelSpec gpt2_32(int seq = 632);
+
+  // ---- parameters -------------------------------------------------------
+  std::int64_t embedding_params() const;
+  std::int64_t per_layer_params() const;  ///< 12h² + 13h
+  std::int64_t head_params() const;       ///< LM head / BERT heads + final LN
+  std::int64_t total_params() const;
+
+  // ---- compute (FLOPs for one micro-batch of size B) --------------------
+  double layer_fwd_flops(int B) const;  ///< 24·B·s·h² + 4·B·s²·h
+  double head_fwd_flops(int B) const;   ///< 2·B·s·h·V
+
+  // ---- memory (bytes, fp32) ---------------------------------------------
+  /// Activations stashed by one layer for one micro-batch during training
+  /// (inputs of every GEMM, attention matrices, GELU inputs, ...).
+  double layer_activation_bytes(int B) const;
+  /// The stage-boundary activation tensor (B·s·h values): the p2p message
+  /// between stages and the only stash kept under activation recomputation.
+  double boundary_bytes(int B) const;
+};
+
+/// Even layer-wise partition into D stages: stage 0 additionally holds the
+/// embeddings, stage D−1 the output head(s) (paper §4.2.3: "evenly
+/// partitioning the basic layers among the workers").
+struct StagePartition {
+  StagePartition(const ModelSpec& model, int depth);
+
+  int depth() const { return depth_; }
+  int layers_in_stage(int stage) const;
+  std::int64_t stage_params(int stage) const;
+  double stage_fwd_flops(int stage, int B) const;
+  /// Activation bytes stashed per in-flight micro-batch on this stage.
+  double stage_activation_bytes(int stage, int B) const;
+  /// Max over stages of forward time-determining FLOPs (the pipeline clock
+  /// is set by the slowest stage).
+  double max_stage_fwd_flops(int B) const;
+  std::int64_t max_stage_params() const;
+
+  const ModelSpec& model() const { return model_; }
+
+ private:
+  ModelSpec model_;
+  int depth_;
+};
+
+}  // namespace chimera

@@ -1,0 +1,62 @@
+#include "core/schedule.h"
+
+#include "core/baseline_schedules.h"
+#include "core/chimera_schedule.h"
+
+namespace chimera {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kChimera: return "Chimera";
+    case Scheme::kGPipe: return "GPipe";
+    case Scheme::kDapple: return "DAPPLE";
+    case Scheme::kGems: return "GEMS";
+    case Scheme::kPipeDream: return "PipeDream";
+    case Scheme::kPipeDream2BW: return "PipeDream-2BW";
+    case Scheme::kOneF1B: return "1F1B";
+  }
+  return "?";
+}
+
+const char* scale_method_name(ScaleMethod m) {
+  switch (m) {
+    case ScaleMethod::kDirect: return "direct";
+    case ScaleMethod::kForwardDoubling: return "forward-doubling";
+    case ScaleMethod::kBackwardHalving: return "backward-halving";
+  }
+  return "?";
+}
+
+std::vector<std::pair<int, int>> PipelineSchedule::hosted_stages(
+    int worker) const {
+  std::vector<std::pair<int, int>> out;
+  for (int p = 0; p < num_pipes; ++p)
+    for (int s = 0; s < depth; ++s)
+      if (stage_worker[p][s] == worker) out.emplace_back(p, s);
+  return out;
+}
+
+PipelineSchedule build_schedule(Scheme scheme, const ScheduleConfig& cfg) {
+  switch (scheme) {
+    case Scheme::kChimera:
+      return build_chimera_schedule(cfg);
+    case Scheme::kGPipe:
+      return build_gpipe_schedule(cfg);
+    case Scheme::kDapple:
+      return build_dapple_schedule(cfg);
+    case Scheme::kOneF1B: {
+      PipelineSchedule s = build_dapple_schedule(cfg);
+      s.scheme = Scheme::kOneF1B;
+      return s;
+    }
+    case Scheme::kGems:
+      return build_gems_schedule(cfg);
+    case Scheme::kPipeDream:
+      return build_pipedream_schedule(cfg);
+    case Scheme::kPipeDream2BW:
+      return build_pipedream_2bw_schedule(cfg);
+  }
+  CHIMERA_CHECK_MSG(false, "unknown scheme");
+}
+
+}  // namespace chimera

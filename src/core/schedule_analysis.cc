@@ -1,0 +1,354 @@
+#include "core/schedule_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chimera {
+
+OpIndex::OpIndex(const PipelineSchedule& s) : sched_(&s) {
+  const std::size_t cells = static_cast<std::size_t>(s.num_pipes) * s.depth *
+                            std::max(1, s.num_micro);
+  fwd_.assign(cells, OpRef{});
+  bwd_.assign(cells * 2, OpRef{});
+  ar_begin_.assign(static_cast<std::size_t>(s.depth) * s.depth, OpRef{});
+  ar_group_.assign(s.depth, {});
+
+  for (int w = 0; w < s.depth; ++w) {
+    for (int i = 0; i < static_cast<int>(s.worker_ops[w].size()); ++i) {
+      const Op& op = s.worker_ops[w][i];
+      const OpRef ref{w, i};
+      switch (op.kind) {
+        case OpKind::kForward:
+          for (int m = op.micro; m < op.micro + op.chunk; ++m) {
+            CHIMERA_CHECK_MSG(!fwd_[flat(op.pipe, op.stage, m)].valid(),
+                              "duplicate forward for micro " << m << " stage "
+                                                             << op.stage);
+            fwd_[flat(op.pipe, op.stage, m)] = ref;
+          }
+          break;
+        case OpKind::kBackward: {
+          auto& slot = bwd_[flat(op.pipe, op.stage, op.micro) * 2 + op.half_index];
+          CHIMERA_CHECK_MSG(!slot.valid(), "duplicate backward for micro "
+                                               << op.micro << " stage "
+                                               << op.stage);
+          slot = ref;
+          break;
+        }
+        case OpKind::kAllReduceBegin:
+          ar_begin_[static_cast<std::size_t>(w) * s.depth + op.stage] = ref;
+          break;
+        case OpKind::kAllReduceWait:
+          break;
+      }
+    }
+  }
+  // Gradient allreduce group of stage s: every worker hosting a replica of s.
+  for (int p = 0; p < s.num_pipes; ++p)
+    for (int st = 0; st < s.depth; ++st) ar_group_[st].push_back(s.stage_worker[p][st]);
+  for (auto& g : ar_group_) {
+    std::sort(g.begin(), g.end());
+    g.erase(std::unique(g.begin(), g.end()), g.end());
+  }
+}
+
+void OpIndex::dependencies(OpRef ref, std::vector<OpRef>& out) const {
+  const PipelineSchedule& s = *sched_;
+  const Op& op = s.op(ref);
+  switch (op.kind) {
+    case OpKind::kForward:
+      if (op.stage > 0) {
+        OpRef last{};
+        for (int m = op.micro; m < op.micro + op.chunk; ++m) {
+          OpRef dep = forward(op.pipe, op.stage - 1, m);
+          CHIMERA_CHECK_MSG(dep.valid(), "missing upstream forward");
+          if (!(dep == last)) out.push_back(dep);
+          last = dep;
+        }
+      }
+      break;
+    case OpKind::kBackward: {
+      if (op.stage + 1 < s.depth) {
+        OpRef dep = backward(op.pipe, op.stage + 1, op.micro, op.half_index);
+        CHIMERA_CHECK_MSG(dep.valid(), "missing downstream backward");
+        out.push_back(dep);
+      } else {
+        OpRef dep = forward(op.pipe, op.stage, op.micro);
+        CHIMERA_CHECK_MSG(dep.valid(), "missing loss-turnaround forward");
+        out.push_back(dep);
+      }
+      // Local activation stash: the forward of this micro-batch on this
+      // stage must have run (always on the same worker).
+      OpRef stash = forward(op.pipe, op.stage, op.micro);
+      CHIMERA_CHECK_MSG(stash.valid() && stash.worker == ref.worker,
+                        "stash forward missing or on wrong worker");
+      out.push_back(stash);
+      break;
+    }
+    case OpKind::kAllReduceBegin:
+      break;
+    case OpKind::kAllReduceWait:
+      for (int w : allreduce_group(op.stage)) {
+        OpRef dep = allreduce_begin(w, op.stage);
+        CHIMERA_CHECK_MSG(dep.valid(),
+                          "AllReduceWait without Begin on worker " << w);
+        out.push_back(dep);
+      }
+      break;
+  }
+}
+
+namespace {
+
+double op_cost(const Op& op, const ReplayCosts& c) {
+  switch (op.kind) {
+    case OpKind::kForward:
+      return c.forward * op.chunk;
+    case OpKind::kBackward: {
+      double t = c.backward / op.half_count;
+      if (c.recompute) t += c.forward / op.half_count;
+      return t;
+    }
+    case OpKind::kAllReduceBegin:
+      return c.begin_cpu_fraction * c.allreduce_cost(op.stage);
+    case OpKind::kAllReduceWait:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+/// Volume factor of a p2p transfer feeding `op` (micro-batches moved).
+double p2p_volume(const Op& op) {
+  if (op.kind == OpKind::kForward) return op.chunk;
+  if (op.kind == OpKind::kBackward) return 1.0 / op.half_count;
+  return 0.0;
+}
+
+}  // namespace
+
+ReplayResult replay(const OpIndex& index, const ReplayCosts& costs) {
+  const PipelineSchedule& s = index.schedule();
+  const int D = s.depth;
+  ReplayResult r;
+  r.times.resize(D);
+  r.busy.assign(D, 0.0);
+  r.bubble.assign(D, 0.0);
+  for (int w = 0; w < D; ++w) r.times[w].resize(s.worker_ops[w].size());
+
+  std::vector<int> next(D, 0);       // next op index per worker
+  std::vector<double> free_at(D, 0.0);
+  std::vector<OpRef> deps;
+  // Completion time of the gradient allreduce per stage, filled lazily when
+  // the wait op of the first group member executes.
+  std::vector<double> ar_done(D, -1.0);
+
+  std::size_t remaining = s.total_ops();
+  while (remaining > 0) {
+    bool progress = false;
+    for (int w = 0; w < D; ++w) {
+      // Drain every currently-ready op of this worker before moving on; this
+      // keeps the scan count proportional to the makespan, not to op count.
+      while (next[w] < static_cast<int>(s.worker_ops[w].size())) {
+        const OpRef ref{w, next[w]};
+        const Op& op = s.worker_ops[w][next[w]];
+        deps.clear();
+        index.dependencies(ref, deps);
+        double ready = free_at[w];
+        bool ok = true;
+        for (const OpRef& d : deps) {
+          if (d.worker == w) {
+            if (d.index >= next[w]) { ok = false; break; }
+            ready = std::max(ready, r.times[d.worker][d.index].end);
+          } else {
+            if (d.index >= next[d.worker]) { ok = false; break; }
+            ready = std::max(ready, r.times[d.worker][d.index].end +
+                                        costs.p2p * p2p_volume(op));
+          }
+        }
+        if (!ok) break;
+        if (op.kind == OpKind::kAllReduceWait) {
+          if (ar_done[op.stage] < 0.0) {
+            double launch = 0.0;
+            for (int g : index.allreduce_group(op.stage)) {
+              OpRef b = index.allreduce_begin(g, op.stage);
+              launch = std::max(launch, r.times[b.worker][b.index].end);
+            }
+            ar_done[op.stage] = launch + costs.allreduce_cost(op.stage);
+          }
+          ready = std::max(ready, ar_done[op.stage]);
+        }
+        const double dur = op_cost(op, costs);
+        r.times[w][next[w]] = OpTiming{ready, ready + dur};
+        free_at[w] = ready + dur;
+        if (op.is_compute()) {
+          r.busy[w] += dur;
+          r.compute_makespan = std::max(r.compute_makespan, ready + dur);
+        }
+        r.makespan = std::max(r.makespan, ready + dur);
+        ++next[w];
+        --remaining;
+        progress = true;
+      }
+    }
+    CHIMERA_CHECK_MSG(progress, "schedule deadlocked: circular wait between "
+                                "worker order and data dependencies");
+  }
+  for (int w = 0; w < D; ++w) r.bubble[w] = r.compute_makespan - r.busy[w];
+  return r;
+}
+
+ReplayResult replay(const PipelineSchedule& s, const ReplayCosts& costs) {
+  return replay(OpIndex(s), costs);
+}
+
+double ReplayResult::bubble_ratio() const {
+  if (compute_makespan <= 0.0 || bubble.empty()) return 0.0;
+  double total = 0.0;
+  for (double b : bubble) total += b;
+  return total / (compute_makespan * static_cast<double>(bubble.size()));
+}
+
+std::vector<int> max_inflight_micros(const PipelineSchedule& s) {
+  std::vector<int> high(s.depth, 0);
+  for (int w = 0; w < s.depth; ++w) {
+    int live = 0;
+    for (const Op& op : s.worker_ops[w]) {
+      if (op.kind == OpKind::kForward) {
+        live += op.chunk;
+        high[w] = std::max(high[w], live);
+      } else if (op.kind == OpKind::kBackward && op.half_index + 1 == op.half_count) {
+        --live;
+      }
+    }
+    CHIMERA_CHECK_MSG(live == 0, "worker " << w << " ends iteration with "
+                                           << live << " live stashes");
+  }
+  return high;
+}
+
+std::vector<int> hosted_replica_count(const PipelineSchedule& s) {
+  std::vector<int> count(s.depth, 0);
+  for (int p = 0; p < s.num_pipes; ++p)
+    for (int st = 0; st < s.depth; ++st) ++count[s.stage_worker[p][st]];
+  return count;
+}
+
+double bubble_ratio_formula(Scheme scheme, int D, int N, int f) {
+  switch (scheme) {
+    case Scheme::kChimera:
+      return static_cast<double>(D - 2 * f) / (2.0 * f * N + D - 2 * f);
+    case Scheme::kGPipe:
+    case Scheme::kDapple:
+    case Scheme::kOneF1B:
+      return static_cast<double>(D - 1) / (N + D - 1);
+    case Scheme::kGems:
+      return static_cast<double>(D - 1) / (D + 0.5);
+    case Scheme::kPipeDream:
+    case Scheme::kPipeDream2BW:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+std::pair<double, double> weights_memory_formula(Scheme scheme, int D, int N,
+                                                 int f) {
+  switch (scheme) {
+    case Scheme::kChimera:
+      return {2.0 * f, 2.0 * f};
+    case Scheme::kGems:
+    case Scheme::kPipeDream2BW:
+      return {2.0, 2.0};
+    case Scheme::kGPipe:
+    case Scheme::kDapple:
+    case Scheme::kOneF1B:
+      return {1.0, 1.0};
+    case Scheme::kPipeDream:
+      // Stage s stashes one weight version per in-flight micro-batch.
+      return {std::min(N, 1) * 1.0, static_cast<double>(std::min(N, D))};
+  }
+  return {1.0, 1.0};
+}
+
+std::pair<double, double> activations_memory_formula(Scheme scheme, int D,
+                                                     int N, int f) {
+  switch (scheme) {
+    case Scheme::kChimera: {
+      // Table 3: [(D − D/2f + 1)·Ma, D·Ma] for N ≥ D; fewer micro-batches
+      // cap both ends at N.
+      const double lo = std::min<double>(N, D - D / (2 * f) + 1);
+      const double hi = std::min(N, D);
+      return {lo, hi};
+    }
+    case Scheme::kGPipe:
+      return {static_cast<double>(N), static_cast<double>(N)};
+    case Scheme::kDapple:
+    case Scheme::kOneF1B:
+    case Scheme::kPipeDream:
+    case Scheme::kPipeDream2BW:
+      return {std::min(N, 1) * 1.0, static_cast<double>(std::min(N, D))};
+    case Scheme::kGems:
+      return {1.0, 2.0};  // ≤ two active micro-batches, staggered
+  }
+  return {1.0, 1.0};
+}
+
+void validate(const PipelineSchedule& s) {
+  CHIMERA_CHECK(s.depth >= 1);
+  CHIMERA_CHECK(static_cast<int>(s.worker_ops.size()) == s.depth);
+  CHIMERA_CHECK(static_cast<int>(s.stage_worker.size()) == s.num_pipes);
+  CHIMERA_CHECK(static_cast<int>(s.pipe_of_micro.size()) == s.num_micro);
+
+  // Every pipe maps stages onto workers bijectively.
+  for (int p = 0; p < s.num_pipes; ++p) {
+    std::vector<bool> seen(s.depth, false);
+    for (int st = 0; st < s.depth; ++st) {
+      const int w = s.stage_worker[p][st];
+      CHIMERA_CHECK_MSG(w >= 0 && w < s.depth, "stage mapped off-grid");
+      CHIMERA_CHECK_MSG(!seen[w], "pipe " << p << " maps two stages to worker " << w);
+      seen[w] = true;
+    }
+  }
+
+  // Building the index verifies uniqueness of (pipe, stage, micro[, half]).
+  OpIndex index(s);
+
+  // Completeness: every micro-batch passes every stage once forward and once
+  // backward (with consistent halves), on its assigned pipe.
+  for (int m = 0; m < s.num_micro; ++m) {
+    const int p = s.pipe_of_micro[m];
+    for (int st = 0; st < s.depth; ++st) {
+      CHIMERA_CHECK_MSG(index.forward(p, st, m).valid(),
+                        "micro " << m << " missing forward at stage " << st);
+      const OpRef b0 = index.backward(p, st, m, 0);
+      CHIMERA_CHECK_MSG(b0.valid(),
+                        "micro " << m << " missing backward at stage " << st);
+      const Op& op0 = s.op(b0);
+      if (op0.half_count == 2) {
+        CHIMERA_CHECK_MSG(index.backward(p, st, m, 1).valid(),
+                          "micro " << m << " missing second backward half");
+      } else {
+        CHIMERA_CHECK_MSG(!index.backward(p, st, m, 1).valid(),
+                          "unexpected second backward half");
+      }
+    }
+  }
+
+  // Same-worker dependencies must respect program order, and the whole
+  // schedule must be deadlock-free: the replay checks both.
+  std::vector<OpRef> deps;
+  for (int w = 0; w < s.depth; ++w) {
+    for (int i = 0; i < static_cast<int>(s.worker_ops[w].size()); ++i) {
+      deps.clear();
+      index.dependencies(OpRef{w, i}, deps);
+      for (const OpRef& d : deps) {
+        if (d.worker == w)
+          CHIMERA_CHECK_MSG(d.index < i, "worker " << w << " op " << i
+                                                   << " depends on later op "
+                                                   << d.index);
+      }
+    }
+  }
+  replay(index, ReplayCosts{});      // throws on deadlock
+  max_inflight_micros(s);            // throws on stash leaks
+}
+
+}  // namespace chimera

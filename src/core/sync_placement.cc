@@ -1,0 +1,109 @@
+#include "core/sync_placement.h"
+
+#include <algorithm>
+
+#include "core/schedule_analysis.h"
+
+namespace chimera {
+
+const char* sync_policy_name(SyncPolicy p) {
+  switch (p) {
+    case SyncPolicy::kNone: return "none";
+    case SyncPolicy::kAtEnd: return "at-end";
+    case SyncPolicy::kEager: return "eager-sync";
+    case SyncPolicy::kEagerOpt: return "eager-sync-opt";
+  }
+  return "?";
+}
+
+PipelineSchedule with_gradient_sync(const PipelineSchedule& s,
+                                    SyncPolicy policy) {
+  if (policy == SyncPolicy::kNone || !s.synchronous) return s;
+
+  // Idle-gap analysis of the compute-only schedule under the practical
+  // backward ≈ 2×forward regime, used by kEagerOpt to decide which stages
+  // have a bubble to hide their collective launch in.
+  ReplayResult timing = replay(s, ReplayCosts{});
+
+  PipelineSchedule out = s;
+  for (int w = 0; w < s.depth; ++w) {
+    const auto& ops = s.worker_ops[w];
+    // One sync per distinct hosted stage id. A worker can host the same
+    // stage id through two pipes (GEMS with odd depth); those replicas share
+    // one allreduce. A hosted replica may also have executed *no* backward
+    // (N smaller than the number of pipes leaves some pipes without
+    // micro-batches) — it still must join its stage's allreduce with a zero
+    // contribution, or its weights would diverge from the other replicas.
+    struct Pending {
+      int stage;
+      int pipe;
+      int last_backward;  ///< −1 when this worker computed nothing for it
+      bool eager;
+    };
+    std::vector<Pending> pending;
+    for (auto [pipe, stage] : s.hosted_stages(w)) {
+      auto it = std::find_if(pending.begin(), pending.end(),
+                             [&](const Pending& p) { return p.stage == stage; });
+      if (it == pending.end()) pending.push_back({stage, pipe, -1, false});
+    }
+    for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+      if (ops[i].kind != OpKind::kBackward) continue;
+      auto it = std::find_if(pending.begin(), pending.end(),
+                             [&](const Pending& p) { return p.stage == ops[i].stage; });
+      CHIMERA_CHECK(it != pending.end());
+      it->last_backward = i;
+    }
+    CHIMERA_CHECK(!pending.empty());
+    // Trailing Begins and all Waits are emitted in ascending stage order —
+    // one global order shared by every worker, so ranks that meet in more
+    // than one allreduce group (e.g. Chimera's P0/P3 share stage 0 and
+    // stage D−1) enter the blocking collectives in the same relative order
+    // (the MPI ordering contract of comm::Communicator).
+    std::sort(pending.begin(), pending.end(),
+              [](const Pending& a, const Pending& b) { return a.stage < b.stage; });
+
+    for (auto& p : pending) {
+      if (p.last_backward < 0) continue;  // nothing computed: launch at end
+      switch (policy) {
+        case SyncPolicy::kEager:
+          p.eager = true;
+          break;
+        case SyncPolicy::kEagerOpt: {
+          // Eager iff idle time exists between this stage's last backward
+          // and the end of local compute (paper §3.2).
+          double idle = 0.0;
+          double cursor = timing.times[w][p.last_backward].end;
+          for (int j = p.last_backward + 1;
+               j < static_cast<int>(timing.times[w].size()); ++j) {
+            idle += std::max(0.0, timing.times[w][j].start - cursor);
+            cursor = std::max(cursor, timing.times[w][j].end);
+          }
+          p.eager = idle > 1e-12;
+          break;
+        }
+        default:
+          p.eager = false;
+      }
+    }
+
+    // Rebuild the op list with Begins inserted (eagerly or at the end) and
+    // all Waits at the very end, in stage order.
+    std::vector<Op> rebuilt;
+    rebuilt.reserve(ops.size() + 2 * pending.size());
+    for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+      rebuilt.push_back(ops[i]);
+      for (const auto& p : pending)
+        if (p.eager && p.last_backward == i)
+          rebuilt.push_back(Op{OpKind::kAllReduceBegin, -1, 1, p.stage, p.pipe, 0, 1});
+    }
+    for (const auto& p : pending)
+      if (!p.eager)
+        rebuilt.push_back(Op{OpKind::kAllReduceBegin, -1, 1, p.stage, p.pipe, 0, 1});
+    for (const auto& p : pending)
+      rebuilt.push_back(Op{OpKind::kAllReduceWait, -1, 1, p.stage, p.pipe, 0, 1});
+    out.worker_ops[w] = std::move(rebuilt);
+  }
+  return out;
+}
+
+}  // namespace chimera

@@ -1,0 +1,31 @@
+// Gradient-synchronization placement (paper §3.2, Fig. 4).
+//
+// Synchronous schemes must allreduce weight gradients across stage replicas
+// before the optimizer step. This pass inserts AllReduceBegin/AllReduceWait
+// ops into a compute-only schedule according to one of three policies:
+//
+//   kAtEnd:    launch all allreduces after local compute finishes (Fig. 4a).
+//   kEager:    launch each stage's allreduce right after the last local
+//              backward contributing to it (Fig. 4b), for every stage.
+//   kEagerOpt: like kEager, but only for stages whose gradients finish
+//              before the worker's last compute with idle time in between —
+//              middle stages keep the at-end launch because an eager
+//              nonblocking collective there would only add progression
+//              overhead to the critical path (the paper's recommendation).
+#pragma once
+
+#include "core/schedule.h"
+
+namespace chimera {
+
+enum class SyncPolicy { kNone, kAtEnd, kEager, kEagerOpt };
+
+const char* sync_policy_name(SyncPolicy p);
+
+/// Returns a copy of `s` with gradient-sync ops inserted. Asynchronous
+/// schedules (PipeDream, PipeDream-2BW) are returned unchanged: their
+/// synchronization semantics are per-micro-batch/per-accumulation and are
+/// handled by the executors directly.
+PipelineSchedule with_gradient_sync(const PipelineSchedule& s, SyncPolicy policy);
+
+}  // namespace chimera

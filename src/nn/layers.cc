@@ -1,0 +1,216 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace chimera::nn {
+
+// ---------------------------------------------------------------- Linear --
+
+Linear::Linear(std::string name, int in, int out, Rng& rng, float init_scale)
+    : w_(name + ".w", in, out), b_(name + ".b", 1, out) {
+  w_.value.randn(rng, init_scale);
+  b_.value.zero();
+}
+
+Tensor Linear::forward(const Tensor& x, Ctx& ctx) const {
+  ctx.x = x;
+  Tensor y(x.rows(), w_.value.cols());
+  gemm(x, w_.value, y);
+  add_bias(y, b_.value);
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& dy, const Ctx& ctx) {
+  gemm_tn(ctx.x, dy, w_.grad, /*accumulate=*/true);  // dW += Xᵀ·dY
+  bias_backward(dy, b_.grad);
+  Tensor dx(ctx.x.rows(), ctx.x.cols());
+  gemm_nt(dy, w_.value, dx);  // dX = dY·Wᵀ
+  return dx;
+}
+
+// ------------------------------------------------------------- LayerNorm --
+
+LayerNorm::LayerNorm(std::string name, int hidden)
+    : gamma_(name + ".gamma", 1, hidden), beta_(name + ".beta", 1, hidden) {
+  gamma_.value.fill(1.0f);
+  beta_.value.zero();
+}
+
+Tensor LayerNorm::forward(const Tensor& x, Ctx& ctx) const {
+  ctx.x = x;
+  ctx.mean = Tensor(x.rows(), 1);
+  ctx.rstd = Tensor(x.rows(), 1);
+  Tensor y(x.rows(), x.cols());
+  layernorm_forward(x, gamma_.value, beta_.value, y, ctx.mean, ctx.rstd);
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& dy, const Ctx& ctx) {
+  Tensor dx(ctx.x.rows(), ctx.x.cols());
+  layernorm_backward(ctx.x, gamma_.value, ctx.mean, ctx.rstd, dy, dx,
+                     gamma_.grad, beta_.grad);
+  return dx;
+}
+
+// ------------------------------------------------- MultiHeadAttention ----
+
+MultiHeadAttention::MultiHeadAttention(std::string name, int hidden, int heads,
+                                       int seq, bool causal, Rng& rng)
+    : hidden_(hidden),
+      heads_(heads),
+      seq_(seq),
+      dk_(hidden / heads),
+      causal_(causal),
+      qkv_(name + ".qkv", hidden, 3 * hidden, rng,
+           0.02f),
+      proj_(name + ".proj", hidden, hidden, rng, 0.02f) {
+  CHIMERA_CHECK_MSG(hidden % heads == 0, "heads must divide hidden size");
+}
+
+namespace {
+
+/// Copies head `h` of tensor region `which` (0=Q,1=K,2=V) for batch item `b`
+/// out of the fused [B·s, 3h] qkv activation into a contiguous [s, dk]
+/// matrix.
+void gather_head(const Tensor& qkv, int b, int which, int h, int seq, int dk,
+                 int hidden, Tensor& out) {
+  for (int t = 0; t < seq; ++t) {
+    const float* src = qkv.data() +
+                       static_cast<std::size_t>(b * seq + t) * 3 * hidden +
+                       which * hidden + h * dk;
+    float* dst = out.data() + static_cast<std::size_t>(t) * dk;
+    std::copy(src, src + dk, dst);
+  }
+}
+
+void scatter_head_add(Tensor& dqkv, int b, int which, int h, int seq, int dk,
+                      int hidden, const Tensor& grad) {
+  for (int t = 0; t < seq; ++t) {
+    float* dst = dqkv.data() +
+                 static_cast<std::size_t>(b * seq + t) * 3 * hidden +
+                 which * hidden + h * dk;
+    const float* src = grad.data() + static_cast<std::size_t>(t) * dk;
+    for (int i = 0; i < dk; ++i) dst[i] += src[i];
+  }
+}
+
+}  // namespace
+
+Tensor MultiHeadAttention::forward(const Tensor& x, Ctx& ctx) const {
+  const int rows = x.rows();
+  CHIMERA_CHECK_MSG(rows % seq_ == 0, "rows must be a multiple of seq");
+  const int batch = rows / seq_;
+  ctx.batch = batch;
+  ctx.qkv = qkv_.forward(x, ctx.qkv_ctx);
+  ctx.probs.assign(static_cast<std::size_t>(batch) * heads_, Tensor());
+
+  Tensor merged(rows, hidden_);
+  merged.zero();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
+  Tensor q(seq_, dk_), k(seq_, dk_), v(seq_, dk_);
+  Tensor scores(seq_, seq_), probs(seq_, seq_), context(seq_, dk_);
+  for (int b = 0; b < batch; ++b) {
+    for (int h = 0; h < heads_; ++h) {
+      gather_head(ctx.qkv, b, 0, h, seq_, dk_, hidden_, q);
+      gather_head(ctx.qkv, b, 1, h, seq_, dk_, hidden_, k);
+      gather_head(ctx.qkv, b, 2, h, seq_, dk_, hidden_, v);
+      gemm_nt(q, k, scores);  // [s, s]
+      scores.scale(scale);
+      if (causal_) {
+        for (int i = 0; i < seq_; ++i)
+          for (int j = i + 1; j < seq_; ++j) scores.at(i, j) = -1e9f;
+      }
+      softmax_rows(scores, probs);
+      ctx.probs[static_cast<std::size_t>(b) * heads_ + h] = probs;
+      gemm(probs, v, context);
+      for (int t = 0; t < seq_; ++t)
+        for (int i = 0; i < dk_; ++i)
+          merged.at(b * seq_ + t, h * dk_ + i) = context.at(t, i);
+    }
+  }
+  return proj_.forward(merged, ctx.proj_ctx);
+}
+
+Tensor MultiHeadAttention::backward(const Tensor& dy, const Ctx& ctx) {
+  const int batch = ctx.batch;
+  Tensor dmerged = proj_.backward(dy, ctx.proj_ctx);
+
+  Tensor dqkv(ctx.qkv.rows(), ctx.qkv.cols());
+  dqkv.zero();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
+  Tensor q(seq_, dk_), k(seq_, dk_), v(seq_, dk_);
+  Tensor dctx(seq_, dk_), dprobs(seq_, seq_), dscores(seq_, seq_);
+  Tensor dq(seq_, dk_), dk_grad(seq_, dk_), dv(seq_, dk_);
+  for (int b = 0; b < batch; ++b) {
+    for (int h = 0; h < heads_; ++h) {
+      gather_head(ctx.qkv, b, 0, h, seq_, dk_, hidden_, q);
+      gather_head(ctx.qkv, b, 1, h, seq_, dk_, hidden_, k);
+      gather_head(ctx.qkv, b, 2, h, seq_, dk_, hidden_, v);
+      const Tensor& probs = ctx.probs[static_cast<std::size_t>(b) * heads_ + h];
+      for (int t = 0; t < seq_; ++t)
+        for (int i = 0; i < dk_; ++i)
+          dctx.at(t, i) = dmerged.at(b * seq_ + t, h * dk_ + i);
+      gemm_nt(dctx, v, dprobs);   // dP = dC·Vᵀ
+      gemm_tn(probs, dctx, dv);   // dV = Pᵀ·dC
+      // Softmax backward: ds = P ⊙ (dP − rowsum(dP ⊙ P)).
+      for (int i = 0; i < seq_; ++i) {
+        float dot = 0.0f;
+        for (int j = 0; j < seq_; ++j) dot += dprobs.at(i, j) * probs.at(i, j);
+        for (int j = 0; j < seq_; ++j)
+          dscores.at(i, j) = probs.at(i, j) * (dprobs.at(i, j) - dot);
+      }
+      dscores.scale(scale);
+      gemm(dscores, k, dq);        // dQ = dS·K
+      gemm_tn(dscores, q, dk_grad);  // dK = dSᵀ·Q
+      scatter_head_add(dqkv, b, 0, h, seq_, dk_, hidden_, dq);
+      scatter_head_add(dqkv, b, 1, h, seq_, dk_, hidden_, dk_grad);
+      scatter_head_add(dqkv, b, 2, h, seq_, dk_, hidden_, dv);
+    }
+  }
+  return qkv_.backward(dqkv, ctx.qkv_ctx);
+}
+
+// ---------------------------------------------------- TransformerBlock ---
+
+TransformerBlock::TransformerBlock(std::string name, int hidden, int heads,
+                                   int seq, bool causal, Rng& rng)
+    : ln1_(name + ".ln1", hidden),
+      attn_(name + ".attn", hidden, heads, seq, causal, rng),
+      ln2_(name + ".ln2", hidden),
+      fc_(name + ".fc", hidden, 4 * hidden, rng, 0.02f),
+      proj_(name + ".mlp_proj", 4 * hidden, hidden, rng, 0.02f) {}
+
+Tensor TransformerBlock::forward(const Tensor& x, Ctx& ctx) const {
+  Tensor a = attn_.forward(ln1_.forward(x, ctx.ln1), ctx.attn);
+  a.add(x);  // residual 1
+  Tensor h = fc_.forward(ln2_.forward(a, ctx.ln2), ctx.fc_ctx);
+  ctx.gelu_in = h;
+  Tensor g(h.rows(), h.cols());
+  gelu_forward(h, g);
+  Tensor y = proj_.forward(g, ctx.proj_ctx);
+  y.add(a);  // residual 2
+  return y;
+}
+
+Tensor TransformerBlock::backward(const Tensor& dy, const Ctx& ctx) {
+  // MLP branch.
+  Tensor dg = proj_.backward(dy, ctx.proj_ctx);
+  Tensor dh(dg.rows(), dg.cols());
+  gelu_backward(ctx.gelu_in, dg, dh);
+  Tensor da = ln2_.backward(fc_.backward(dh, ctx.fc_ctx), ctx.ln2);
+  da.add(dy);  // residual 2
+  // Attention branch.
+  Tensor dx = ln1_.backward(attn_.backward(da, ctx.attn), ctx.ln1);
+  dx.add(da);  // residual 1
+  return dx;
+}
+
+void TransformerBlock::collect(std::vector<Param*>& out) {
+  ln1_.collect(out);
+  attn_.collect(out);
+  ln2_.collect(out);
+  fc_.collect(out);
+  proj_.collect(out);
+}
+
+}  // namespace chimera::nn

@@ -1,0 +1,127 @@
+// Neural-network layers with hand-written backward passes.
+//
+// Each layer owns its parameters and gradients and exposes
+// forward(x, ctx) / backward(dy, ctx) where ctx carries the per-micro-batch
+// activation stash. Keeping the stash external to the layer is what lets the
+// pipeline runtime hold many micro-batches in flight (1F1B, Chimera) and
+// drop/recompute stashes per the schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+
+namespace chimera::nn {
+
+/// One learnable tensor with its gradient accumulator.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param(std::string n, int rows, int cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+};
+
+/// Y = X·W + b.
+class Linear {
+ public:
+  Linear(std::string name, int in, int out, Rng& rng, float init_scale);
+
+  struct Ctx {
+    Tensor x;  ///< saved input
+  };
+
+  Tensor forward(const Tensor& x, Ctx& ctx) const;
+  Tensor backward(const Tensor& dy, const Ctx& ctx);
+
+  void collect(std::vector<Param*>& out) {
+    out.push_back(&w_);
+    out.push_back(&b_);
+  }
+  const Param& weight() const { return w_; }
+
+ private:
+  Param w_;
+  Param b_;
+};
+
+/// Row-wise LayerNorm with affine parameters.
+class LayerNorm {
+ public:
+  explicit LayerNorm(std::string name, int hidden);
+
+  struct Ctx {
+    Tensor x, mean, rstd;
+  };
+
+  Tensor forward(const Tensor& x, Ctx& ctx) const;
+  Tensor backward(const Tensor& dy, const Ctx& ctx);
+
+  void collect(std::vector<Param*>& out) {
+    out.push_back(&gamma_);
+    out.push_back(&beta_);
+  }
+
+ private:
+  Param gamma_;
+  Param beta_;
+};
+
+/// Multi-head self-attention (no dropout; causal masking optional).
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention(std::string name, int hidden, int heads, int seq,
+                     bool causal, Rng& rng);
+
+  struct Ctx {
+    Linear::Ctx qkv_ctx, proj_ctx;
+    Tensor qkv;                 ///< [B·s, 3h]
+    std::vector<Tensor> probs;  ///< per (batch, head) softmax matrices [s, s]
+    int batch = 0;
+  };
+
+  Tensor forward(const Tensor& x, Ctx& ctx) const;
+  Tensor backward(const Tensor& dy, const Ctx& ctx);
+
+  void collect(std::vector<Param*>& out) {
+    qkv_.collect(out);
+    proj_.collect(out);
+  }
+
+ private:
+  int hidden_, heads_, seq_, dk_;
+  bool causal_;
+  Linear qkv_;
+  Linear proj_;
+};
+
+/// Pre-LN Transformer block: x + Attn(LN1(x)); then x + MLP(LN2(x)).
+class TransformerBlock {
+ public:
+  TransformerBlock(std::string name, int hidden, int heads, int seq,
+                   bool causal, Rng& rng);
+
+  struct Ctx {
+    LayerNorm::Ctx ln1, ln2;
+    MultiHeadAttention::Ctx attn;
+    Linear::Ctx fc_ctx, proj_ctx;
+    Tensor gelu_in;
+  };
+
+  Tensor forward(const Tensor& x, Ctx& ctx) const;
+  Tensor backward(const Tensor& dy, const Ctx& ctx);
+
+  void collect(std::vector<Param*>& out);
+
+ private:
+  LayerNorm ln1_;
+  MultiHeadAttention attn_;
+  LayerNorm ln2_;
+  Linear fc_;    // h -> 4h
+  Linear proj_;  // 4h -> h
+};
+
+}  // namespace chimera::nn

@@ -1,0 +1,166 @@
+#include "nn/stage.h"
+
+namespace chimera::nn {
+
+MicroBatch MicroBatch::slice(int first, int count) const {
+  MicroBatch out;
+  out.batch = count;
+  out.seq = seq;
+  out.tokens.assign(tokens.begin() + static_cast<std::size_t>(first) * seq,
+                    tokens.begin() + static_cast<std::size_t>(first + count) * seq);
+  out.targets.assign(targets.begin() + static_cast<std::size_t>(first) * seq,
+                     targets.begin() + static_cast<std::size_t>(first + count) * seq);
+  return out;
+}
+
+StageModule::StageModule(const SmallModelConfig& cfg, int stage, int depth)
+    : cfg_(cfg), stage_(stage), depth_(depth) {
+  CHIMERA_CHECK(stage >= 0 && stage < depth);
+  // Seeding depends only on (model seed, stage): every data-parallel /
+  // bidirectional replica of a stage starts from identical weights, as a
+  // real deployment would after broadcasting the initial model.
+  Rng base(cfg.seed);
+  Rng rng = base.split(static_cast<std::uint64_t>(stage) + 1);
+
+  if (is_first()) {
+    wte_ = std::make_unique<Param>("wte", cfg.vocab, cfg.hidden);
+    wpe_ = std::make_unique<Param>("wpe", cfg.seq, cfg.hidden);
+    wte_->value.randn(rng, 0.02f);
+    wpe_->value.randn(rng, 0.01f);
+  }
+  int first_layer = 0;
+  for (int s = 0; s < stage; ++s) first_layer += cfg.layers_in_stage(s, depth);
+  const int count = cfg.layers_in_stage(stage, depth);
+  for (int l = 0; l < count; ++l) {
+    Rng lrng = base.split(1000 + first_layer + l);
+    blocks_.push_back(std::make_unique<TransformerBlock>(
+        "block" + std::to_string(first_layer + l), cfg.hidden, cfg.heads,
+        cfg.seq, cfg.causal, lrng));
+  }
+  if (is_last()) {
+    Rng hrng = base.split(999983);
+    final_ln_ = std::make_unique<LayerNorm>("final_ln", cfg.hidden);
+    head_ = std::make_unique<Linear>("head", cfg.hidden, cfg.vocab, hrng, 0.02f);
+  }
+}
+
+Tensor StageModule::run_forward(const MicroBatch& mb, const Tensor& input,
+                                Stash& st) const {
+  Tensor x;
+  if (is_first()) {
+    const int rows = mb.batch * mb.seq;
+    x = Tensor(rows, cfg_.hidden);
+    for (int r = 0; r < rows; ++r) {
+      const int tok = mb.tokens[r];
+      const int pos = r % mb.seq;
+      CHIMERA_CHECK(tok >= 0 && tok < cfg_.vocab);
+      for (int c = 0; c < cfg_.hidden; ++c)
+        x.at(r, c) = wte_->value.at(tok, c) + wpe_->value.at(pos, c);
+    }
+  } else {
+    x = input;
+  }
+  st.blocks.resize(blocks_.size());
+  for (std::size_t l = 0; l < blocks_.size(); ++l)
+    x = blocks_[l]->forward(x, st.blocks[l]);
+  // The last stage consumes x locally in backward (head + loss); stash it.
+  if (is_last()) st.head_input = x;
+  return x;
+}
+
+Tensor StageModule::forward(const MicroBatch& mb, const Tensor& input, long key) {
+  CHIMERA_CHECK_MSG(stash_.find(key) == stash_.end(),
+                    "duplicate forward stash key " << key);
+  Stash& st = stash_[key];
+  if (!is_first()) st.input = input;
+  if (recompute_) {
+    // Only the boundary input is kept; rebuild everything in backward.
+    Stash scratch;
+    scratch.input = st.input;
+    return run_forward(mb, input, scratch);
+  }
+  return run_forward(mb, input, st);
+}
+
+Tensor StageModule::backward(const MicroBatch& mb, const Tensor& grad_out,
+                             long key, float loss_scale) {
+  auto it = stash_.find(key);
+  CHIMERA_CHECK_MSG(it != stash_.end(), "missing stash for key " << key);
+  Stash st = std::move(it->second);
+  stash_.erase(it);
+  if (recompute_) {
+    Stash rebuilt;
+    rebuilt.input = st.input;
+    Tensor out = run_forward(mb, st.input, rebuilt);
+    (void)out;
+    st = std::move(rebuilt);
+  }
+
+  Tensor dy;
+  if (is_last()) {
+    // Logits are produced here rather than in forward: they are the largest
+    // tensor in the stage and are only needed for the loss gradient.
+    LayerNorm::Ctx ln_ctx;
+    Tensor normed = final_ln_->forward(st.head_input, ln_ctx);
+    Linear::Ctx head_ctx;
+    Tensor logits = head_->forward(normed, head_ctx);
+    Tensor dlogits(logits.rows(), logits.cols());
+    last_loss_ = cross_entropy(logits, mb.targets, dlogits, loss_scale);
+    Tensor dnormed = head_->backward(dlogits, head_ctx);
+    dy = final_ln_->backward(dnormed, ln_ctx);
+  } else {
+    dy = grad_out;
+  }
+
+  for (int l = static_cast<int>(blocks_.size()) - 1; l >= 0; --l)
+    dy = blocks_[l]->backward(dy, st.blocks[l]);
+
+  if (is_first()) {
+    // Scatter into embedding gradients.
+    const int rows = mb.batch * mb.seq;
+    for (int r = 0; r < rows; ++r) {
+      const int tok = mb.tokens[r];
+      const int pos = r % mb.seq;
+      for (int c = 0; c < cfg_.hidden; ++c) {
+        wte_->grad.at(tok, c) += dy.at(r, c);
+        wpe_->grad.at(pos, c) += dy.at(r, c);
+      }
+    }
+    return Tensor();
+  }
+  return dy;
+}
+
+std::vector<Param*> StageModule::params() {
+  std::vector<Param*> out;
+  if (wte_) out.push_back(wte_.get());
+  if (wpe_) out.push_back(wpe_.get());
+  for (auto& b : blocks_) b->collect(out);
+  if (final_ln_) final_ln_->collect(out);
+  if (head_) head_->collect(out);
+  return out;
+}
+
+void StageModule::zero_grads() {
+  for (Param* p : params()) p->grad.zero();
+}
+
+std::vector<float> StageModule::save_weights() const {
+  std::vector<float> flat;
+  for (const Param* p : const_cast<StageModule*>(this)->params())
+    flat.insert(flat.end(), p->value.data(), p->value.data() + p->value.numel());
+  return flat;
+}
+
+void StageModule::load_weights(const std::vector<float>& flat) {
+  std::size_t off = 0;
+  for (Param* p : params()) {
+    CHIMERA_CHECK(off + p->value.numel() <= flat.size());
+    std::copy(flat.begin() + off, flat.begin() + off + p->value.numel(),
+              p->value.data());
+    off += p->value.numel();
+  }
+  CHIMERA_CHECK(off == flat.size());
+}
+
+}  // namespace chimera::nn

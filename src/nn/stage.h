@@ -1,0 +1,109 @@
+// A pipeline stage of a GPT-style language model: the unit the runtime
+// schedules. Stage 0 additionally owns the token/position embeddings, the
+// last stage the final LayerNorm, LM head and loss — mirroring the partition
+// of core/model_spec.
+//
+// Activation stashes are keyed by the caller (micro-batch id, or half id for
+// backward halving), so any number of micro-batches can be in flight —
+// exactly what 1F1B/Chimera schedules require. Weight save/load supports
+// PipeDream's weight stashing and PipeDream-2BW's double buffering.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace chimera::nn {
+
+/// Scaled-down GPT architecture for functional (CPU) training.
+struct SmallModelConfig {
+  int vocab = 97;
+  int hidden = 48;
+  int heads = 4;
+  int layers = 8;
+  int seq = 16;
+  bool causal = true;
+  std::uint64_t seed = 1234;
+
+  int layers_in_stage(int stage, int depth) const {
+    return layers / depth + (stage < layers % depth ? 1 : 0);
+  }
+};
+
+/// One micro-batch of token ids with next-token targets.
+struct MicroBatch {
+  int batch = 0;
+  int seq = 0;
+  std::vector<int> tokens;   ///< batch·seq ids
+  std::vector<int> targets;  ///< batch·seq ids
+
+  /// Rows [first, first+count) of the batch dimension (backward halving /
+  /// chunked forwards split micro-batches by batch items).
+  MicroBatch slice(int first, int count) const;
+};
+
+class StageModule {
+ public:
+  StageModule(const SmallModelConfig& cfg, int stage, int depth);
+
+  bool is_first() const { return stage_ == 0; }
+  bool is_last() const { return stage_ == depth_ - 1; }
+  int stage() const { return stage_; }
+
+  /// Runs the stage forward for one micro-batch. `input` is the previous
+  /// stage's output activation (ignored on stage 0, which embeds
+  /// `mb.tokens`). The activation stash is retained under `key` until the
+  /// matching backward. Returns the boundary activation to send downstream
+  /// (the last stage returns the pre-head hidden states; they are consumed
+  /// locally by backward).
+  Tensor forward(const MicroBatch& mb, const Tensor& input, long key);
+
+  /// Runs the stage backward for one micro-batch, consuming stash `key`.
+  /// On the last stage `grad_out` is ignored: the gradient originates from
+  /// the cross-entropy loss, scaled by `loss_scale`. Returns the gradient
+  /// w.r.t. the stage input (empty on stage 0).
+  Tensor backward(const MicroBatch& mb, const Tensor& grad_out, long key,
+                  float loss_scale);
+
+  /// Loss of the most recent last-stage backward (mean over the micro-batch,
+  /// unscaled).
+  double last_loss() const { return last_loss_; }
+
+  std::vector<Param*> params();
+  void zero_grads();
+  std::size_t stash_count() const { return stash_.size(); }
+
+  /// Activation recomputation: stash only the boundary input; rebuild the
+  /// full stash by re-running forward inside backward.
+  void set_recompute(bool on) { recompute_ = on; }
+
+  /// Flat weight snapshot / restore (PipeDream weight stashing).
+  std::vector<float> save_weights() const;
+  void load_weights(const std::vector<float>& flat);
+
+ private:
+  struct Stash {
+    Tensor input;       ///< boundary input (empty on stage 0)
+    std::vector<TransformerBlock::Ctx> blocks;
+    Tensor head_input;  ///< last stage: output of the final block
+  };
+
+  Tensor run_forward(const MicroBatch& mb, const Tensor& input, Stash& st) const;
+
+  SmallModelConfig cfg_;
+  int stage_ = 0;
+  int depth_ = 1;
+  bool recompute_ = false;
+  double last_loss_ = 0.0;
+
+  std::unique_ptr<Param> wte_, wpe_;             // stage 0
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  std::unique_ptr<LayerNorm> final_ln_;          // last stage
+  std::unique_ptr<Linear> head_;                 // last stage (untied)
+  std::map<long, Stash> stash_;
+};
+
+}  // namespace chimera::nn

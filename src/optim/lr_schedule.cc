@@ -1,0 +1,50 @@
+#include "optim/lr_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace chimera::optim {
+
+const char* schedule_kind_name(ScheduleKind k) {
+  switch (k) {
+    case ScheduleKind::kConstant: return "constant";
+    case ScheduleKind::kWarmupLinear: return "warmup-linear";
+    case ScheduleKind::kWarmupCosine: return "warmup-cosine";
+    case ScheduleKind::kInverseSqrt: return "inverse-sqrt";
+  }
+  return "?";
+}
+
+double LrSchedule::multiplier(long step) const {
+  CHIMERA_CHECK(step >= 0);
+  if (kind == ScheduleKind::kConstant) return 1.0;
+  if (warmup_steps > 0 && step < warmup_steps)
+    return static_cast<double>(step + 1) / static_cast<double>(warmup_steps);
+  switch (kind) {
+    case ScheduleKind::kWarmupLinear: {
+      const long horizon = std::max<long>(1, total_steps - warmup_steps);
+      const long t = std::min(step - warmup_steps, horizon);
+      const double frac = 1.0 - static_cast<double>(t) / horizon;
+      return min_ratio + (1.0 - min_ratio) * frac;
+    }
+    case ScheduleKind::kWarmupCosine: {
+      const long horizon = std::max<long>(1, total_steps - warmup_steps);
+      const long t = std::min(step - warmup_steps, horizon);
+      const double frac =
+          0.5 * (1.0 + std::cos(M_PI * static_cast<double>(t) / horizon));
+      return min_ratio + (1.0 - min_ratio) * frac;
+    }
+    case ScheduleKind::kInverseSqrt: {
+      // Continuous at the warmup boundary: multiplier(warmup) = 1.
+      const double base = static_cast<double>(std::max<long>(1, warmup_steps));
+      return std::sqrt(base / static_cast<double>(std::max<long>(1, step + 1)));
+    }
+    case ScheduleKind::kConstant:
+      break;
+  }
+  return 1.0;
+}
+
+}  // namespace chimera::optim

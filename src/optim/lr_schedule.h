@@ -1,0 +1,32 @@
+// Learning-rate schedules used by large-batch Transformer training (the
+// regimes the paper's evaluation mini-batch sizes come from: BERT/LAMB-style
+// warmup + decay, GPT-style cosine decay).
+//
+// A schedule maps a 0-based step index to a multiplier in [min_ratio, 1]
+// applied on top of the optimizer's base learning rate; the warmup phase
+// ramps linearly from 0 to 1 over `warmup_steps`.
+#pragma once
+
+namespace chimera::optim {
+
+enum class ScheduleKind {
+  kConstant,       ///< always 1
+  kWarmupLinear,   ///< linear decay from 1 to min_ratio over the rest
+  kWarmupCosine,   ///< cosine decay from 1 to min_ratio over the rest
+  kInverseSqrt,    ///< Transformer LR: sqrt(warmup)/sqrt(step) after warmup
+};
+
+const char* schedule_kind_name(ScheduleKind k);
+
+struct LrSchedule {
+  ScheduleKind kind = ScheduleKind::kConstant;
+  long warmup_steps = 0;
+  long total_steps = 1;      ///< decay horizon (ignored by kInverseSqrt)
+  double min_ratio = 0.0;    ///< floor of the decay phase
+
+  /// Multiplier for 0-based `step`. Monotone nondecreasing over the warmup,
+  /// monotone nonincreasing afterwards; always within [0, 1].
+  double multiplier(long step) const;
+};
+
+}  // namespace chimera::optim

@@ -1,0 +1,153 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace chimera::optim {
+
+const char* rule_name(Rule r) {
+  switch (r) {
+    case Rule::kSgd: return "sgd";
+    case Rule::kMomentum: return "momentum";
+    case Rule::kAdam: return "adam";
+    case Rule::kAdamW: return "adamw";
+    case Rule::kLamb: return "lamb";
+  }
+  return "?";
+}
+
+int state_slots(Rule r) {
+  switch (r) {
+    case Rule::kSgd: return 0;
+    case Rule::kMomentum: return 1;
+    case Rule::kAdam:
+    case Rule::kAdamW:
+    case Rule::kLamb: return 2;
+  }
+  return 0;
+}
+
+float clip_scale(float clip_norm, double global_sq_norm) {
+  if (clip_norm <= 0.0f) return 1.0f;
+  const double norm = std::sqrt(global_sq_norm);
+  if (norm <= clip_norm) return 1.0f;
+  return static_cast<float>(clip_norm / norm);
+}
+
+Optimizer::Optimizer(std::vector<nn::Param*> params, const OptimizerConfig& cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  CHIMERA_CHECK_MSG(cfg_.lr > 0.0f, "learning rate must be positive");
+  const int slots = state_slots(cfg_.rule);
+  state_.reserve(params_.size());
+  for (nn::Param* p : params_) {
+    std::vector<Tensor> st;
+    for (int s = 0; s < slots; ++s)
+      st.emplace_back(p->value.rows(), p->value.cols());
+    state_.push_back(std::move(st));
+  }
+}
+
+double Optimizer::grad_sq_norm() const {
+  double sum = 0.0;
+  for (const nn::Param* p : params_)
+    for (std::size_t i = 0; i < p->grad.numel(); ++i)
+      sum += static_cast<double>(p->grad[i]) * p->grad[i];
+  return sum;
+}
+
+std::size_t Optimizer::state_numel() const {
+  std::size_t n = 0;
+  for (const auto& st : state_)
+    for (const Tensor& t : st) n += t.numel();
+  return n;
+}
+
+void apply_flat(const OptimizerConfig& cfg, long step_t, double lr_mult,
+                float grad_scale, float* w, const float* g, float* s0,
+                float* s1, std::size_t n) {
+  const double lr = static_cast<double>(cfg.lr) * lr_mult;
+  switch (cfg.rule) {
+    case Rule::kSgd:
+      for (std::size_t i = 0; i < n; ++i)
+        w[i] -= static_cast<float>(lr) * (grad_scale * g[i]);
+      return;
+    case Rule::kMomentum:
+      CHIMERA_CHECK(s0 != nullptr);
+      for (std::size_t i = 0; i < n; ++i) {
+        s0[i] = cfg.momentum * s0[i] + grad_scale * g[i];
+        w[i] -= static_cast<float>(lr) * s0[i];
+      }
+      return;
+    case Rule::kAdam:
+    case Rule::kAdamW: {
+      CHIMERA_CHECK(s0 != nullptr && s1 != nullptr);
+      // Bias correction uses the 1-based update count.
+      const double bc1 = 1.0 - std::pow(cfg.beta1, step_t);
+      const double bc2 = 1.0 - std::pow(cfg.beta2, step_t);
+      for (std::size_t i = 0; i < n; ++i) {
+        float gi = grad_scale * g[i];
+        if (cfg.rule == Rule::kAdam) gi += cfg.weight_decay * w[i];
+        s0[i] = cfg.beta1 * s0[i] + (1.0f - cfg.beta1) * gi;
+        s1[i] = cfg.beta2 * s1[i] + (1.0f - cfg.beta2) * gi * gi;
+        const double mhat = s0[i] / bc1;
+        const double vhat = s1[i] / bc2;
+        const double r = mhat / (std::sqrt(vhat) + cfg.eps);
+        if (cfg.rule == Rule::kAdamW)
+          w[i] -= static_cast<float>(lr * (r + cfg.weight_decay * w[i]));
+        else
+          w[i] -= static_cast<float>(lr * r);
+      }
+      return;
+    }
+    case Rule::kLamb:
+      CHIMERA_CHECK_MSG(false, "LAMB cannot run on flat shards (per-tensor "
+                               "trust ratio); use the per-parameter path");
+  }
+}
+
+void Optimizer::apply(nn::Param& p, std::vector<Tensor>& st, double lr_mult,
+                      float gscale) {
+  const std::size_t n = p.value.numel();
+  if (cfg_.rule != Rule::kLamb) {
+    apply_flat(cfg_, steps_, lr_mult, gscale, p.value.data(), p.grad.data(),
+               st.size() > 0 ? st[0].data() : nullptr,
+               st.size() > 1 ? st[1].data() : nullptr, n);
+    return;
+  }
+  // LAMB: Adam direction with decoupled decay, rescaled per tensor by the
+  // trust ratio φ(‖w‖)/‖r‖ (φ = identity).
+  const double lr = static_cast<double>(cfg_.lr) * lr_mult;
+  Tensor& m = st[0];
+  Tensor& v = st[1];
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, steps_);
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, steps_);
+  std::vector<float> dir(n);
+  double w_sq = 0.0, r_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float g = gscale * p.grad[i];
+    m[i] = cfg_.beta1 * m[i] + (1.0f - cfg_.beta1) * g;
+    v[i] = cfg_.beta2 * v[i] + (1.0f - cfg_.beta2) * g * g;
+    const double mhat = m[i] / bc1;
+    const double vhat = v[i] / bc2;
+    const double rd =
+        mhat / (std::sqrt(vhat) + cfg_.eps) + cfg_.weight_decay * p.value[i];
+    dir[i] = static_cast<float>(rd);
+    w_sq += static_cast<double>(p.value[i]) * p.value[i];
+    r_sq += rd * rd;
+  }
+  // Trust ratio is 1 when either norm vanishes (fresh zero-initialized
+  // tensors must still move).
+  const double wn = std::sqrt(w_sq), rn = std::sqrt(r_sq);
+  const double trust = (wn > 0.0 && rn > 0.0) ? wn / rn : 1.0;
+  for (std::size_t i = 0; i < n; ++i)
+    p.value[i] -= static_cast<float>(lr * trust * dir[i]);
+}
+
+void Optimizer::step(double lr_mult, float grad_scale) {
+  ++steps_;
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    apply(*params_[i], state_[i], lr_mult, grad_scale);
+}
+
+}  // namespace chimera::optim

@@ -1,0 +1,99 @@
+// First-order update rules for pipeline training (the U(g, w, t) of the
+// paper's §2 problem statement): SGD, momentum, Adam, AdamW and LAMB, plus
+// global-gradient-norm clipping support.
+//
+// One Optimizer instance owns the state (momentum/moment tensors) for one
+// stage replica's parameter set. Synchronous pipeline schemes apply
+// identical gradients on every replica of a stage, so running the same rule
+// per replica reproduces exactly the single-device update — the property the
+// runtime's gradient-equivalence tests assert. The state footprint per rule
+// (state_numel) feeds the ZeRO-1 sharding analysis in core/memory_model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace chimera::optim {
+
+/// Update rule selection.
+enum class Rule {
+  kSgd,       ///< w ← w − lr·g
+  kMomentum,  ///< m ← μ·m + g;  w ← w − lr·m
+  kAdam,      ///< Kingma & Ba, L2 regularization folded into the gradient
+  kAdamW,     ///< Adam with decoupled weight decay
+  kLamb,      ///< layer-wise adaptive Adam (You et al.), trust-ratio scaled
+};
+
+const char* rule_name(Rule r);
+
+struct OptimizerConfig {
+  Rule rule = Rule::kSgd;
+  float lr = 0.05f;
+  float momentum = 0.9f;  ///< µ for kMomentum
+  float beta1 = 0.9f;     ///< first-moment decay (Adam/AdamW/LAMB)
+  float beta2 = 0.999f;   ///< second-moment decay
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;  ///< L2 (kAdam) or decoupled decay (kAdamW/kLamb)
+  /// Global gradient-norm clip threshold; 0 disables. The *caller* computes
+  /// the global norm (it spans all pipeline stages) and passes the resulting
+  /// scale to step(); this field only records the configured threshold so
+  /// clip_scale() can derive the factor.
+  float clip_norm = 0.0f;
+};
+
+/// Number of persistent state values the rule keeps per parameter value
+/// (0 for SGD, 1 for momentum, 2 for the Adam family).
+int state_slots(Rule r);
+
+/// The multiplier that rescales gradients so the global norm
+/// sqrt(global_sq_norm) does not exceed `clip_norm` (1.0 when disabled).
+float clip_scale(float clip_norm, double global_sq_norm);
+
+/// Applies `cfg.rule` elementwise to a flat parameter segment — the update
+/// kernel of the ZeRO-1 sharded optimizer step, where each data-parallel
+/// rank owns one contiguous shard of the stage's flattened parameters and
+/// state. `step_t` is the 1-based update count (Adam bias correction);
+/// `s0`/`s1` are the state slots (may be null when the rule needs fewer).
+/// kLamb is rejected: its trust ratio is a per-tensor quantity and cannot be
+/// evaluated on a flat shard that crosses tensor boundaries.
+void apply_flat(const OptimizerConfig& cfg, long step_t, double lr_mult,
+                float grad_scale, float* w, const float* g, float* s0,
+                float* s1, std::size_t n);
+
+class Optimizer {
+ public:
+  Optimizer(std::vector<nn::Param*> params, const OptimizerConfig& cfg);
+
+  /// Applies one update to every parameter. `lr_mult` scales cfg.lr (LR
+  /// schedules); `grad_scale` multiplies each gradient before the rule
+  /// (global-norm clipping). Gradients themselves are left untouched.
+  void step(double lr_mult = 1.0, float grad_scale = 1.0f);
+
+  /// Σ‖g‖² over this replica's parameters (one term of the global norm).
+  double grad_sq_norm() const;
+
+  /// Number of updates applied so far (drives Adam bias correction).
+  long steps() const { return steps_; }
+
+  /// Total persistent optimizer-state values held (ZeRO-1 analysis).
+  std::size_t state_numel() const;
+
+  const OptimizerConfig& config() const { return cfg_; }
+
+  /// Direct access to the state tensors of parameter `i` (slot-major), used
+  /// by the ZeRO-sharded update path to exchange state segments.
+  std::vector<Tensor>& state(std::size_t i) { return state_[i]; }
+
+ private:
+  void apply(nn::Param& p, std::vector<Tensor>& st, double lr_mult,
+             float gscale);
+
+  std::vector<nn::Param*> params_;
+  OptimizerConfig cfg_;
+  std::vector<std::vector<Tensor>> state_;  ///< [param][slot]
+  long steps_ = 0;
+};
+
+}  // namespace chimera::optim

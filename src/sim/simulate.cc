@@ -1,0 +1,110 @@
+#include "sim/simulate.h"
+
+#include <algorithm>
+
+#include "core/schedule_analysis.h"
+
+namespace chimera::sim {
+
+SimResult simulate(const ExecConfig& cfg, const ModelSpec& model,
+                   const MachineSpec& machine, const SimOptions& opts) {
+  SimResult out;
+
+  // ---- memory feasibility + recompute resolution -------------------------
+  bool recompute = false;
+  switch (cfg.recompute) {
+    case Recompute::kOff: recompute = false; break;
+    case Recompute::kOn: recompute = true; break;
+    case Recompute::kAuto:
+      recompute =
+          !memory_model(cfg, model, machine, /*recompute=*/false).fits(machine);
+      break;
+  }
+  out.memory = memory_model(cfg, model, machine, recompute);
+  out.recompute = recompute;
+  if (!out.memory.fits(machine)) {
+    out.note = "OOM";
+    return out;
+  }
+  out.feasible = true;
+  if (recompute) out.note = "R";
+
+  const StagePartition part(model, cfg.D);
+  const double eff =
+      machine.effective_flops() * machine.micro_batch_saturation(cfg.B, model.seq);
+  const double bf = recompute ? 3.0 : 2.0;
+
+  // ---- asynchronous schemes: bubble-free steady state --------------------
+  if (cfg.scheme == Scheme::kPipeDream) {
+    const double ft = part.max_stage_fwd_flops(cfg.B) / eff;
+    const double ar = machine.allreduce_seconds(
+        cfg.W, 4.0 * static_cast<double>(part.max_stage_params()));
+    out.iteration_seconds = ft * (1.0 + bf) + ar;  // one update per micro
+    out.throughput = static_cast<double>(cfg.B) * cfg.W / out.iteration_seconds;
+    out.bubble_ratio = 0.0;
+    return out;
+  }
+  if (cfg.scheme == Scheme::kPipeDream2BW) {
+    // 2BW's two-version scheme requires accumulating over at least D
+    // micro-batches (paper section 2: "By using gradient accumulation
+    // (N>=D)").
+    if (cfg.num_micro() < cfg.D) {
+      out.feasible = false;
+      out.note = "N<D";
+      return out;
+    }
+    const double ft = part.max_stage_fwd_flops(cfg.B) / eff;
+    const double compute = cfg.num_micro() * ft * (1.0 + bf);
+    const double ar = machine.allreduce_seconds(
+        cfg.W, 4.0 * static_cast<double>(part.max_stage_params()));
+    out.iteration_seconds = std::max(compute, ar);
+    out.throughput = static_cast<double>(cfg.minibatch) / out.iteration_seconds;
+    out.bubble_ratio = 0.0;
+    return out;
+  }
+
+  // ---- synchronous schemes: event engine ---------------------------------
+  PipelineSchedule sched = build_schedule(cfg.scheme, cfg.schedule_config());
+  sched = with_gradient_sync(sched, cfg.sync);
+
+  EngineCosts costs;
+  costs.forward_seconds.resize(cfg.D);
+  for (int st = 0; st < cfg.D; ++st)
+    costs.forward_seconds[st] = part.stage_fwd_flops(st, cfg.B) / eff;
+  costs.backward_factor = bf;
+  // §3.5 method costs: halved backwards lose kernel saturation, doubled
+  // forwards gain it.
+  const double sat_b = machine.micro_batch_saturation(cfg.B, model.seq);
+  costs.half_backward_scale =
+      sat_b / machine.micro_batch_saturation(cfg.B / 2.0, model.seq);
+  costs.double_forward_scale =
+      sat_b / machine.micro_batch_saturation(2.0 * cfg.B, model.seq);
+  costs.alpha = machine.alpha;
+  costs.beta = machine.beta;
+  costs.node_size = machine.node_size;
+  costs.intra_alpha = machine.intra_alpha;
+  costs.intra_beta = machine.intra_beta;
+  costs.boundary_bytes = model.boundary_bytes(cfg.B);
+  const int replicas = cfg.allreduce_replicas(sched.num_pipes);
+  costs.allreduce_seconds.resize(cfg.D);
+  for (int st = 0; st < cfg.D; ++st)
+    costs.allreduce_seconds[st] = machine.allreduce_seconds(
+        replicas, 4.0 * static_cast<double>(part.stage_params(st)));
+  costs.begin_cpu_fraction = machine.nonblocking_cpu_fraction;
+  costs.jitter = opts.jitter;
+  costs.seed = opts.seed;
+
+  out.engine = run_engine(sched, costs);
+  out.iteration_seconds = out.engine.makespan;
+  out.bubble_ratio = out.engine.bubble_ratio();
+  out.throughput = static_cast<double>(cfg.minibatch) / out.iteration_seconds;
+  return out;
+}
+
+double simulated_throughput(const ExecConfig& cfg, const ModelSpec& model,
+                            const MachineSpec& machine) {
+  const SimResult r = simulate(cfg, model, machine);
+  return r.feasible ? r.throughput : 0.0;
+}
+
+}  // namespace chimera::sim

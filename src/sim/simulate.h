@@ -1,0 +1,45 @@
+// High-level simulation entry point: resolves an ExecConfig against a model
+// and machine, runs the event engine (synchronous schemes) or the bubble-free
+// steady-state model (asynchronous schemes), and reports the metrics the
+// paper's evaluation plots: throughput, bubble ratio, per-worker memory.
+#pragma once
+
+#include <string>
+
+#include "core/cost_model.h"
+#include "core/exec_config.h"
+#include "core/memory_model.h"
+#include "core/model_spec.h"
+#include "sim/event_engine.h"
+
+namespace chimera::sim {
+
+struct SimOptions {
+  double jitter = 0.0;  ///< compute-duration noise (stddev fraction)
+  std::uint64_t seed = 0x5eed;
+};
+
+struct SimResult {
+  double iteration_seconds = 0.0;
+  double throughput = 0.0;   ///< sequences/s
+  double bubble_ratio = 0.0;
+  bool recompute = false;
+  bool feasible = false;     ///< false: OOM even with recomputation
+  std::string note;
+  MemoryReport memory;
+  EngineResult engine;       ///< populated for synchronous schemes
+};
+
+/// Simulates one training iteration of `cfg`. For PipeDream/PipeDream-2BW
+/// (no pipeline flush) the steady state is evaluated analytically: the
+/// pipeline is bubble-free and the relevant costs are the per-update
+/// (PipeDream) or per-accumulation (2BW) gradient synchronizations —
+/// see DESIGN.md §2 item 14.
+SimResult simulate(const ExecConfig& cfg, const ModelSpec& model,
+                   const MachineSpec& machine, const SimOptions& opts = {});
+
+/// Convenience evaluator for config_search.
+double simulated_throughput(const ExecConfig& cfg, const ModelSpec& model,
+                            const MachineSpec& machine);
+
+}  // namespace chimera::sim

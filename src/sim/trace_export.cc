@@ -1,0 +1,77 @@
+#include "sim/trace_export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace chimera::sim {
+
+namespace {
+
+const char* op_label(OpKind k) {
+  switch (k) {
+    case OpKind::kForward: return "F";
+    case OpKind::kBackward: return "B";
+    case OpKind::kAllReduceBegin: return "AR-begin";
+    case OpKind::kAllReduceWait: return "AR-wait";
+  }
+  return "?";
+}
+
+/// Stable category string per op kind (drives viewer coloring).
+const char* op_category(OpKind k) {
+  switch (k) {
+    case OpKind::kForward: return "forward";
+    case OpKind::kBackward: return "backward";
+    case OpKind::kAllReduceBegin:
+    case OpKind::kAllReduceWait: return "allreduce";
+  }
+  return "other";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const PipelineSchedule& schedule,
+                              const EngineResult& result) {
+  CHIMERA_CHECK(result.op_start.size() == schedule.worker_ops.size());
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (int w = 0; w < schedule.depth; ++w) {
+    const auto& ops = schedule.worker_ops[w];
+    CHIMERA_CHECK(result.op_start[w].size() == ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const Op& op = ops[i];
+      const double us_start = result.op_start[w][i] * 1e6;
+      const double us_dur = (result.op_end[w][i] - result.op_start[w][i]) * 1e6;
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << op_label(op.kind);
+      if (op.is_compute()) out << " m" << op.micro;
+      out << " s" << op.stage << "\",\"cat\":\"" << op_category(op.kind)
+          << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << w
+          << ",\"ts\":" << us_start << ",\"dur\":" << us_dur << ",\"args\":{"
+          << "\"stage\":" << op.stage << ",\"pipe\":" << op.pipe
+          << ",\"micro\":" << op.micro << ",\"chunk\":" << op.chunk << "}}";
+    }
+  }
+  // Thread-name metadata so viewers label rows as workers.
+  for (int w = 0; w < schedule.depth; ++w) {
+    out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << w
+        << ",\"args\":{\"name\":\"P" << w << "\"}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void write_chrome_trace(const std::string& path,
+                        const PipelineSchedule& schedule,
+                        const EngineResult& result) {
+  std::ofstream f(path);
+  CHIMERA_CHECK_MSG(f.good(), "cannot open trace file " << path);
+  f << chrome_trace_json(schedule, result);
+  CHIMERA_CHECK_MSG(f.good(), "failed writing trace file " << path);
+}
+
+}  // namespace chimera::sim

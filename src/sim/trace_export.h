@@ -1,0 +1,25 @@
+// Chrome-trace (chrome://tracing / Perfetto) export of a simulated pipeline
+// execution: one timeline row per worker, one duration event per op. This is
+// how the paper's schedule figures (Fig. 2, 3, 7, 8) become inspectable
+// artifacts — load the JSON in a trace viewer and the bidirectional-pipeline
+// interleaving, the bubbles and the eager allreduce overlap are all visible.
+#pragma once
+
+#include <string>
+
+#include "core/schedule.h"
+#include "sim/event_engine.h"
+
+namespace chimera::sim {
+
+/// Renders one engine run as Chrome-trace JSON (trace-event format, "X"
+/// duration events; timestamps in microseconds of simulated time).
+std::string chrome_trace_json(const PipelineSchedule& schedule,
+                              const EngineResult& result);
+
+/// Writes chrome_trace_json to `path`. Throws CheckError on I/O failure.
+void write_chrome_trace(const std::string& path,
+                        const PipelineSchedule& schedule,
+                        const EngineResult& result);
+
+}  // namespace chimera::sim

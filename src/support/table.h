@@ -1,0 +1,76 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary regenerates one table/figure of the paper as rows of an
+// aligned text table, so the output can be diffed across runs and pasted into
+// EXPERIMENTS.md.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace chimera {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append a row; each argument is formatted with operator<<.
+  template <typename... Args>
+  void add_row(const Args&... args) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(args));
+    (row.push_back(to_cell(args)), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    print_row(os, header_, width);
+    std::size_t total = 1;
+    for (auto w : width) total += w + 3;
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) print_row(os, row, width);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream os;
+    if constexpr (std::is_floating_point_v<T>) {
+      os << std::fixed << std::setprecision(3) << v;
+    } else {
+      os << v;
+    }
+    return os.str();
+  }
+
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(width[c])) << row[c]
+         << " |";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used by bench binaries ("=== Figure 14: ... ===").
+inline void print_banner(const std::string& title, std::ostream& os = std::cout) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace chimera

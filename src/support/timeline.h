@@ -1,0 +1,76 @@
+// ASCII rendering of pipeline schedules — the tool behind the Fig. 2/3/7/8
+// reproductions in examples/schedule_explorer and bench/fig02_timelines.
+//
+// Each worker is one row; time flows right in columns of one forward-pass
+// unit. Cells show the micro-batch id prefixed by the op type:
+//   F/B  forward/backward on a down pipeline
+//   f/b  forward/backward on an up pipeline
+//   S    gradient-allreduce launch, .. idle (bubble)
+#pragma once
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "core/schedule_analysis.h"
+
+namespace chimera {
+
+/// Renders `s` under the given replay costs (defaults: the practical
+/// backward = 2×forward regime).
+inline std::string render_timeline(const PipelineSchedule& s,
+                                   const ReplayCosts& costs = {.forward = 1.0,
+                                                               .backward = 2.0}) {
+  const ReplayResult r = replay(s, costs);
+  // Column granularity: the forward cost (all op durations are multiples of
+  // it in the regimes we render).
+  const double unit = costs.forward;
+  const int columns = static_cast<int>(std::lround(r.makespan / unit));
+  const int id_width = s.num_micro > 10 ? 2 : 1;
+  const int cell = id_width + 1;
+
+  std::ostringstream os;
+  for (int w = 0; w < s.depth; ++w) {
+    os << "P" << std::left << std::setw(2) << w << "|";
+    std::string row(static_cast<std::size_t>(columns) * cell, ' ');
+    for (std::size_t c = 0; c < row.size(); c += cell) row[c + cell - 1] = '.';
+    for (std::size_t i = 0; i < s.worker_ops[w].size(); ++i) {
+      const Op& op = s.worker_ops[w][i];
+      const int c0 = static_cast<int>(std::lround(r.times[w][i].start / unit));
+      const int c1 = static_cast<int>(std::lround(r.times[w][i].end / unit));
+      char glyph;
+      switch (op.kind) {
+        case OpKind::kForward:
+          glyph = op.pipe % 2 == 0 ? 'F' : 'f';
+          break;
+        case OpKind::kBackward:
+          glyph = op.pipe % 2 == 0 ? 'B' : 'b';
+          break;
+        case OpKind::kAllReduceBegin:
+          glyph = 'S';
+          break;
+        default:
+          glyph = ' ';
+      }
+      if (op.kind == OpKind::kAllReduceBegin && c1 == c0) {
+        // Zero-width launch marker: overlay on the preceding cell boundary.
+        continue;
+      }
+      for (int c = c0; c < c1 && c < columns; ++c) {
+        std::ostringstream cellos;
+        cellos << glyph << std::setw(id_width) << (op.micro % 100);
+        const std::string text = cellos.str();
+        for (std::size_t k = 0; k < text.size() && k < static_cast<std::size_t>(cell); ++k)
+          row[static_cast<std::size_t>(c) * cell + k] = text[k];
+      }
+    }
+    os << row << "|\n";
+  }
+  os << "bubble ratio: " << std::fixed << std::setprecision(3)
+     << r.bubble_ratio() << ", makespan: " << r.makespan / unit
+     << " forward-units\n";
+  return os.str();
+}
+
+}  // namespace chimera

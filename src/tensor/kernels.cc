@@ -1,0 +1,193 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chimera {
+namespace {
+
+/// Blocked inner kernel shared by the GEMM variants. Index lambdas map
+/// logical (row, col) of each operand to storage.
+constexpr int kBlock = 48;
+
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  CHIMERA_CHECK(b.rows() == k && c.rows() == m && c.cols() == n);
+  if (!accumulate) c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int i0 = 0; i0 < m; i0 += kBlock) {
+    const int i1 = std::min(m, i0 + kBlock);
+    for (int l0 = 0; l0 < k; l0 += kBlock) {
+      const int l1 = std::min(k, l0 + kBlock);
+      for (int i = i0; i < i1; ++i) {
+        for (int l = l0; l < l1; ++l) {
+          const float av = pa[static_cast<std::size_t>(i) * k + l];
+          const float* brow = pb + static_cast<std::size_t>(l) * n;
+          float* crow = pc + static_cast<std::size_t>(i) * n;
+          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  CHIMERA_CHECK(b.rows() == k && c.rows() == m && c.cols() == n);
+  if (!accumulate) c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int l = 0; l < k; ++l) {
+    const float* arow = pa + static_cast<std::size_t>(l) * m;
+    const float* brow = pb + static_cast<std::size_t>(l) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  CHIMERA_CHECK(b.cols() == k && c.rows() == m && c.cols() == n);
+  if (!accumulate) c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<std::size_t>(i) * k;
+    float* crow = pc + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = pb + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int l = 0; l < k; ++l) acc += arow[l] * brow[l];
+      crow[j] += acc;
+    }
+  }
+}
+
+void add_bias(Tensor& y, const Tensor& bias) {
+  CHIMERA_CHECK(bias.cols() == y.cols() && bias.rows() == 1);
+  for (int r = 0; r < y.rows(); ++r)
+    for (int c = 0; c < y.cols(); ++c) y.at(r, c) += bias.at(0, c);
+}
+
+void bias_backward(const Tensor& dy, Tensor& dbias) {
+  CHIMERA_CHECK(dbias.cols() == dy.cols() && dbias.rows() == 1);
+  for (int r = 0; r < dy.rows(); ++r)
+    for (int c = 0; c < dy.cols(); ++c) dbias.at(0, c) += dy.at(r, c);
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}
+
+void gelu_forward(const Tensor& x, Tensor& y) {
+  CHIMERA_CHECK(x.numel() == y.numel());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float v = x[i];
+    y[i] = 0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
+  }
+}
+
+void gelu_backward(const Tensor& x, const Tensor& dy, Tensor& dx) {
+  CHIMERA_CHECK(x.numel() == dy.numel() && x.numel() == dx.numel());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float v = x[i];
+    const float u = kGeluC * (v + 0.044715f * v * v * v);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+    dx[i] = dy[i] * (0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du);
+  }
+}
+
+void layernorm_forward(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                       Tensor& y, Tensor& mean, Tensor& rstd) {
+  const int R = x.rows(), H = x.cols();
+  CHIMERA_CHECK(gamma.cols() == H && beta.cols() == H);
+  CHIMERA_CHECK(y.rows() == R && mean.rows() == R && rstd.rows() == R);
+  for (int r = 0; r < R; ++r) {
+    float mu = 0.0f;
+    for (int c = 0; c < H; ++c) mu += x.at(r, c);
+    mu /= H;
+    float var = 0.0f;
+    for (int c = 0; c < H; ++c) {
+      const float d = x.at(r, c) - mu;
+      var += d * d;
+    }
+    var /= H;
+    const float rs = 1.0f / std::sqrt(var + 1e-5f);
+    mean.at(r, 0) = mu;
+    rstd.at(r, 0) = rs;
+    for (int c = 0; c < H; ++c)
+      y.at(r, c) = (x.at(r, c) - mu) * rs * gamma.at(0, c) + beta.at(0, c);
+  }
+}
+
+void layernorm_backward(const Tensor& x, const Tensor& gamma,
+                        const Tensor& mean, const Tensor& rstd,
+                        const Tensor& dy, Tensor& dx, Tensor& dgamma,
+                        Tensor& dbeta) {
+  const int R = x.rows(), H = x.cols();
+  for (int r = 0; r < R; ++r) {
+    const float mu = mean.at(r, 0);
+    const float rs = rstd.at(r, 0);
+    float sum_dyg = 0.0f, sum_dyg_xhat = 0.0f;
+    for (int c = 0; c < H; ++c) {
+      const float xhat = (x.at(r, c) - mu) * rs;
+      const float dyg = dy.at(r, c) * gamma.at(0, c);
+      sum_dyg += dyg;
+      sum_dyg_xhat += dyg * xhat;
+      dgamma.at(0, c) += dy.at(r, c) * xhat;
+      dbeta.at(0, c) += dy.at(r, c);
+    }
+    for (int c = 0; c < H; ++c) {
+      const float xhat = (x.at(r, c) - mu) * rs;
+      const float dyg = dy.at(r, c) * gamma.at(0, c);
+      dx.at(r, c) = rs * (dyg - sum_dyg / H - xhat * sum_dyg_xhat / H);
+    }
+  }
+}
+
+void softmax_rows(const Tensor& x, Tensor& y) {
+  const int R = x.rows(), C = x.cols();
+  CHIMERA_CHECK(y.rows() == R && y.cols() == C);
+  for (int r = 0; r < R; ++r) {
+    float mx = x.at(r, 0);
+    for (int c = 1; c < C; ++c) mx = std::max(mx, x.at(r, c));
+    float sum = 0.0f;
+    for (int c = 0; c < C; ++c) {
+      const float e = std::exp(x.at(r, c) - mx);
+      y.at(r, c) = e;
+      sum += e;
+    }
+    const float inv = 1.0f / sum;
+    for (int c = 0; c < C; ++c) y.at(r, c) *= inv;
+  }
+}
+
+float cross_entropy(const Tensor& logits, const std::vector<int>& targets,
+                    Tensor& dlogits, float loss_scale) {
+  const int R = logits.rows(), V = logits.cols();
+  CHIMERA_CHECK(static_cast<int>(targets.size()) == R);
+  CHIMERA_CHECK(dlogits.rows() == R && dlogits.cols() == V);
+  softmax_rows(logits, dlogits);  // reuse dlogits as probability buffer
+  float loss = 0.0f;
+  const float inv_rows = 1.0f / R;
+  for (int r = 0; r < R; ++r) {
+    const int t = targets[r];
+    CHIMERA_CHECK(t >= 0 && t < V);
+    loss -= std::log(std::max(dlogits.at(r, t), 1e-20f));
+    for (int c = 0; c < V; ++c) dlogits.at(r, c) *= inv_rows * loss_scale;
+    dlogits.at(r, t) -= inv_rows * loss_scale;
+  }
+  return loss * inv_rows;
+}
+
+}  // namespace chimera

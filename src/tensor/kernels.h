@@ -1,0 +1,45 @@
+// Dense kernels for the training runtime: blocked GEMM (with transpose
+// variants), bias, GELU, LayerNorm, row softmax and cross-entropy — each
+// with its backward. All kernels are single-threaded and use fixed loop
+// orders so results are bit-deterministic, which the gradient-equivalence
+// tests (pipeline vs sequential SGD) rely on.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace chimera {
+
+/// C = A·B (+ C if accumulate). A: [m,k], B: [k,n], C: [m,n].
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+/// C = Aᵀ·B. A: [k,m], B: [k,n], C: [m,n].
+void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+/// C = A·Bᵀ. A: [m,k], B: [n,k], C: [m,n].
+void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+
+/// y[r,:] += bias for every row.
+void add_bias(Tensor& y, const Tensor& bias);
+/// dbias += column sums of dy.
+void bias_backward(const Tensor& dy, Tensor& dbias);
+
+/// GELU (tanh approximation), elementwise.
+void gelu_forward(const Tensor& x, Tensor& y);
+/// dx = dy ⊙ gelu'(x).
+void gelu_backward(const Tensor& x, const Tensor& dy, Tensor& dx);
+
+/// Row-wise LayerNorm with affine parameters gamma/beta (both [1, h]).
+void layernorm_forward(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                       Tensor& y, Tensor& mean, Tensor& rstd);
+void layernorm_backward(const Tensor& x, const Tensor& gamma,
+                        const Tensor& mean, const Tensor& rstd,
+                        const Tensor& dy, Tensor& dx, Tensor& dgamma,
+                        Tensor& dbeta);
+
+/// Row-wise softmax (numerically stabilized).
+void softmax_rows(const Tensor& x, Tensor& y);
+
+/// Mean cross-entropy of row-softmax(logits) against integer targets.
+/// Returns the loss; dlogits = (softmax − onehot)/rows · loss_scale.
+float cross_entropy(const Tensor& logits, const std::vector<int>& targets,
+                    Tensor& dlogits, float loss_scale = 1.0f);
+
+}  // namespace chimera

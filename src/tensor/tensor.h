@@ -1,0 +1,66 @@
+// Minimal dense fp32 matrix used by the functional training runtime.
+//
+// Everything the pipeline runtime computes is a 2-D row-major matrix; batch
+// and sequence dimensions are folded into rows ([B·s, h]). Attention handles
+// its head reshapes internally with explicit index arithmetic. The type is a
+// plain value (deep copy), which keeps activation stashing and weight
+// versioning (PipeDream) trivial and correct.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace chimera {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int rows, int cols) : rows_(rows), cols_(cols), v_(size_t(rows) * cols) {
+    CHIMERA_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t numel() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+
+  float* data() { return v_.data(); }
+  const float* data() const { return v_.data(); }
+  float& at(int r, int c) { return v_[static_cast<std::size_t>(r) * cols_ + c]; }
+  float at(int r, int c) const { return v_[static_cast<std::size_t>(r) * cols_ + c]; }
+  float& operator[](std::size_t i) { return v_[i]; }
+  float operator[](std::size_t i) const { return v_[i]; }
+
+  void fill(float x) { std::fill(v_.begin(), v_.end(), x); }
+  void zero() { fill(0.0f); }
+
+  /// Gaussian init with the given stddev (deterministic given the rng).
+  void randn(Rng& rng, float stddev) {
+    for (auto& x : v_) x = static_cast<float>(rng.normal()) * stddev;
+  }
+
+  /// this += other (shapes must match).
+  void add(const Tensor& other) {
+    CHIMERA_CHECK(numel() == other.numel());
+    for (std::size_t i = 0; i < v_.size(); ++i) v_[i] += other.v_[i];
+  }
+  /// this += scale · other.
+  void axpy(float scale, const Tensor& other) {
+    CHIMERA_CHECK(numel() == other.numel());
+    for (std::size_t i = 0; i < v_.size(); ++i) v_[i] += scale * other.v_[i];
+  }
+  void scale(float s) {
+    for (auto& x : v_) x *= s;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> v_;
+};
+
+}  // namespace chimera

@@ -1,0 +1,252 @@
+// Message-passing substrate tests: p2p ordering, tag matching, and every
+// allreduce algorithm against the naive reference, across group sizes —
+// including the bitwise cross-rank agreement the weight-replica consistency
+// of the runtime depends on.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "comm/world.h"
+
+namespace chimera::comm {
+namespace {
+
+TEST(PointToPoint, DeliversByTagRegardlessOfArrivalOrder) {
+  World world(2);
+  Communicator a(world, 0), b(world, 1);
+  Tensor t1(1, 1), t2(1, 1);
+  t1[0] = 1.0f;
+  t2[0] = 2.0f;
+  a.send(1, /*tag=*/200, t2);
+  a.send(1, /*tag=*/100, t1);
+  EXPECT_FLOAT_EQ(b.recv(0, 100)[0], 1.0f);
+  EXPECT_FLOAT_EQ(b.recv(0, 200)[0], 2.0f);
+}
+
+TEST(PointToPoint, BlocksUntilMessageArrives) {
+  World world(2);
+  std::thread sender([&] {
+    Communicator a(world, 0);
+    Tensor t(1, 3);
+    t[0] = 4.0f;
+    a.send(1, 7, t);
+  });
+  Communicator b(world, 1);
+  Tensor r = b.recv(0, 7);
+  EXPECT_EQ(r.cols(), 3);
+  EXPECT_FLOAT_EQ(r[0], 4.0f);
+  sender.join();
+}
+
+class AllreduceTest : public ::testing::TestWithParam<std::tuple<AllreduceAlgo, int, int>> {};
+
+TEST_P(AllreduceTest, MatchesSumAndAgreesAcrossRanks) {
+  const auto [algo, ranks, n] = GetParam();
+  World world(ranks);
+  std::vector<int> group(ranks);
+  for (int i = 0; i < ranks; ++i) group[i] = i;
+
+  std::vector<std::vector<float>> data(ranks);
+  std::vector<double> expect(n, 0.0);
+  Rng rng(91);
+  for (int r = 0; r < ranks; ++r) {
+    data[r].resize(n);
+    for (int i = 0; i < n; ++i) {
+      data[r][i] = static_cast<float>(rng.normal());
+      expect[i] += data[r][i];
+    }
+  }
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator c(world, r);
+      c.allreduce_sum(data[r].data(), n, group, /*context=*/5, algo);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(data[0][i], expect[i], 1e-4 * ranks) << "element " << i;
+  // Bitwise agreement across ranks (replica-consistency prerequisite).
+  for (int r = 1; r < ranks; ++r) EXPECT_EQ(data[r], data[0]) << "rank " << r;
+}
+
+std::string allreduce_param_name(
+    const ::testing::TestParamInfo<std::tuple<AllreduceAlgo, int, int>>& info) {
+  std::string name = allreduce_algo_name(std::get<0>(info.param));
+  for (auto& ch : name)
+    if (ch == '-') ch = '_';
+  return name + "_g" + std::to_string(std::get<1>(info.param)) + "_n" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, AllreduceTest,
+    ::testing::Combine(
+        ::testing::Values(AllreduceAlgo::kNaive, AllreduceAlgo::kRing,
+                          AllreduceAlgo::kRecursiveDoubling,
+                          AllreduceAlgo::kRabenseifner),
+        ::testing::Values(2, 3, 4, 7, 8),  // incl. non-power-of-two
+        ::testing::Values(1, 5, 64, 1001)),
+    allreduce_param_name);
+
+TEST(Allreduce, SubgroupLeavesOthersUntouched) {
+  World world(4);
+  std::vector<float> a{1.0f}, b{2.0f}, c{100.0f};
+  std::thread t0([&] {
+    Communicator comm(world, 0);
+    comm.allreduce_sum(a.data(), 1, {0, 2}, 1, AllreduceAlgo::kRing);
+  });
+  std::thread t2([&] {
+    Communicator comm(world, 2);
+    comm.allreduce_sum(b.data(), 1, {0, 2}, 1, AllreduceAlgo::kRing);
+  });
+  t0.join();
+  t2.join();
+  EXPECT_FLOAT_EQ(a[0], 3.0f);
+  EXPECT_FLOAT_EQ(b[0], 3.0f);
+  EXPECT_FLOAT_EQ(c[0], 100.0f);
+}
+
+TEST(Allreduce, IndependentContextsKeepSeparateSequences) {
+  // Blocking collectives follow MPI ordering semantics: all group members
+  // must enter them in the same order. Different contexts still keep
+  // independent tag sequences, so interleaving contexts (in matching order)
+  // must not cross results.
+  World world(2);
+  std::vector<float> x{1.0f}, y{10.0f};
+  std::thread t1([&] {
+    Communicator c(world, 0);
+    c.allreduce_sum(x.data(), 1, {0, 1}, /*context=*/1, AllreduceAlgo::kRing);
+    c.allreduce_sum(y.data(), 1, {0, 1}, /*context=*/2, AllreduceAlgo::kRing);
+  });
+  std::vector<float> x2{2.0f}, y2{20.0f};
+  Communicator c(world, 1);
+  c.allreduce_sum(x2.data(), 1, {0, 1}, 1, AllreduceAlgo::kRing);
+  c.allreduce_sum(y2.data(), 1, {0, 1}, 2, AllreduceAlgo::kRing);
+  t1.join();
+  EXPECT_FLOAT_EQ(x[0], 3.0f);
+  EXPECT_FLOAT_EQ(x2[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[0], 30.0f);
+  EXPECT_FLOAT_EQ(y2[0], 30.0f);
+}
+
+TEST(NonblockingAllreduce, OppositeLaunchOrderCompletes) {
+  // The deadlock the blocking ordering contract forbids is legal with
+  // nonblocking launches: each collective progresses on its own thread, so
+  // ranks may launch independent contexts in any relative order (this is
+  // what lets the §3.2 eager sync overlap gradient allreduces freely).
+  World world(2);
+  std::vector<float> x{1.0f}, y{10.0f};
+  std::thread t1([&] {
+    Communicator c(world, 0);
+    Request rx = c.iallreduce_sum(x.data(), 1, {0, 1}, 1, AllreduceAlgo::kRing);
+    Request ry = c.iallreduce_sum(y.data(), 1, {0, 1}, 2, AllreduceAlgo::kRing);
+    rx.wait();
+    ry.wait();
+  });
+  std::vector<float> x2{2.0f}, y2{20.0f};
+  Communicator c(world, 1);
+  Request ry = c.iallreduce_sum(y2.data(), 1, {0, 1}, 2, AllreduceAlgo::kRing);
+  Request rx = c.iallreduce_sum(x2.data(), 1, {0, 1}, 1, AllreduceAlgo::kRing);
+  ry.wait();
+  rx.wait();
+  t1.join();
+  EXPECT_FLOAT_EQ(x[0], 3.0f);
+  EXPECT_FLOAT_EQ(x2[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[0], 30.0f);
+  EXPECT_FLOAT_EQ(y2[0], 30.0f);
+}
+
+TEST(NonblockingAllreduce, MatchesBlockingResult) {
+  const int R = 4, n = 257;
+  World world(R);
+  std::vector<int> group{0, 1, 2, 3};
+  std::vector<std::vector<float>> nb(R), bl(R);
+  Rng rng(7);
+  for (int r = 0; r < R; ++r) {
+    nb[r].resize(n);
+    for (auto& v : nb[r]) v = static_cast<float>(rng.normal());
+    bl[r] = nb[r];
+  }
+  auto run = [&](std::vector<std::vector<float>>& data, bool nonblocking) {
+    std::vector<std::thread> threads;
+    for (int r = 0; r < R; ++r) {
+      threads.emplace_back([&, r] {
+        Communicator c(world, r);
+        if (nonblocking) {
+          Request req = c.iallreduce_sum(data[r].data(), n, group, 3,
+                                         AllreduceAlgo::kRabenseifner);
+          req.wait();
+          EXPECT_TRUE(req.test());
+        } else {
+          c.allreduce_sum(data[r].data(), n, group, 3,
+                          AllreduceAlgo::kRabenseifner);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  };
+  run(nb, true);
+  run(bl, false);
+  for (int r = 0; r < R; ++r) EXPECT_EQ(nb[r], bl[r]) << "rank " << r;
+}
+
+TEST(NonblockingAllreduce, ManyOutstandingRequestsDrainInAnyOrder) {
+  const int R = 2, kOps = 16;
+  World world(R);
+  std::vector<std::vector<float>> data(R, std::vector<float>(kOps));
+  for (int r = 0; r < R; ++r)
+    for (int i = 0; i < kOps; ++i) data[r][i] = static_cast<float>(i + r);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < R; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator c(world, r);
+      std::vector<Request> reqs;
+      for (int i = 0; i < kOps; ++i)
+        reqs.push_back(c.iallreduce_sum(&data[r][i], 1, {0, 1}, /*context=*/i,
+                                        AllreduceAlgo::kRing));
+      // Drain newest-first on rank 0, oldest-first on rank 1.
+      if (r == 0)
+        for (int i = kOps - 1; i >= 0; --i) reqs[i].wait();
+      else
+        for (int i = 0; i < kOps; ++i) reqs[i].wait();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kOps; ++i) {
+    EXPECT_FLOAT_EQ(data[0][i], static_cast<float>(2 * i + 1)) << i;
+    EXPECT_FLOAT_EQ(data[1][i], static_cast<float>(2 * i + 1)) << i;
+  }
+}
+
+TEST(NonblockingAllreduce, TrivialGroupReturnsCompletedRequest) {
+  World world(1);
+  Communicator c(world, 0);
+  float x = 5.0f;
+  Request r = c.iallreduce_sum(&x, 1, {0}, 0, AllreduceAlgo::kRing);
+  EXPECT_TRUE(r.test());
+  r.wait();
+  EXPECT_FLOAT_EQ(x, 5.0f);
+}
+
+TEST(Barrier, AllRanksPass) {
+  const int R = 5;
+  World world(R);
+  std::atomic<int> arrived{0};
+  std::vector<int> group{0, 1, 2, 3, 4};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < R; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator c(world, r);
+      arrived.fetch_add(1);
+      c.barrier(group, 9);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(arrived.load(), R);
+}
+
+}  // namespace
+}  // namespace chimera::comm

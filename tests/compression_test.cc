@@ -1,0 +1,209 @@
+// Gradient-compression tests: codec invariants (bounded error, unbiasedness,
+// error-feedback conservation), compressed-allreduce consistency across
+// ranks, and the packing arithmetic the communication cost model uses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "comm/compression.h"
+
+namespace chimera::comm {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+TEST(Quantizer, RoundTripErrorBoundedByOneLevel) {
+  for (int bits : {2, 4, 8}) {
+    Quantizer q(bits);
+    const auto x = random_vec(513, 11);
+    float scale = 0.0f;
+    for (float v : x) scale = std::max(scale, std::abs(v));
+    const float unit = scale / static_cast<float>((1 << (bits - 1)) - 1);
+    Rng rng(5);
+    Tensor packed = q.encode(x.data(), x.size(), rng);
+    std::vector<float> y(x.size(), 0.0f);
+    q.add_decoded(packed, y.data(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+      EXPECT_LE(std::abs(y[i] - x[i]), unit + 1e-6f)
+          << "bits=" << bits << " i=" << i;
+  }
+}
+
+TEST(Quantizer, StochasticRoundingIsUnbiased) {
+  // Average many independent encodes of the same vector: the mean must
+  // approach the input (E[decode] = x).
+  Quantizer q(4);
+  const auto x = random_vec(64, 21);
+  std::vector<double> mean(x.size(), 0.0);
+  const int trials = 3000;
+  Rng rng(99);
+  for (int t = 0; t < trials; ++t) {
+    Tensor packed = q.encode(x.data(), x.size(), rng);
+    std::vector<float> y(x.size(), 0.0f);
+    q.add_decoded(packed, y.data(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) mean[i] += y[i];
+  }
+  float scale = 0.0f;
+  for (float v : x) scale = std::max(scale, std::abs(v));
+  const double unit = scale / 7.0;  // 4 bits → 7 levels
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(mean[i] / trials, x[i], 0.1 * unit) << "element " << i;
+}
+
+TEST(Quantizer, SignsAndZeroSurviveExactly) {
+  Quantizer q(8);
+  std::vector<float> x{-1.0f, 0.0f, 1.0f, -0.5f, 0.25f};
+  Rng rng(3);
+  Tensor packed = q.encode(x.data(), x.size(), rng);
+  std::vector<float> y(x.size(), 0.0f);
+  q.add_decoded(packed, y.data(), y.size());
+  EXPECT_LT(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_GT(y[2], 0.0f);
+  // Extremes quantize exactly (they sit on the scale).
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[2], 1.0f);
+}
+
+TEST(Quantizer, AllZeroVectorEncodesCompactlyAndDecodesToZero) {
+  Quantizer q(8);
+  std::vector<float> x(100, 0.0f);
+  Rng rng(1);
+  Tensor packed = q.encode(x.data(), x.size(), rng);
+  std::vector<float> y(x.size(), 0.0f);
+  q.add_decoded(packed, y.data(), y.size());
+  for (float v : y) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Quantizer, PackedWordsIsQuarterOfPayload) {
+  EXPECT_EQ(Quantizer::packed_words(0), 0u);
+  EXPECT_EQ(Quantizer::packed_words(1), 1u);
+  EXPECT_EQ(Quantizer::packed_words(4), 1u);
+  EXPECT_EQ(Quantizer::packed_words(5), 2u);
+  EXPECT_EQ(Quantizer::packed_words(1000), 250u);
+}
+
+TEST(TopK, KeepsExactlyTheLargestMagnitudes) {
+  TopKSparsifier sp(0.25);
+  std::vector<float> x{0.1f, -5.0f, 0.2f, 3.0f, -0.3f, 0.05f, 1.0f, -0.4f};
+  std::vector<float> residual;
+  Tensor packed = sp.encode(x.data(), x.size(), residual);
+  std::vector<float> y(x.size(), 0.0f);
+  TopKSparsifier::add_decoded(packed, y.data(), y.size());
+  EXPECT_FLOAT_EQ(y[1], -5.0f);
+  EXPECT_FLOAT_EQ(y[3], 3.0f);
+  for (std::size_t i : {0u, 2u, 4u, 5u, 6u, 7u}) EXPECT_FLOAT_EQ(y[i], 0.0f);
+}
+
+TEST(TopK, ErrorFeedbackConservesMass) {
+  // transmitted + residual must equal input (+ prior residual) exactly.
+  TopKSparsifier sp(0.25);
+  const auto x = random_vec(40, 31);
+  std::vector<float> residual;
+  Tensor packed = sp.encode(x.data(), x.size(), residual);
+  std::vector<float> sent(x.size(), 0.0f);
+  TopKSparsifier::add_decoded(packed, sent.data(), sent.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_FLOAT_EQ(sent[i] + residual[i], x[i]) << "element " << i;
+}
+
+TEST(TopK, RepeatedRoundsDrainTheResidual) {
+  // Feeding a zero gradient repeatedly must eventually transmit everything
+  // the first round left behind — nothing is lost long-term.
+  TopKSparsifier sp(0.25);
+  const auto x = random_vec(16, 41);
+  std::vector<float> residual;
+  std::vector<float> total(x.size(), 0.0f);
+  std::vector<float> zero(x.size(), 0.0f);
+  Tensor first = sp.encode(x.data(), x.size(), residual);
+  TopKSparsifier::add_decoded(first, total.data(), total.size());
+  for (int round = 0; round < 4; ++round) {
+    Tensor p = sp.encode(zero.data(), zero.size(), residual);
+    TopKSparsifier::add_decoded(p, total.data(), total.size());
+  }
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(total[i], x[i], 1e-6) << "element " << i;
+}
+
+TEST(TopK, FractionOneIsLossless) {
+  TopKSparsifier sp(1.0);
+  const auto x = random_vec(10, 51);
+  std::vector<float> residual;
+  Tensor packed = sp.encode(x.data(), x.size(), residual);
+  std::vector<float> y(x.size(), 0.0f);
+  TopKSparsifier::add_decoded(packed, y.data(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+  for (float r : residual) EXPECT_FLOAT_EQ(r, 0.0f);
+}
+
+class CompressedAllreduce : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressedAllreduce, AllRanksAgreeAndApproximateTheSum) {
+  const int R = GetParam();
+  const std::size_t n = 257;
+  World world(R);
+  std::vector<int> group(R);
+  for (int i = 0; i < R; ++i) group[i] = i;
+  std::vector<std::vector<float>> data(R);
+  std::vector<double> expect(n, 0.0);
+  for (int r = 0; r < R; ++r) {
+    data[r] = random_vec(n, 60 + r);
+    for (std::size_t i = 0; i < n; ++i) expect[i] += data[r][i];
+  }
+  float scale = 0.0f;
+  for (const auto& v : data)
+    for (float x : v) scale = std::max(scale, std::abs(x));
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < R; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator c(world, r);
+      Quantizer q(8);
+      Rng rng(777 + r);
+      allreduce_quantized(c, data[r].data(), n, group, 0, q, rng);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Bitwise agreement across ranks (replica-consistency prerequisite).
+  for (int r = 1; r < R; ++r) EXPECT_EQ(data[r], data[0]) << "rank " << r;
+  // Error bounded by one quantization unit per contribution.
+  const double unit = scale / 127.0;
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(data[0][i], expect[i], R * (unit + 1e-6)) << "element " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, CompressedAllreduce,
+                         ::testing::Values(2, 3, 5),
+                         [](const auto& info) {
+                           return "g" + std::to_string(info.param);
+                         });
+
+TEST(CompressedAllreduce, TopKRanksAgree) {
+  const int R = 3;
+  const std::size_t n = 64;
+  World world(R);
+  std::vector<int> group{0, 1, 2};
+  std::vector<std::vector<float>> data(R);
+  for (int r = 0; r < R; ++r) data[r] = random_vec(n, 80 + r);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < R; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator c(world, r);
+      TopKSparsifier sp(0.1);
+      std::vector<float> residual;
+      allreduce_topk(c, data[r].data(), n, group, 0, sp, residual);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int r = 1; r < R; ++r) EXPECT_EQ(data[r], data[0]) << "rank " << r;
+}
+
+}  // namespace
+}  // namespace chimera::comm

@@ -1,0 +1,76 @@
+// Parameter-count and partition tests: the model specs must reproduce the
+// paper's Table 4 exactly.
+#include <gtest/gtest.h>
+
+#include "core/model_spec.h"
+#include "support/check.h"
+
+namespace chimera {
+namespace {
+
+TEST(ModelSpec, Bert48MatchesPaperTable4Exactly) {
+  const ModelSpec m = ModelSpec::bert48();
+  EXPECT_EQ(m.layers, 48);
+  EXPECT_EQ(m.total_params(), 669'790'012);
+}
+
+TEST(ModelSpec, Gpt2MatchesPaperTable4Exactly) {
+  const ModelSpec m = ModelSpec::gpt2_64();
+  EXPECT_EQ(m.layers, 64);
+  EXPECT_EQ(m.total_params(), 1'389'327'360);
+}
+
+TEST(ModelSpec, PerLayerFormula) {
+  const ModelSpec m = ModelSpec::gpt2_64();
+  const std::int64_t h = m.hidden;
+  EXPECT_EQ(m.per_layer_params(), 12 * h * h + 13 * h);
+}
+
+TEST(StagePartition, LayersSplitEvenly) {
+  const ModelSpec m = ModelSpec::bert48();
+  for (int D : {2, 4, 8, 16, 48}) {
+    StagePartition p(m, D);
+    int total = 0;
+    for (int s = 0; s < D; ++s) {
+      total += p.layers_in_stage(s);
+      EXPECT_LE(std::abs(p.layers_in_stage(s) - m.layers / D), 1);
+    }
+    EXPECT_EQ(total, m.layers);
+  }
+}
+
+TEST(StagePartition, StageParamsSumToTotal) {
+  for (const ModelSpec& m : {ModelSpec::bert48(), ModelSpec::gpt2_64(),
+                             ModelSpec::gpt2_32()}) {
+    for (int D : {1, 2, 4, 8, 16}) {
+      StagePartition p(m, D);
+      std::int64_t total = 0;
+      for (int s = 0; s < D; ++s) total += p.stage_params(s);
+      EXPECT_EQ(total, m.total_params()) << m.name << " D=" << D;
+    }
+  }
+}
+
+TEST(StagePartition, FirstStageHeaviestForBert) {
+  // The paper (§4.1): "the first stage usually has more weights than other
+  // stages since it includes an extra embedding layer".
+  const ModelSpec m = ModelSpec::bert48();
+  StagePartition p(m, 16);
+  for (int s = 1; s < 15; ++s)
+    EXPECT_GT(p.stage_params(0), p.stage_params(s));
+}
+
+TEST(StagePartition, RejectsMoreStagesThanLayers) {
+  const ModelSpec m = ModelSpec::gpt2_32();
+  EXPECT_THROW(StagePartition(m, 64), CheckError);
+}
+
+TEST(ModelSpec, FlopAndActivationModelsScaleLinearlyInBatch) {
+  const ModelSpec m = ModelSpec::gpt2_64();
+  EXPECT_DOUBLE_EQ(m.layer_fwd_flops(4), 4 * m.layer_fwd_flops(1));
+  EXPECT_DOUBLE_EQ(m.layer_activation_bytes(4), 4 * m.layer_activation_bytes(1));
+  EXPECT_DOUBLE_EQ(m.boundary_bytes(4), 4 * m.boundary_bytes(1));
+}
+
+}  // namespace
+}  // namespace chimera

@@ -1,0 +1,218 @@
+// Unit tests for schedule construction: structure of the Chimera
+// bidirectional schedule and of every baseline, plus the hand-verifiable
+// examples from the paper's figures.
+#include <gtest/gtest.h>
+
+#include "core/chimera_schedule.h"
+#include "core/baseline_schedules.h"
+#include "core/schedule_analysis.h"
+
+namespace chimera {
+namespace {
+
+TEST(ChimeraSchedule, Depth4MatchesPaperFigure3) {
+  // D=4, N=4, f=1: the merged bidirectional schedule of Fig. 3 (upper right).
+  PipelineSchedule s = build_chimera_schedule({4, 4, 1, ScaleMethod::kDirect});
+  validate(s);
+  ASSERT_EQ(s.num_pipes, 2);
+  // Down pipeline carries micro-batches {0,1}, up pipeline {2,3}.
+  EXPECT_EQ(s.pipe_of_micro, (std::vector<int>{0, 0, 1, 1}));
+  // Down pipeline maps stage s to worker s, up pipeline in reverse.
+  EXPECT_EQ(s.stage_worker[0], (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(s.stage_worker[1], (std::vector<int>{3, 2, 1, 0}));
+
+  // Worker 0 order (derived in the paper's Fig. 3):
+  //   F0 F1 Fu2 Bu2 Fu3 Bu3 B0 B1
+  const auto& w0 = s.worker_ops[0];
+  ASSERT_EQ(w0.size(), 8u);
+  auto sig = [](const Op& op) {
+    return std::tuple(op.kind, op.micro, op.stage, op.pipe);
+  };
+  EXPECT_EQ(sig(w0[0]), std::tuple(OpKind::kForward, 0, 0, 0));
+  EXPECT_EQ(sig(w0[1]), std::tuple(OpKind::kForward, 1, 0, 0));
+  EXPECT_EQ(sig(w0[2]), std::tuple(OpKind::kForward, 2, 3, 1));
+  EXPECT_EQ(sig(w0[3]), std::tuple(OpKind::kBackward, 2, 3, 1));
+  EXPECT_EQ(sig(w0[4]), std::tuple(OpKind::kForward, 3, 3, 1));
+  EXPECT_EQ(sig(w0[5]), std::tuple(OpKind::kBackward, 3, 3, 1));
+  EXPECT_EQ(sig(w0[6]), std::tuple(OpKind::kBackward, 0, 0, 0));
+  EXPECT_EQ(sig(w0[7]), std::tuple(OpKind::kBackward, 1, 0, 0));
+}
+
+TEST(ChimeraSchedule, EqualWorkloadBubbleCountMatchesClosedForm) {
+  // With F = B = 1 the fine-tuned schedule has D−2 bubbles per worker and a
+  // makespan of 2N + D − 2 slots (paper Table 2 derivation).
+  for (int D : {4, 6, 8, 12, 16}) {
+    PipelineSchedule s =
+        build_chimera_schedule({D, D, 1, ScaleMethod::kDirect});
+    ReplayResult r = replay(s, ReplayCosts{.forward = 1.0, .backward = 1.0});
+    EXPECT_DOUBLE_EQ(r.compute_makespan, 2.0 * D + D - 2) << "D=" << D;
+    for (int w = 0; w < D; ++w)
+      EXPECT_DOUBLE_EQ(r.bubble[w], D - 2) << "D=" << D << " w=" << w;
+    EXPECT_NEAR(r.bubble_ratio(),
+                bubble_ratio_formula(Scheme::kChimera, D, D, 1), 1e-12);
+  }
+}
+
+TEST(ChimeraSchedule, GeneralizedPipesBubbleCountMatchesTable3) {
+  // 2f pipelines: D/f − 2 bubbles per worker, makespan 2N/f·f... Table 3:
+  // ratio (D−2f)/(2fN + D−2f) with N = D.
+  for (int D : {8, 16, 24}) {
+    for (int f = 1; f <= D / 2; ++f) {
+      if ((D / 2) % f != 0) continue;
+      PipelineSchedule s = build_chimera_schedule({D, D, f, ScaleMethod::kDirect});
+      validate(s);
+      ReplayResult r = replay(s, ReplayCosts{.forward = 1.0, .backward = 1.0});
+      for (int w = 0; w < D; ++w)
+        EXPECT_DOUBLE_EQ(r.bubble[w], D / f - 2.0)
+            << "D=" << D << " f=" << f << " w=" << w;
+      EXPECT_NEAR(r.bubble_ratio(),
+                  bubble_ratio_formula(Scheme::kChimera, D, D, f), 1e-12);
+    }
+  }
+}
+
+TEST(ChimeraSchedule, ActivationMemoryIntervalMatchesTable2) {
+  // [(D/2+1)·Ma, D·Ma] for f=1, N=D — and the *balanced* distribution is
+  // Chimera's advertised advantage.
+  for (int D : {4, 8, 16, 32}) {
+    PipelineSchedule s = build_chimera_schedule({D, D, 1, ScaleMethod::kDirect});
+    auto inflight = max_inflight_micros(s);
+    const int lo = *std::min_element(inflight.begin(), inflight.end());
+    const int hi = *std::max_element(inflight.begin(), inflight.end());
+    EXPECT_EQ(lo, D / 2 + 1) << "D=" << D;
+    EXPECT_EQ(hi, D) << "D=" << D;
+  }
+}
+
+TEST(ChimeraSchedule, CriticalPathMatchesPaperFigure6) {
+  // Fig. 6 (D = N = 6): Cf = 6 forwards and Cb = 10 backwards on the
+  // critical path. We recover the counts by differentiating the makespan.
+  PipelineSchedule s = build_chimera_schedule({6, 6, 1, ScaleMethod::kDirect});
+  const double Ft = 1.0, Bt = 2.0, eps = 1e-6;
+  const double m0 = replay(s, ReplayCosts{.forward = Ft, .backward = Bt}).compute_makespan;
+  const double mf =
+      replay(s, ReplayCosts{.forward = Ft * (1 + eps), .backward = Bt}).compute_makespan;
+  const double mb =
+      replay(s, ReplayCosts{.forward = Ft, .backward = Bt * (1 + eps)}).compute_makespan;
+  EXPECT_NEAR((mf - m0) / (Ft * eps), 6.0, 1e-3);
+  EXPECT_NEAR((mb - m0) / (Bt * eps), 10.0, 1e-3);
+}
+
+TEST(ChimeraSchedule, SupportsFewerMicroBatchesThanStages) {
+  for (int D : {4, 8}) {
+    for (int N = 1; N < D; ++N) {
+      PipelineSchedule s =
+          build_chimera_schedule({D, N, 1, ScaleMethod::kDirect});
+      validate(s);
+      EXPECT_EQ(static_cast<int>(s.pipe_of_micro.size()), N);
+    }
+  }
+}
+
+TEST(ChimeraSchedule, RejectsInvalidConfigs) {
+  EXPECT_THROW(build_chimera_schedule({3, 4, 1, ScaleMethod::kDirect}),
+               CheckError);  // odd depth
+  EXPECT_THROW(build_chimera_schedule({8, 8, 3, ScaleMethod::kDirect}),
+               CheckError);  // f does not divide D/2
+  EXPECT_THROW(build_chimera_schedule({4, 0, 1, ScaleMethod::kDirect}),
+               CheckError);  // no micro-batches
+}
+
+TEST(GPipeSchedule, AllForwardsThenAllBackwards) {
+  PipelineSchedule s = build_gpipe_schedule({4, 6, 1, ScaleMethod::kDirect});
+  validate(s);
+  for (int w = 0; w < 4; ++w) {
+    const auto& ops = s.worker_ops[w];
+    ASSERT_EQ(ops.size(), 12u);
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(ops[i].kind, OpKind::kForward);
+    for (int i = 6; i < 12; ++i) EXPECT_EQ(ops[i].kind, OpKind::kBackward);
+  }
+  // GPipe stashes all N micro-batches concurrently.
+  auto inflight = max_inflight_micros(s);
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(inflight[w], 6);
+}
+
+TEST(DappleSchedule, OneFOneBStructureAndMemory) {
+  const int D = 4, N = 8;
+  PipelineSchedule s = build_dapple_schedule({D, N, 1, ScaleMethod::kDirect});
+  validate(s);
+  // Last stage alternates F0 B0 F1 B1 ...
+  const auto& last = s.worker_ops[D - 1];
+  EXPECT_EQ(last[0].kind, OpKind::kForward);
+  EXPECT_EQ(last[1].kind, OpKind::kBackward);
+  EXPECT_EQ(last[1].micro, 0);
+  // In-flight activations: min(N, D−s) on stage s (Table 2: [Ma, D·Ma]).
+  auto inflight = max_inflight_micros(s);
+  for (int w = 0; w < D; ++w) EXPECT_EQ(inflight[w], std::min(N, D - w));
+}
+
+TEST(DappleSchedule, BubbleRatioMatchesClosedForm) {
+  // 2(D−1) bubbles; ratio (D−1)/(N+D−1) in both the equal-workload and
+  // practical regimes.
+  for (int D : {2, 4, 8}) {
+    for (int N : {D, 2 * D, 4 * D}) {
+      PipelineSchedule s =
+          build_dapple_schedule({D, N, 1, ScaleMethod::kDirect});
+      ReplayResult r = replay(s, ReplayCosts{.forward = 1.0, .backward = 2.0});
+      EXPECT_NEAR(r.bubble_ratio(),
+                  bubble_ratio_formula(Scheme::kDapple, D, N), 1e-9)
+          << "D=" << D << " N=" << N;
+    }
+  }
+}
+
+TEST(GemsSchedule, AtMostTwoActiveMicroBatches) {
+  for (int D : {2, 4, 8}) {
+    for (int N : {2, 4, 8}) {
+      PipelineSchedule s = build_gems_schedule({D, N, 1, ScaleMethod::kDirect});
+      validate(s);
+      auto inflight = max_inflight_micros(s);
+      for (int w = 0; w < D; ++w)
+        EXPECT_LE(inflight[w], 2) << "D=" << D << " N=" << N << " w=" << w;
+    }
+  }
+}
+
+TEST(GemsSchedule, BubbleRatioIsLargeAndInsensitiveToN) {
+  PipelineSchedule s8 = build_gems_schedule({8, 8, 1, ScaleMethod::kDirect});
+  PipelineSchedule s16 = build_gems_schedule({8, 16, 1, ScaleMethod::kDirect});
+  const double r8 = replay(s8, ReplayCosts{}).bubble_ratio();
+  const double r16 = replay(s16, ReplayCosts{}).bubble_ratio();
+  EXPECT_GT(r8, 0.5);
+  EXPECT_NEAR(r8, r16, 0.1);  // more micro-batches do not help GEMS
+}
+
+TEST(PipeDreamSchedule, SameOrderAsDappleButAsynchronous) {
+  PipelineSchedule pd = build_pipedream_schedule({4, 8, 1, ScaleMethod::kDirect});
+  PipelineSchedule da = build_dapple_schedule({4, 8, 1, ScaleMethod::kDirect});
+  validate(pd);
+  EXPECT_FALSE(pd.synchronous);
+  EXPECT_TRUE(da.synchronous);
+  for (int w = 0; w < 4; ++w) {
+    ASSERT_EQ(pd.worker_ops[w].size(), da.worker_ops[w].size());
+    for (size_t i = 0; i < pd.worker_ops[w].size(); ++i) {
+      EXPECT_EQ(pd.worker_ops[w][i].kind, da.worker_ops[w][i].kind);
+      EXPECT_EQ(pd.worker_ops[w][i].micro, da.worker_ops[w][i].micro);
+    }
+  }
+}
+
+TEST(Schedules, EveryWorkerSeesEveryMicroBatchOnce) {
+  for (Scheme scheme : {Scheme::kChimera, Scheme::kGPipe, Scheme::kDapple,
+                        Scheme::kGems, Scheme::kPipeDream, Scheme::kPipeDream2BW}) {
+    ScheduleConfig cfg{8, 8, 1, ScaleMethod::kDirect};
+    PipelineSchedule s = build_schedule(scheme, cfg);
+    for (int w = 0; w < s.depth; ++w) {
+      std::vector<int> fwd_count(s.num_micro, 0);
+      for (const Op& op : s.worker_ops[w])
+        if (op.kind == OpKind::kForward)
+          for (int m = op.micro; m < op.micro + op.chunk; ++m) ++fwd_count[m];
+      for (int m = 0; m < s.num_micro; ++m)
+        EXPECT_EQ(fwd_count[m], 1)
+            << scheme_name(scheme) << " worker " << w << " micro " << m;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chimera

@@ -1,0 +1,262 @@
+// Simulator and performance-model tests: the event engine against the
+// analytic replay, memory-model patterns from the paper, eager-sync
+// placement effects, and the model-vs-simulation error bound of Fig. 13.
+#include <gtest/gtest.h>
+
+#include "core/perf_model.h"
+#include "core/schedule_analysis.h"
+#include "sim/simulate.h"
+
+namespace chimera {
+namespace {
+
+using sim::EngineCosts;
+using sim::run_engine;
+
+EngineCosts uniform_costs(int depth, double ft, double bf) {
+  EngineCosts c;
+  c.forward_seconds.assign(depth, ft);
+  c.backward_factor = bf;
+  return c;
+}
+
+TEST(EventEngine, MatchesAnalyticReplayWithoutCommunication) {
+  // With zero communication cost the event engine and the dependency replay
+  // must agree exactly — they implement the same semantics.
+  for (Scheme scheme : {Scheme::kChimera, Scheme::kGPipe, Scheme::kDapple,
+                        Scheme::kGems}) {
+    for (int D : {4, 8}) {
+      for (int N : {D, 2 * D}) {
+        ScheduleConfig sc{D, N, 1, ScaleMethod::kDirect};
+        PipelineSchedule s = build_schedule(scheme, sc);
+        ReplayResult r = replay(s, ReplayCosts{.forward = 1.0, .backward = 2.0});
+        sim::EngineResult e = run_engine(s, uniform_costs(D, 1.0, 2.0));
+        EXPECT_NEAR(e.compute_makespan, r.compute_makespan, 1e-9)
+            << scheme_name(scheme) << " D=" << D << " N=" << N;
+        EXPECT_NEAR(e.bubble_ratio(), r.bubble_ratio(), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(EventEngine, CommunicationExtendsMakespan) {
+  PipelineSchedule s = build_schedule(Scheme::kChimera, {4, 4, 1, ScaleMethod::kDirect});
+  EngineCosts base = uniform_costs(4, 1.0, 2.0);
+  const double t0 = run_engine(s, base).makespan;
+  EngineCosts comm = base;
+  comm.alpha = 0.1;
+  comm.beta = 1e-3;
+  comm.boundary_bytes = 100.0;
+  const double t1 = run_engine(s, comm).makespan;
+  EXPECT_GT(t1, t0);
+}
+
+TEST(EventEngine, JitterIsDeterministicGivenSeed) {
+  PipelineSchedule s = build_schedule(Scheme::kDapple, {4, 8, 1, ScaleMethod::kDirect});
+  EngineCosts c = uniform_costs(4, 1.0, 2.0);
+  c.jitter = 0.1;
+  c.seed = 99;
+  const double t1 = run_engine(s, c).makespan;
+  const double t2 = run_engine(s, c).makespan;
+  EXPECT_DOUBLE_EQ(t1, t2);
+  c.seed = 100;
+  EXPECT_NE(run_engine(s, c).makespan, t1);
+}
+
+TEST(EventEngine, EagerSyncHidesAllreduceInBubbles) {
+  // With at-end placement the allreduce time is fully exposed; eager
+  // placement hides part of it in the bubbles (paper Fig. 4).
+  PipelineSchedule base = build_schedule(Scheme::kChimera, {8, 8, 1, ScaleMethod::kDirect});
+  EngineCosts c = uniform_costs(8, 1.0, 2.0);
+  c.allreduce_seconds.assign(8, 2.0);
+  const double at_end =
+      run_engine(with_gradient_sync(base, SyncPolicy::kAtEnd), c).makespan;
+  const double eager =
+      run_engine(with_gradient_sync(base, SyncPolicy::kEagerOpt), c).makespan;
+  EXPECT_LT(eager, at_end);
+}
+
+TEST(EventEngine, EagerOptBeatsPlainEagerUnderLaunchOverhead) {
+  // Plain eager launches collectives for middle stages too, paying the
+  // nonblocking progression overhead on the critical path (§3.2); the
+  // opt variant only launches into real bubbles.
+  PipelineSchedule base = build_schedule(Scheme::kChimera, {8, 8, 1, ScaleMethod::kDirect});
+  EngineCosts c = uniform_costs(8, 1.0, 2.0);
+  c.allreduce_seconds.assign(8, 1.5);
+  c.begin_cpu_fraction = 0.25;
+  const double eager =
+      run_engine(with_gradient_sync(base, SyncPolicy::kEager), c).makespan;
+  const double opt =
+      run_engine(with_gradient_sync(base, SyncPolicy::kEagerOpt), c).makespan;
+  EXPECT_LE(opt, eager);
+}
+
+// ---- simulate(): scheme-level behaviour ---------------------------------
+
+TEST(Simulate, ChimeraBeatsGpipeAndDappleAtSmallN) {
+  const ModelSpec model = ModelSpec::bert48();
+  const MachineSpec machine = MachineSpec::piz_daint();
+  ExecConfig cfg;
+  cfg.W = 8;
+  cfg.D = 4;
+  cfg.B = 8;
+  cfg.minibatch = 256;  // N = 4 per worker: bubbles matter
+  cfg.scheme = Scheme::kChimera;
+  const double chimera = sim::simulate(cfg, model, machine).throughput;
+  cfg.scheme = Scheme::kDapple;
+  const double dapple = sim::simulate(cfg, model, machine).throughput;
+  cfg.scheme = Scheme::kGPipe;
+  const double gpipe = sim::simulate(cfg, model, machine).throughput;
+  cfg.scheme = Scheme::kGems;
+  const double gems = sim::simulate(cfg, model, machine).throughput;
+  EXPECT_GT(chimera, dapple);
+  EXPECT_GT(chimera, gpipe);
+  EXPECT_GT(chimera, 1.5 * gems);
+}
+
+TEST(Simulate, BubbleRatioDropsWithMoreMicroBatches) {
+  const ModelSpec model = ModelSpec::bert48();
+  const MachineSpec machine = MachineSpec::piz_daint();
+  ExecConfig cfg;
+  cfg.scheme = Scheme::kDapple;
+  cfg.W = 1;
+  cfg.D = 8;
+  cfg.B = 1;
+  cfg.minibatch = 8;
+  const double small = sim::simulate(cfg, model, machine).bubble_ratio;
+  cfg.minibatch = 64;
+  const double large = sim::simulate(cfg, model, machine).bubble_ratio;
+  EXPECT_GT(small, large);
+}
+
+TEST(Simulate, InfeasibleConfigReportsOom) {
+  const ModelSpec model = ModelSpec::gpt2_64();
+  const MachineSpec machine = MachineSpec::piz_daint();
+  ExecConfig cfg;
+  cfg.scheme = Scheme::kGPipe;
+  cfg.W = 1;
+  cfg.D = 8;
+  cfg.B = 8;          // far beyond P100 memory even with recomputation
+  cfg.minibatch = 512;
+  cfg.recompute = Recompute::kOff;
+  const sim::SimResult r = sim::simulate(cfg, model, machine);
+  EXPECT_FALSE(r.feasible);
+}
+
+// ---- memory model: the paper's OOM/recompute pattern --------------------
+
+TEST(MemoryModel, Figure15PatternGpt2At512Nodes) {
+  // At 512 nodes, B̂=512: Chimera D=32 fits without recomputation while
+  // DAPPLE D=16, PipeDream-2BW D=16, GPipe D=8 and PipeDream D=8 need it
+  // (paper Fig. 15 legend); GEMS D=8 fits.
+  const ModelSpec model = ModelSpec::gpt2_64();
+  const MachineSpec machine = MachineSpec::piz_daint();
+  const int P = 512;
+  auto needs_recompute = [&](Scheme s, int D, int B, long minibatch) {
+    ExecConfig cfg;
+    cfg.scheme = s;
+    cfg.D = D;
+    cfg.W = P / D;
+    cfg.B = B;
+    cfg.minibatch = minibatch;
+    return resolve_recompute(cfg, model, machine);
+  };
+  EXPECT_FALSE(needs_recompute(Scheme::kChimera, 32, 1, 512));
+  EXPECT_TRUE(needs_recompute(Scheme::kDapple, 16, 1, 512));
+  EXPECT_TRUE(needs_recompute(Scheme::kPipeDream2BW, 16, 1, 512));
+  EXPECT_TRUE(needs_recompute(Scheme::kGPipe, 8, 1, 512));
+  EXPECT_TRUE(needs_recompute(Scheme::kPipeDream, 8, 1, 64));
+  EXPECT_FALSE(needs_recompute(Scheme::kGems, 8, 2, 512));
+}
+
+TEST(MemoryModel, ChimeraIsMoreBalancedThanDapple) {
+  // Fig. 9: Chimera's max/min per-worker spread is tighter than DAPPLE's.
+  const ModelSpec model = ModelSpec::bert48();
+  const MachineSpec machine = MachineSpec::piz_daint();
+  ExecConfig cfg;
+  cfg.W = 2;
+  cfg.D = 16;
+  cfg.B = 8;
+  cfg.minibatch = 512;
+  cfg.scheme = Scheme::kChimera;
+  const MemoryReport chimera = memory_model(cfg, model, machine, false);
+  cfg.scheme = Scheme::kDapple;
+  const MemoryReport dapple = memory_model(cfg, model, machine, false);
+  const double spread_c = chimera.peak_bytes() - chimera.min_bytes();
+  const double spread_d = dapple.peak_bytes() - dapple.min_bytes();
+  EXPECT_LT(spread_c, spread_d);
+  // And Chimera's peak stays at or below DAPPLE's despite two model copies.
+  EXPECT_LE(chimera.peak_bytes(), 1.05 * dapple.peak_bytes());
+}
+
+TEST(MemoryModel, RecomputationShrinksActivations) {
+  const ModelSpec model = ModelSpec::gpt2_64();
+  const MachineSpec machine = MachineSpec::piz_daint();
+  ExecConfig cfg;
+  cfg.scheme = Scheme::kDapple;
+  cfg.W = 32;
+  cfg.D = 16;
+  cfg.B = 1;
+  cfg.minibatch = 512;
+  const double plain =
+      memory_model(cfg, model, machine, false).peak_bytes();
+  const double recomputed =
+      memory_model(cfg, model, machine, true).peak_bytes();
+  EXPECT_LT(recomputed, 0.6 * plain);
+}
+
+// ---- performance model (Eq. 1) vs simulation (Fig. 13) ------------------
+
+TEST(PerfModel, WithinTenPercentOfSimulation) {
+  const ModelSpec model = ModelSpec::bert48();
+  const MachineSpec machine = MachineSpec::piz_daint();
+  PerfModel pm(model, machine);
+  for (auto [W, D, B] : {std::tuple{8, 4, 8}, {4, 8, 8}, {2, 16, 8}}) {
+    ExecConfig cfg;
+    cfg.scheme = Scheme::kChimera;
+    cfg.W = W;
+    cfg.D = D;
+    cfg.B = B;
+    cfg.minibatch = 256;
+    const double predicted = pm.throughput(cfg);
+    const double measured = sim::simulate(cfg, model, machine).throughput;
+    EXPECT_NEAR(predicted, measured, 0.10 * measured)
+        << "W=" << W << " D=" << D;
+  }
+}
+
+TEST(PerfModel, BreakdownIsConsistent) {
+  const ModelSpec model = ModelSpec::bert48();
+  const MachineSpec machine = MachineSpec::piz_daint();
+  PerfModel pm(model, machine);
+  ExecConfig cfg;
+  cfg.scheme = Scheme::kChimera;
+  cfg.W = 4;
+  cfg.D = 8;
+  cfg.B = 8;
+  cfg.minibatch = 512;
+  const PerfBreakdown b = pm.breakdown(cfg);
+  EXPECT_GT(b.Ft, 0.0);
+  EXPECT_NEAR(b.Bt, (b.recompute ? 3.0 : 2.0) * b.Ft, 1e-12);
+  EXPECT_GE(b.Cf, cfg.D);                    // at least one full traversal
+  EXPECT_GT(b.Cb, b.Cf);                     // backwards dominate the path
+  EXPECT_NEAR(b.total, b.compute_time + b.ar_unoverlapped, 1e-9);
+  EXPECT_NEAR(b.throughput, cfg.minibatch / b.total, 1e-9);
+}
+
+TEST(PerfModel, PipeDreamThroughputIndependentOfMinibatch) {
+  const ModelSpec model = ModelSpec::bert48();
+  const MachineSpec machine = MachineSpec::piz_daint();
+  PerfModel pm(model, machine);
+  ExecConfig cfg;
+  cfg.scheme = Scheme::kPipeDream;
+  cfg.W = 4;
+  cfg.D = 8;
+  cfg.B = 4;
+  cfg.minibatch = 16;  // B·W
+  const double a = pm.throughput(cfg);
+  EXPECT_GT(a, 0.0);
+}
+
+}  // namespace
+}  // namespace chimera

@@ -1,0 +1,80 @@
+// Chrome-trace export tests: event counts, interval consistency with the
+// engine result, metadata rows, and syntactic sanity of the JSON.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/sync_placement.h"
+#include "sim/event_engine.h"
+#include "sim/trace_export.h"
+
+namespace chimera::sim {
+namespace {
+
+EngineCosts unit_costs(int depth) {
+  EngineCosts c;
+  c.forward_seconds.assign(depth, 1.0);
+  c.backward_factor = 2.0;
+  c.allreduce_seconds.assign(depth, 0.5);
+  return c;
+}
+
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(TraceExport, OneDurationEventPerOpPlusWorkerMetadata) {
+  const PipelineSchedule s = with_gradient_sync(
+      build_schedule(Scheme::kChimera, {4, 4, 1, ScaleMethod::kDirect}),
+      SyncPolicy::kEagerOpt);
+  const EngineResult r = run_engine(s, unit_costs(4));
+  const std::string json = chrome_trace_json(s, r);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), s.total_ops());
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"M\""), 4u);  // one per worker
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"P0\""), 1u);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // Balanced braces — a cheap structural check without a JSON parser.
+  long depth = 0;
+  for (char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceExport, CategoriesSeparateComputeFromCollectives) {
+  const PipelineSchedule s = with_gradient_sync(
+      build_schedule(Scheme::kDapple, {4, 8, 1, ScaleMethod::kDirect}),
+      SyncPolicy::kAtEnd);
+  const EngineResult r = run_engine(s, unit_costs(4));
+  const std::string json = chrome_trace_json(s, r);
+  // 8 micro-batches × 4 stages forwards, same backwards.
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"forward\""), 32u);
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"backward\""), 32u);
+  // DAPPLE hosts one stage per worker: Begin+Wait per worker.
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"allreduce\""), 8u);
+}
+
+TEST(TraceExport, WritesFileRoundTrip) {
+  const PipelineSchedule s =
+      build_schedule(Scheme::kGPipe, {2, 2, 1, ScaleMethod::kDirect});
+  const EngineResult r = run_engine(s, unit_costs(2));
+  const std::string path = "/tmp/chimera_trace_test.json";
+  write_chrome_trace(path, s, r);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, chrome_trace_json(s, r));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace chimera::sim
