@@ -24,11 +24,7 @@ const char* allreduce_algo_name(AllreduceAlgo a) {
 
 namespace {
 
-Tensor wrap(const float* data, std::size_t n) {
-  Tensor t(1, static_cast<int>(n));
-  std::memcpy(t.data(), data, n * sizeof(float));
-  return t;
-}
+Tensor wrap(const float* data, std::size_t n) { return Tensor(data, n); }
 
 int index_in(const std::vector<int>& group, int rank) {
   auto it = std::find(group.begin(), group.end(), rank);

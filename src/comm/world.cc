@@ -24,8 +24,12 @@ Tensor Communicator::recv(int src, std::int64_t tag) {
   World::Mailbox& box = *world_->boxes_[rank_];
   std::unique_lock<std::mutex> lock(box.mutex);
   const World::Key key{src, tag};
-  box.cv.wait(lock, [&] { return box.messages.find(key) != box.messages.end(); });
-  auto it = box.messages.find(key);
+  auto it = box.messages.end();
+  // One lookup per wakeup: the predicate's hit is reused after the wait.
+  box.cv.wait(lock, [&] {
+    it = box.messages.find(key);
+    return it != box.messages.end();
+  });
   Tensor out = std::move(it->second);
   box.messages.erase(it);
   return out;

@@ -96,8 +96,10 @@ class World {
   std::vector<std::unique_ptr<Mailbox>> boxes_;
 };
 
-/// Per-rank endpoint. send() copies the payload into the destination
-/// mailbox; recv() blocks until a matching (src, tag) message arrives.
+/// Per-rank endpoint. send() moves the payload into the destination
+/// mailbox and recv() moves it back out (it blocks until a matching
+/// (src, tag) message arrives) — a p2p transfer never copies the tensor
+/// storage, only hands it over.
 ///
 /// Collective-ordering contract (MPI semantics): every member of a group
 /// must enter the group's *blocking* collectives in the same order.

@@ -1,0 +1,199 @@
+#include "core/execution_plan.h"
+
+#include <algorithm>
+
+namespace chimera {
+
+std::int64_t ExecutionPlan::p2p_tag(OpKind kind, int pipe, int stage,
+                                    int micro, int half) {
+  const std::int64_t k = kind == OpKind::kForward ? 0 : 1;
+  return ((((k * 64 + pipe) * 64 + stage) * 8192 + micro) * 4 + half);
+}
+
+ExecutionPlan::ExecutionPlan(const PipelineSchedule& s)
+    : sched_(&s), index_(s) {
+  halved_micro_.assign(std::max(0, s.num_micro), false);
+  for (const auto& ops : s.worker_ops)
+    for (const Op& op : ops)
+      if (op.kind == OpKind::kBackward && op.half_count == 2)
+        halved_micro_[op.micro] = true;
+
+  const int D = s.depth;
+  plan_.resize(D);
+  for (int w = 0; w < D; ++w) {
+    plan_[w].resize(s.worker_ops[w].size());
+    for (int i = 0; i < static_cast<int>(s.worker_ops[w].size()); ++i) {
+      const Op& op = s.worker_ops[w][i];
+      PlannedOp& p = plan_[w][i];
+      p.op = op;
+      p.ref = OpRef{w, i};
+      index_.dependencies(p.ref, p.deps);
+      switch (op.kind) {
+        case OpKind::kForward:
+          for (int m = op.micro; m < op.micro + op.chunk; ++m) {
+            const int halves = halved_micro_[m] ? 2 : 1;
+            for (int h = 0; h < halves; ++h) {
+              MicroUnit u;
+              u.micro = m;
+              u.half = h;
+              u.halves = halves;
+              u.stash_key = static_cast<long>(m) * 4 + h;
+              if (op.stage > 0) {
+                u.recv_from = s.worker_of(op.pipe, op.stage - 1);
+                u.recv_tag = p2p_tag(OpKind::kForward, op.pipe, op.stage, m, h);
+              }
+              if (op.stage + 1 < D) {
+                u.send_to = s.worker_of(op.pipe, op.stage + 1);
+                u.send_tag =
+                    p2p_tag(OpKind::kForward, op.pipe, op.stage + 1, m, h);
+              }
+              u.acquires_stash = h == 0;  // one stash per micro-batch
+              p.units.push_back(u);
+            }
+          }
+          break;
+        case OpKind::kBackward: {
+          MicroUnit u;
+          u.micro = op.micro;
+          u.half = op.half_index;
+          u.halves = op.half_count;
+          u.stash_key = static_cast<long>(op.micro) * 4 + op.half_index;
+          if (op.stage + 1 < D) {
+            u.recv_from = s.worker_of(op.pipe, op.stage + 1);
+            u.recv_tag = p2p_tag(OpKind::kBackward, op.pipe, op.stage,
+                                 op.micro, op.half_index);
+          }
+          if (op.stage > 0) {
+            u.send_to = s.worker_of(op.pipe, op.stage - 1);
+            u.send_tag = p2p_tag(OpKind::kBackward, op.pipe, op.stage - 1,
+                                 op.micro, op.half_index);
+          }
+          u.releases_stash = op.half_index + 1 == op.half_count;
+          p.units.push_back(u);
+          break;
+        }
+        case OpKind::kAllReduceBegin:
+        case OpKind::kAllReduceWait:
+          break;
+      }
+    }
+  }
+}
+
+namespace {
+
+double op_cost(const Op& op, const ReplayCosts& c) {
+  switch (op.kind) {
+    case OpKind::kForward:
+      return c.forward * op.chunk;
+    case OpKind::kBackward: {
+      double t = c.backward / op.half_count;
+      if (c.recompute) t += c.forward / op.half_count;
+      return t;
+    }
+    case OpKind::kAllReduceBegin:
+      return c.begin_cpu_fraction * c.allreduce_cost(op.stage);
+    case OpKind::kAllReduceWait:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+/// Volume factor of a p2p transfer feeding `op` (micro-batches moved).
+double p2p_volume(const Op& op) {
+  if (op.kind == OpKind::kForward) return op.chunk;
+  if (op.kind == OpKind::kBackward) return 1.0 / op.half_count;
+  return 0.0;
+}
+
+}  // namespace
+
+ReplayResult replay(const ExecutionPlan& plan, const ReplayCosts& costs) {
+  const PipelineSchedule& s = plan.schedule();
+  const int D = s.depth;
+  ReplayResult r;
+  r.times.resize(D);
+  r.busy.assign(D, 0.0);
+  r.bubble.assign(D, 0.0);
+  for (int w = 0; w < D; ++w) r.times[w].resize(s.worker_ops[w].size());
+
+  std::vector<int> next(D, 0);  // next op index per worker
+  std::vector<double> free_at(D, 0.0);
+  // Completion time of the gradient allreduce per stage, filled lazily when
+  // the wait op of the first group member executes.
+  std::vector<double> ar_done(D, -1.0);
+
+  std::size_t remaining = s.total_ops();
+  while (remaining > 0) {
+    bool progress = false;
+    for (int w = 0; w < D; ++w) {
+      // Drain every currently-ready op of this worker before moving on; this
+      // keeps the scan count proportional to the makespan, not to op count.
+      while (next[w] < static_cast<int>(s.worker_ops[w].size())) {
+        const PlannedOp& pop = plan.worker_plan(w)[next[w]];
+        const Op& op = pop.op;
+        double ready = free_at[w];
+        bool ok = true;
+        for (const OpRef& d : pop.deps) {
+          if (d.worker == w) {
+            if (d.index >= next[w]) { ok = false; break; }
+            ready = std::max(ready, r.times[d.worker][d.index].end);
+          } else {
+            if (d.index >= next[d.worker]) { ok = false; break; }
+            ready = std::max(ready, r.times[d.worker][d.index].end +
+                                        costs.p2p * p2p_volume(op));
+          }
+        }
+        if (!ok) break;
+        if (op.kind == OpKind::kAllReduceWait) {
+          if (ar_done[op.stage] < 0.0) {
+            double launch = 0.0;
+            for (int g : plan.allreduce_group(op.stage)) {
+              OpRef b = plan.index().allreduce_begin(g, op.stage);
+              launch = std::max(launch, r.times[b.worker][b.index].end);
+            }
+            ar_done[op.stage] = launch + costs.allreduce_cost(op.stage);
+          }
+          ready = std::max(ready, ar_done[op.stage]);
+        }
+        const double dur = op_cost(op, costs);
+        r.times[w][next[w]] = OpTiming{ready, ready + dur};
+        free_at[w] = ready + dur;
+        if (op.is_compute()) {
+          r.busy[w] += dur;
+          r.compute_makespan = std::max(r.compute_makespan, ready + dur);
+        }
+        r.makespan = std::max(r.makespan, ready + dur);
+        ++next[w];
+        --remaining;
+        progress = true;
+      }
+    }
+    CHIMERA_CHECK_MSG(progress, "schedule deadlocked: circular wait between "
+                                "worker order and data dependencies");
+  }
+  for (int w = 0; w < D; ++w) r.bubble[w] = r.compute_makespan - r.busy[w];
+  return r;
+}
+
+std::vector<int> max_inflight_micros(const ExecutionPlan& plan) {
+  const PipelineSchedule& s = plan.schedule();
+  std::vector<int> high(s.depth, 0);
+  for (int w = 0; w < s.depth; ++w) {
+    int live = 0;
+    for (const PlannedOp& pop : plan.worker_plan(w)) {
+      for (const MicroUnit& u : pop.units) {
+        if (u.acquires_stash) {
+          ++live;
+          high[w] = std::max(high[w], live);
+        }
+        if (u.releases_stash) --live;
+      }
+    }
+    CHIMERA_CHECK_MSG(live == 0, "worker " << w << " ends iteration with "
+                                           << live << " live stashes");
+  }
+  return high;
+}
+
+}  // namespace chimera

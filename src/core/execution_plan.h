@@ -1,0 +1,96 @@
+// ExecutionPlan: the fully resolved, executor-agnostic lowering of a
+// PipelineSchedule.
+//
+// A PipelineSchedule says *what* runs in which order on each worker; an
+// ExecutionPlan additionally precomputes, once per schedule, everything an
+// executor needs to run it:
+//   - the dependency list of every op (from OpIndex::dependencies),
+//   - the p2p send/recv endpoints and message tags of every compute op,
+//     split into per-micro-batch (and per-half) units,
+//   - stash acquire/release events (forward acquires an activation stash,
+//     the last backward half releases it),
+//   - the gradient-allreduce group of every stage.
+//
+// Three consumers execute the same plan: the analyzer's ASAP replay
+// (reference timing semantics), the discrete-event cluster simulator
+// (src/sim) and the threaded training runtime (src/runtime). Because all
+// three walk identical dependency lists and transfer units, properties
+// proven against the replay transfer to simulated and real execution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schedule_analysis.h"
+
+namespace chimera {
+
+/// One micro-batch (or backward half) processed by a compute op, with its
+/// p2p endpoints, message tags and stash events fully resolved. Workers are
+/// pipeline-group-local indices (0..D−1); a data-parallel runtime offsets
+/// them by its group base rank.
+struct MicroUnit {
+  int micro = -1;   ///< global micro-batch id within the iteration
+  int half = 0;     ///< backward halving: which half (0 unless halved)
+  int halves = 1;   ///< 2 for halved backwards, 1 otherwise
+  long stash_key = 0;  ///< activation-stash key in nn::StageModule
+  int recv_from = -1;  ///< producer worker, −1 when no inbound transfer
+  std::int64_t recv_tag = 0;
+  int send_to = -1;    ///< consumer worker, −1 when no outbound transfer
+  std::int64_t send_tag = 0;
+  bool acquires_stash = false;  ///< first forward half: stash grows by one micro
+  bool releases_stash = false;  ///< last backward half: stash shrinks by one
+};
+
+/// One schedule op with its precomputed dependencies and transfer units.
+struct PlannedOp {
+  Op op;
+  OpRef ref;
+  std::vector<OpRef> deps;       ///< see OpIndex::dependencies
+  std::vector<MicroUnit> units;  ///< compute ops only; empty for collectives
+};
+
+/// Built once per schedule; immutable and shared by every executor.
+class ExecutionPlan {
+ public:
+  explicit ExecutionPlan(const PipelineSchedule& s);
+
+  const PipelineSchedule& schedule() const { return *sched_; }
+  const OpIndex& index() const { return index_; }
+
+  /// Ordered plan of worker `w` (parallel to schedule().worker_ops[w]).
+  const std::vector<PlannedOp>& worker_plan(int w) const { return plan_[w]; }
+  const PlannedOp& planned(OpRef r) const { return plan_[r.worker][r.index]; }
+
+  /// Workers participating in the gradient allreduce of `stage`.
+  const std::vector<int>& allreduce_group(int stage) const {
+    return index_.allreduce_group(stage);
+  }
+
+  /// True when micro-batch `m`'s backward is split into two halves
+  /// (ScaleMethod::kBackwardHalving); forwards then also run two slices.
+  bool micro_is_halved(int m) const { return halved_micro_[m]; }
+
+  /// Message tag of the transfer consumed by op (kind, pipe, stage, micro,
+  /// half). Tags are unique per receiving op; the runtime's mailbox matching
+  /// and any future transport share this one definition.
+  static std::int64_t p2p_tag(OpKind kind, int pipe, int stage, int micro,
+                              int half);
+
+ private:
+  const PipelineSchedule* sched_;
+  OpIndex index_;
+  std::vector<std::vector<PlannedOp>> plan_;
+  std::vector<bool> halved_micro_;
+};
+
+/// Dependency-driven ASAP replay of the plan — the reference executor
+/// semantics (see core/schedule_analysis.h for the cost model). The
+/// PipelineSchedule/OpIndex overloads declared there lower onto this one.
+ReplayResult replay(const ExecutionPlan& plan, const ReplayCosts& costs);
+
+/// Per-worker high-water mark of stashed forward activations, in
+/// micro-batches, derived from the plan's stash acquire/release events.
+std::vector<int> max_inflight_micros(const ExecutionPlan& plan);
+
+}  // namespace chimera

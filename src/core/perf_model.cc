@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/execution_plan.h"
 #include "core/memory_model.h"
 #include "core/schedule_analysis.h"
 
@@ -47,6 +48,7 @@ PerfBreakdown PerfModel::breakdown(const ExecConfig& cfg) const {
 
   // --- synchronous schemes: dependency replay of the real schedule ------
   const PipelineSchedule sched = build_schedule(cfg.scheme, cfg.schedule_config());
+  const ExecutionPlan plan(sched);  // one lowering, replayed with many costs
 
   ReplayCosts costs;
   costs.forward = out.Ft;
@@ -54,7 +56,7 @@ PerfBreakdown PerfModel::breakdown(const ExecConfig& cfg) const {
   costs.recompute = out.recompute;
   costs.p2p = out.p2p;
 
-  const double base = replay(sched, costs).compute_makespan;
+  const double base = replay(plan, costs).compute_makespan;
   out.compute_time = base;
 
   // Cf/Cb: derivative of the makespan w.r.t. Ft and Bt (piecewise linear in
@@ -62,17 +64,17 @@ PerfBreakdown PerfModel::breakdown(const ExecConfig& cfg) const {
   {
     ReplayCosts c0 = costs;
     c0.p2p = 0.0;
-    const double m0 = replay(sched, c0).compute_makespan;
+    const double m0 = replay(plan, c0).compute_makespan;
     const double eps = 1e-7;
     ReplayCosts cf = c0;
     cf.forward = out.Ft * (1.0 + eps);
     // With recomputation every backward also pays one forward; hold the
     // backward cost fixed so the derivative isolates the forward count.
     if (c0.recompute) cf.backward = c0.backward - out.Ft * eps;
-    out.Cf = (replay(sched, cf).compute_makespan - m0) / (out.Ft * eps);
+    out.Cf = (replay(plan, cf).compute_makespan - m0) / (out.Ft * eps);
     ReplayCosts cb = c0;
     cb.backward = c0.backward * (1.0 + eps);
-    out.Cb = (replay(sched, cb).compute_makespan - m0) / (c0.backward * eps);
+    out.Cb = (replay(plan, cb).compute_makespan - m0) / (c0.backward * eps);
   }
 
   // Gradient synchronization with free-region overlap (Fig. 6).

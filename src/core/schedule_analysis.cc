@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/execution_plan.h"
+
 namespace chimera {
 
 OpIndex::OpIndex(const PipelineSchedule& s) : sched_(&s) {
@@ -97,107 +99,8 @@ void OpIndex::dependencies(OpRef ref, std::vector<OpRef>& out) const {
   }
 }
 
-namespace {
-
-double op_cost(const Op& op, const ReplayCosts& c) {
-  switch (op.kind) {
-    case OpKind::kForward:
-      return c.forward * op.chunk;
-    case OpKind::kBackward: {
-      double t = c.backward / op.half_count;
-      if (c.recompute) t += c.forward / op.half_count;
-      return t;
-    }
-    case OpKind::kAllReduceBegin:
-      return c.begin_cpu_fraction * c.allreduce_cost(op.stage);
-    case OpKind::kAllReduceWait:
-      return 0.0;
-  }
-  return 0.0;
-}
-
-/// Volume factor of a p2p transfer feeding `op` (micro-batches moved).
-double p2p_volume(const Op& op) {
-  if (op.kind == OpKind::kForward) return op.chunk;
-  if (op.kind == OpKind::kBackward) return 1.0 / op.half_count;
-  return 0.0;
-}
-
-}  // namespace
-
-ReplayResult replay(const OpIndex& index, const ReplayCosts& costs) {
-  const PipelineSchedule& s = index.schedule();
-  const int D = s.depth;
-  ReplayResult r;
-  r.times.resize(D);
-  r.busy.assign(D, 0.0);
-  r.bubble.assign(D, 0.0);
-  for (int w = 0; w < D; ++w) r.times[w].resize(s.worker_ops[w].size());
-
-  std::vector<int> next(D, 0);       // next op index per worker
-  std::vector<double> free_at(D, 0.0);
-  std::vector<OpRef> deps;
-  // Completion time of the gradient allreduce per stage, filled lazily when
-  // the wait op of the first group member executes.
-  std::vector<double> ar_done(D, -1.0);
-
-  std::size_t remaining = s.total_ops();
-  while (remaining > 0) {
-    bool progress = false;
-    for (int w = 0; w < D; ++w) {
-      // Drain every currently-ready op of this worker before moving on; this
-      // keeps the scan count proportional to the makespan, not to op count.
-      while (next[w] < static_cast<int>(s.worker_ops[w].size())) {
-        const OpRef ref{w, next[w]};
-        const Op& op = s.worker_ops[w][next[w]];
-        deps.clear();
-        index.dependencies(ref, deps);
-        double ready = free_at[w];
-        bool ok = true;
-        for (const OpRef& d : deps) {
-          if (d.worker == w) {
-            if (d.index >= next[w]) { ok = false; break; }
-            ready = std::max(ready, r.times[d.worker][d.index].end);
-          } else {
-            if (d.index >= next[d.worker]) { ok = false; break; }
-            ready = std::max(ready, r.times[d.worker][d.index].end +
-                                        costs.p2p * p2p_volume(op));
-          }
-        }
-        if (!ok) break;
-        if (op.kind == OpKind::kAllReduceWait) {
-          if (ar_done[op.stage] < 0.0) {
-            double launch = 0.0;
-            for (int g : index.allreduce_group(op.stage)) {
-              OpRef b = index.allreduce_begin(g, op.stage);
-              launch = std::max(launch, r.times[b.worker][b.index].end);
-            }
-            ar_done[op.stage] = launch + costs.allreduce_cost(op.stage);
-          }
-          ready = std::max(ready, ar_done[op.stage]);
-        }
-        const double dur = op_cost(op, costs);
-        r.times[w][next[w]] = OpTiming{ready, ready + dur};
-        free_at[w] = ready + dur;
-        if (op.is_compute()) {
-          r.busy[w] += dur;
-          r.compute_makespan = std::max(r.compute_makespan, ready + dur);
-        }
-        r.makespan = std::max(r.makespan, ready + dur);
-        ++next[w];
-        --remaining;
-        progress = true;
-      }
-    }
-    CHIMERA_CHECK_MSG(progress, "schedule deadlocked: circular wait between "
-                                "worker order and data dependencies");
-  }
-  for (int w = 0; w < D; ++w) r.bubble[w] = r.compute_makespan - r.busy[w];
-  return r;
-}
-
 ReplayResult replay(const PipelineSchedule& s, const ReplayCosts& costs) {
-  return replay(OpIndex(s), costs);
+  return replay(ExecutionPlan(s), costs);
 }
 
 double ReplayResult::bubble_ratio() const {
@@ -208,6 +111,11 @@ double ReplayResult::bubble_ratio() const {
 }
 
 std::vector<int> max_inflight_micros(const PipelineSchedule& s) {
+  // Direct per-worker order scan: this overload sits in the config-search
+  // hot loop (via memory_model), where lowering a full ExecutionPlan per
+  // candidate would be wasted work. The plan overload
+  // (core/execution_plan.cc) derives the same accounting from the plan's
+  // stash acquire/release events.
   std::vector<int> high(s.depth, 0);
   for (int w = 0; w < s.depth; ++w) {
     int live = 0;
@@ -215,7 +123,8 @@ std::vector<int> max_inflight_micros(const PipelineSchedule& s) {
       if (op.kind == OpKind::kForward) {
         live += op.chunk;
         high[w] = std::max(high[w], live);
-      } else if (op.kind == OpKind::kBackward && op.half_index + 1 == op.half_count) {
+      } else if (op.kind == OpKind::kBackward &&
+                 op.half_index + 1 == op.half_count) {
         --live;
       }
     }
@@ -308,8 +217,10 @@ void validate(const PipelineSchedule& s) {
     }
   }
 
-  // Building the index verifies uniqueness of (pipe, stage, micro[, half]).
-  OpIndex index(s);
+  // Building the plan verifies uniqueness of (pipe, stage, micro[, half])
+  // and resolves every dependency (missing producers throw here).
+  ExecutionPlan plan(s);
+  const OpIndex& index = plan.index();
 
   // Completeness: every micro-batch passes every stage once forward and once
   // backward (with consistent halves), on its assigned pipe.
@@ -334,12 +245,9 @@ void validate(const PipelineSchedule& s) {
 
   // Same-worker dependencies must respect program order, and the whole
   // schedule must be deadlock-free: the replay checks both.
-  std::vector<OpRef> deps;
   for (int w = 0; w < s.depth; ++w) {
     for (int i = 0; i < static_cast<int>(s.worker_ops[w].size()); ++i) {
-      deps.clear();
-      index.dependencies(OpRef{w, i}, deps);
-      for (const OpRef& d : deps) {
+      for (const OpRef& d : plan.worker_plan(w)[i].deps) {
         if (d.worker == w)
           CHIMERA_CHECK_MSG(d.index < i, "worker " << w << " op " << i
                                                    << " depends on later op "
@@ -347,8 +255,8 @@ void validate(const PipelineSchedule& s) {
       }
     }
   }
-  replay(index, ReplayCosts{});      // throws on deadlock
-  max_inflight_micros(s);            // throws on stash leaks
+  replay(plan, ReplayCosts{});       // throws on deadlock
+  max_inflight_micros(plan);         // throws on stash leaks
 }
 
 }  // namespace chimera

@@ -2,10 +2,11 @@
 // replay, bubble accounting, activation high-water marks and the closed-form
 // expressions of the paper's Table 2 / Table 3.
 //
-// The replay implemented here is the reference executor semantics: the
-// discrete-event simulator (src/sim) and the threaded runtime (src/runtime)
-// both honor exactly the dependencies produced by OpIndex::dependencies, so
-// properties proven against the replay transfer to real execution.
+// OpIndex is the raw op-lookup/dependency layer. The shared ExecutionPlan
+// (core/execution_plan.h) is built on top of it and is what the analyzer's
+// replay, the discrete-event simulator (src/sim) and the threaded runtime
+// (src/runtime) all execute, so properties proven against the replay
+// transfer to simulated and real execution.
 #pragma once
 
 #include <string>
@@ -99,9 +100,11 @@ struct ReplayResult {
 
 /// Replays the schedule with the given costs. Throws CheckError if the
 /// schedule deadlocks (cyclic wait between per-worker order and data
-/// dependencies) — well-formed schedules never do.
+/// dependencies) — well-formed schedules never do. Lowers the schedule onto
+/// an ExecutionPlan (core/execution_plan.h) and replays that; callers that
+/// already hold a plan should use the replay(ExecutionPlan) overload
+/// declared there.
 ReplayResult replay(const PipelineSchedule& s, const ReplayCosts& costs);
-ReplayResult replay(const OpIndex& index, const ReplayCosts& costs);
 
 /// Per-worker high-water mark of stashed forward activations, in
 /// micro-batches. Determined by per-worker op order alone (stash is acquired

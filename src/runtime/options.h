@@ -1,0 +1,52 @@
+// Runtime configuration shared by the trainer facade and the execution
+// units it is composed of (WorkerExecutor, GradSyncEngine, WeightStore).
+#pragma once
+
+#include "comm/compression.h"
+#include "comm/world.h"
+#include "core/sync_placement.h"
+#include "optim/lr_schedule.h"
+#include "optim/optimizer.h"
+
+namespace chimera::rt {
+
+struct TrainerOptions {
+  int data_parallel = 1;  ///< W: replicated pipeline groups
+  /// Update rule + hyper-parameters, applied identically on every replica.
+  /// optimizer.clip_norm > 0 enables distributed global-gradient-norm
+  /// clipping (synchronous schemes only: the norm spans all stages, so the
+  /// trainer allreduces the squared norm across the whole world first).
+  optim::OptimizerConfig optimizer{};
+  optim::LrSchedule lr_schedule{};  ///< multiplier indexed by iteration
+  bool recompute = false;  ///< activation recomputation in every stage
+  comm::AllreduceAlgo allreduce = comm::AllreduceAlgo::kRing;
+  SyncPolicy sync = SyncPolicy::kAtEnd;  ///< gradient-sync placement
+  /// Launch the per-stage gradient allreduce nonblocking at its
+  /// AllReduceBegin op and complete it at AllReduceWait (paper §3.2's
+  /// overlapped eager sync). When false, the whole exchange runs blocking at
+  /// the Wait op. Either way each stage's gradients travel as one flattened
+  /// bucket, and results are bitwise identical.
+  bool overlap = true;
+  /// Lossy gradient compression for the stage-gradient exchange (the
+  /// paper's §5 "next step"). Runs blocking at the Wait op; replicas stay
+  /// bitwise consistent because every rank decodes the same byte stream.
+  /// Incompatible with zero_shard (the reduce-scatter needs exact addition).
+  comm::GradCompression compression = comm::GradCompression::kNone;
+  /// Fraction of gradient entries kept per round under kTopK.
+  double topk_fraction = 0.01;
+  /// ZeRO-1 (Rajbhandari et al., referenced in paper §2 as orthogonal):
+  /// shard the optimizer state across each stage's replica group. The
+  /// gradient sync becomes a reduce-scatter, each rank updates only its
+  /// shard of the flattened parameters, and an allgather redistributes the
+  /// result. Bitwise identical to the ring-allreduce path; state per rank
+  /// shrinks by the replica-group size. Synchronous schemes only; LAMB is
+  /// excluded (per-tensor trust ratio cannot shard).
+  bool zero_shard = false;
+};
+
+/// Result of one training iteration.
+struct IterationResult {
+  double loss = 0.0;  ///< mean loss over the mini-batch
+};
+
+}  // namespace chimera::rt

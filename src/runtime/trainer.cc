@@ -1,52 +1,13 @@
 #include "runtime/trainer.h"
 
-#include <algorithm>
 #include <exception>
 #include <map>
+#include <string>
 #include <thread>
 
+#include "runtime/worker_executor.h"
+
 namespace chimera::rt {
-namespace {
-
-/// Message tags: (kind, pipe, stage, micro, half) of the *receiving* op.
-std::int64_t make_tag(int kind, int pipe, int stage, int micro, int half) {
-  return ((((static_cast<std::int64_t>(kind) * 64 + pipe) * 64 + stage) * 8192 +
-           micro) *
-              4 +
-          half);
-}
-constexpr int kFwd = 0;
-constexpr int kBwd = 1;
-
-}  // namespace
-
-// One hosted stage replica with its optimizer and weight-version state.
-struct PipelineTrainer::Replica {
-  int pipe = 0;
-  int stage = 0;
-  nn::StageModule module;
-  optim::Optimizer opt;                         // rule + state for this stage
-  std::map<int, std::vector<float>> stash;      // PipeDream: micro → weights
-  std::vector<float> latest;                    // 2BW: newest version
-  // (the module itself holds the 1-step-stale version during compute)
-
-  Replica(const nn::SmallModelConfig& cfg, int pipe_, int stage_, int depth,
-          bool recompute, const optim::OptimizerConfig& ocfg)
-      : pipe(pipe_), stage(stage_), module(cfg, stage_, depth),
-        opt(module.params(), ocfg) {
-    module.set_recompute(recompute);
-  }
-};
-
-struct PipelineTrainer::Worker {
-  std::vector<std::unique_ptr<Replica>> replicas;
-  /// ZeRO-1: this worker's shard of the optimizer state, per hosted stage.
-  /// Layout: zero_state[stage][slot] is a flat array covering the worker's
-  /// segment of the stage's flattened parameters.
-  std::map<int, std::vector<std::vector<float>>> zero_state;
-  /// Top-k sparsification error feedback, per hosted stage.
-  std::map<int, std::vector<float>> topk_residual;
-};
 
 PipelineTrainer::PipelineTrainer(const nn::SmallModelConfig& model,
                                  Scheme scheme, const ScheduleConfig& sched_cfg,
@@ -74,13 +35,8 @@ PipelineTrainer::PipelineTrainer(const nn::SmallModelConfig& model,
   } else {
     schedule_ = base;
   }
-  index_ = std::make_unique<OpIndex>(schedule_);
-
-  halved_micro_.assign(schedule_.num_micro, false);
-  for (const auto& ops : schedule_.worker_ops)
-    for (const Op& op : ops)
-      if (op.kind == OpKind::kBackward && op.half_count == 2)
-        halved_micro_[op.micro] = true;
+  plan_ = std::make_unique<ExecutionPlan>(schedule_);
+  store_ = std::make_unique<WeightStore>(WeightStore::policy_for(scheme));
 
   const int W = opts.data_parallel;
   const int D = schedule_.depth;
@@ -88,10 +44,12 @@ PipelineTrainer::PipelineTrainer(const nn::SmallModelConfig& model,
   workers_.resize(static_cast<std::size_t>(W) * D);
   for (int g = 0; g < W; ++g) {
     for (int w = 0; w < D; ++w) {
-      auto worker = std::make_unique<Worker>();
-      for (auto [pipe, stage] : schedule_.hosted_stages(w))
+      auto worker = std::make_unique<WorkerState>();
+      for (auto [pipe, stage] : schedule_.hosted_stages(w)) {
         worker->replicas.push_back(std::make_unique<Replica>(
             model_, pipe, stage, D, opts.recompute, opts.optimizer));
+        store_->register_replica(*worker->replicas.back());
+      }
       workers_[static_cast<std::size_t>(g) * D + w] = std::move(worker);
     }
   }
@@ -99,317 +57,21 @@ PipelineTrainer::PipelineTrainer(const nn::SmallModelConfig& model,
 
 PipelineTrainer::~PipelineTrainer() = default;
 
-PipelineTrainer::Replica& PipelineTrainer::find_replica(int group, int pipe,
-                                                        int stage) {
+const Replica& PipelineTrainer::find_replica(int group, int pipe,
+                                             int stage) const {
   const int w = schedule_.worker_of(pipe, stage);
-  for (auto& r : workers_[static_cast<std::size_t>(group) * schedule_.depth + w]
-                     ->replicas)
-    if (r->pipe == pipe && r->stage == stage) return *r;
-  CHIMERA_CHECK_MSG(false, "replica not hosted: pipe " << pipe << " stage "
-                                                       << stage);
-}
-
-const PipelineTrainer::Replica& PipelineTrainer::find_replica(int group,
-                                                              int pipe,
-                                                              int stage) const {
-  return const_cast<PipelineTrainer*>(this)->find_replica(group, pipe, stage);
-}
-
-std::vector<int> PipelineTrainer::allreduce_ranks(int stage) const {
-  std::vector<int> ranks;
-  for (int g = 0; g < opts_.data_parallel; ++g)
-    for (int w : index_->allreduce_group(stage))
-      ranks.push_back(g * schedule_.depth + w);
-  std::sort(ranks.begin(), ranks.end());
-  return ranks;
+  WorkerState& state =
+      *workers_[static_cast<std::size_t>(group) * schedule_.depth + w];
+  return state.find(pipe, stage);
 }
 
 void PipelineTrainer::run_worker(int group, int w, const nn::MicroBatch& batch,
-                                 int B, int N, std::vector<double>& losses) {
-  const int D = schedule_.depth;
-  const int rank = group * D + w;
+                                 int B, std::vector<double>& losses) {
+  const int rank = group * schedule_.depth + w;
   comm::Communicator comm(*world_, rank);
-  Worker& me = *workers_[rank];
-
-  auto replica_for = [&](int pipe, int stage) -> Replica& {
-    for (auto& r : me.replicas)
-      if (r->pipe == pipe && r->stage == stage) return *r;
-    CHIMERA_CHECK_MSG(false, "op for unhosted replica");
-  };
-
-  // Slice of the mini-batch for (micro m, half h of `halves`).
-  auto micro_slice = [&](int m, int h, int halves) {
-    const int rows = B / halves;
-    return batch.slice((group * N + m) * B + h * rows, rows);
-  };
-
-  const float sync_scale =
-      1.0f / (static_cast<float>(N) * opts_.data_parallel);
-
-  // Per-stage gradient bucket: the flattened sum of this worker's local
-  // replicas' gradients for one stage, exchanged as one allreduce. A bucket
-  // is filled at AllReduceBegin and scattered back at AllReduceWait; with
-  // overlap the collective progresses between the two ops.
-  struct StageSync {
-    std::vector<Replica*> local;
-    std::vector<float> bucket;
-    comm::Request request;
-  };
-  std::map<int, StageSync> syncs;
-
-  auto fill_bucket = [&](Worker& host, int stage, StageSync& sync) {
-    for (auto& r : host.replicas)
-      if (r->stage == stage) sync.local.push_back(r.get());
-    CHIMERA_CHECK_MSG(!sync.local.empty(), "sync for unhosted stage " << stage);
-    auto first = sync.local[0]->module.params();
-    std::size_t total = 0;
-    for (nn::Param* p : first) total += p->grad.numel();
-    sync.bucket.resize(total);
-    std::size_t off = 0;
-    for (std::size_t i = 0; i < first.size(); ++i) {
-      const std::size_t count = first[i]->grad.numel();
-      const float* g0 = first[i]->grad.data();
-      std::copy(g0, g0 + count, sync.bucket.begin() + off);
-      // GEMS with odd depth can host the same stage twice on one worker;
-      // their contributions combine locally before the collective.
-      for (std::size_t li = 1; li < sync.local.size(); ++li) {
-        const float* g = sync.local[li]->module.params()[i]->grad.data();
-        for (std::size_t k = 0; k < count; ++k) sync.bucket[off + k] += g[k];
-      }
-      off += count;
-    }
-  };
-  auto drain_bucket = [&](StageSync& sync) {
-    for (Replica* r : sync.local) {
-      std::size_t off = 0;
-      for (nn::Param* p : r->module.params()) {
-        std::copy(sync.bucket.begin() + off,
-                  sync.bucket.begin() + off + p->grad.numel(), p->grad.data());
-        off += p->grad.numel();
-      }
-    }
-  };
-  // ZeRO-1: the contiguous slice of a stage's flattened parameters owned by
-  // this rank, given its position in the stage's replica group.
-  auto zero_segment = [&](int stage, std::size_t n) {
-    const std::vector<int> ranks = allreduce_ranks(stage);
-    int idx = -1;
-    for (std::size_t i = 0; i < ranks.size(); ++i)
-      if (ranks[i] == rank) idx = static_cast<int>(i);
-    CHIMERA_CHECK_MSG(idx >= 0, "rank not in stage replica group");
-    const int gsize = static_cast<int>(ranks.size());
-    return std::pair<std::size_t, std::size_t>{
-        comm::segment_begin(n, gsize, idx),
-        comm::segment_begin(n, gsize, idx + 1)};
-  };
-
-  for (const Op& op : schedule_.worker_ops[w]) {
-    switch (op.kind) {
-      case OpKind::kForward: {
-        Replica& r = replica_for(op.pipe, op.stage);
-        for (int m = op.micro; m < op.micro + op.chunk; ++m) {
-          if (scheme_ == Scheme::kPipeDream)
-            r.stash[m] = r.module.save_weights();
-          const int halves = halved_micro_[m] ? 2 : 1;
-          for (int h = 0; h < halves; ++h) {
-            Tensor x;
-            if (op.stage > 0) {
-              const int src =
-                  group * D + schedule_.worker_of(op.pipe, op.stage - 1);
-              x = comm.recv(src, make_tag(kFwd, op.pipe, op.stage, m, h));
-            }
-            Tensor y = r.module.forward(micro_slice(m, h, halves), x,
-                                        static_cast<long>(m) * 4 + h);
-            if (op.stage + 1 < D) {
-              const int dst =
-                  group * D + schedule_.worker_of(op.pipe, op.stage + 1);
-              comm.send(dst, make_tag(kFwd, op.pipe, op.stage + 1, m, h),
-                        std::move(y));
-            }
-          }
-        }
-        break;
-      }
-      case OpKind::kBackward: {
-        Replica& r = replica_for(op.pipe, op.stage);
-        const int m = op.micro;
-        const int h = op.half_index;
-        const int halves = op.half_count;
-        Tensor grad;
-        if (op.stage + 1 < D) {
-          const int src = group * D + schedule_.worker_of(op.pipe, op.stage + 1);
-          grad = comm.recv(src, make_tag(kBwd, op.pipe, op.stage, m, h));
-        }
-        std::vector<float> current;
-        if (scheme_ == Scheme::kPipeDream) {
-          // Weight stashing: backward runs against the version the forward
-          // of this micro-batch used.
-          current = r.module.save_weights();
-          r.module.load_weights(r.stash.at(m));
-        }
-        // PipeDream updates per micro-batch (B̂ = B·W); everything else
-        // accumulates the mean over the full mini-batch B·N·W.
-        const float scale = scheme_ == Scheme::kPipeDream
-                                ? 1.0f / (opts_.data_parallel * halves)
-                                : sync_scale / halves;
-        Tensor dx = r.module.backward(micro_slice(m, h, halves), grad,
-                                      static_cast<long>(m) * 4 + h, scale);
-        if (op.stage == D - 1)
-          losses[static_cast<std::size_t>(group * N + m) * 2 + h] =
-              r.module.last_loss() / halves;
-        if (op.stage > 0) {
-          const int dst = group * D + schedule_.worker_of(op.pipe, op.stage - 1);
-          comm.send(dst, make_tag(kBwd, op.pipe, op.stage - 1, m, h),
-                    std::move(dx));
-        }
-        if (scheme_ == Scheme::kPipeDream) {
-          // Per-micro-batch update: sync gradients across the W replicas of
-          // this stage, then apply to the *latest* weights.
-          std::vector<int> ranks;
-          for (int g = 0; g < opts_.data_parallel; ++g)
-            ranks.push_back(g * D + w);
-          for (nn::Param* p : r.module.params())
-            comm.allreduce_sum(p->grad.data(), p->grad.numel(), ranks,
-                               op.stage, opts_.allreduce);
-          r.module.load_weights(current);
-          r.opt.step(opts_.lr_schedule.multiplier(iteration_));
-          r.module.zero_grads();
-          r.stash.erase(m);
-        }
-        break;
-      }
-      case OpKind::kAllReduceBegin: {
-        StageSync& sync = syncs[op.stage];
-        if (sync.local.empty()) fill_bucket(me, op.stage, sync);
-        if (opts_.overlap && !opts_.zero_shard &&
-            opts_.compression == comm::GradCompression::kNone)
-          // Nonblocking launch: the collective progresses while the ops
-          // after this one compute (paper §3.2 eager sync). The bucket and
-          // request live in `syncs` until the matching Wait.
-          sync.request = comm.iallreduce_sum(
-              sync.bucket.data(), sync.bucket.size(), allreduce_ranks(op.stage),
-              op.stage, opts_.allreduce);
-        break;
-      }
-      case OpKind::kAllReduceWait: {
-        auto it = syncs.find(op.stage);
-        CHIMERA_CHECK_MSG(it != syncs.end(), "Wait without Begin for stage "
-                                                 << op.stage);
-        StageSync& sync = it->second;
-        if (opts_.zero_shard) {
-          // ZeRO-1: only the reduce-scatter half runs here; the entry stays
-          // in `syncs` so the flush can update this rank's shard and
-          // allgather the refreshed parameters.
-          comm.reduce_scatter_sum(sync.bucket.data(), sync.bucket.size(),
-                                  allreduce_ranks(op.stage), op.stage);
-          break;
-        }
-        if (opts_.compression != comm::GradCompression::kNone) {
-          const std::vector<int> ranks = allreduce_ranks(op.stage);
-          if (opts_.compression == comm::GradCompression::kTopK) {
-            comm::TopKSparsifier sp(opts_.topk_fraction);
-            comm::allreduce_topk(comm, sync.bucket.data(), sync.bucket.size(),
-                                 ranks, op.stage, sp,
-                                 me.topk_residual[op.stage]);
-          } else {
-            comm::Quantizer q(
-                opts_.compression == comm::GradCompression::kInt8 ? 8 : 4);
-            // Deterministic per (iteration, rank, stage): runs reproduce.
-            Rng rng(Rng(0x9bc0ffee ^ static_cast<std::uint64_t>(iteration_))
-                        .split(static_cast<std::uint64_t>(rank) * 131 +
-                               op.stage));
-            comm::allreduce_quantized(comm, sync.bucket.data(),
-                                      sync.bucket.size(), ranks, op.stage, q,
-                                      rng);
-          }
-          drain_bucket(sync);
-          syncs.erase(it);
-          break;
-        }
-        if (opts_.overlap)
-          sync.request.wait();
-        else
-          comm.allreduce_sum(sync.bucket.data(), sync.bucket.size(),
-                             allreduce_ranks(op.stage), op.stage,
-                             opts_.allreduce);
-        drain_bucket(sync);
-        syncs.erase(it);
-        break;
-      }
-    }
-  }
-
-  // Flush: the synchronous optimizer step (identical on every replica).
-  if (schedule_.synchronous) {
-    float grad_scale = 1.0f;
-    if (opts_.optimizer.clip_norm > 0.0f) {
-      float local = 0.0f;
-      if (opts_.zero_shard) {
-        // Each rank owns a disjoint fully-reduced segment per hosted stage,
-        // so summing segment norms over the world gives the exact global
-        // norm with no double counting.
-        for (auto& [stage, sync] : syncs) {
-          const auto [lo, hi] = zero_segment(stage, sync.bucket.size());
-          for (std::size_t i = lo; i < hi; ++i)
-            local += sync.bucket[i] * sync.bucket[i];
-        }
-      } else {
-        // After the per-stage sync, all num_pipes·W replicas of a stage hold
-        // identical gradients; dividing each replica's squared norm by that
-        // count and summing over the whole world yields the model-wide norm.
-        const double replicas_per_stage =
-            static_cast<double>(schedule_.num_pipes) * opts_.data_parallel;
-        for (auto& r : me.replicas)
-          local +=
-              static_cast<float>(r->opt.grad_sq_norm() / replicas_per_stage);
-      }
-      std::vector<int> everyone(static_cast<std::size_t>(opts_.data_parallel) * D);
-      for (std::size_t i = 0; i < everyone.size(); ++i)
-        everyone[i] = static_cast<int>(i);
-      comm.allreduce_sum(&local, 1, everyone, /*context=*/(1ll << 20),
-                         opts_.allreduce);
-      grad_scale = optim::clip_scale(opts_.optimizer.clip_norm, local);
-    }
-    const double mult = opts_.lr_schedule.multiplier(iteration_);
-    if (opts_.zero_shard) {
-      // ZeRO-1 sharded update: refresh my shard of each hosted stage's
-      // flattened parameters, then allgather the full parameter vector.
-      // `syncs` iterates in ascending stage order on every worker, keeping
-      // the blocking allgathers deadlock-free across shared groups.
-      const int slots = optim::state_slots(opts_.optimizer.rule);
-      for (auto& [stage, sync] : syncs) {
-        const std::vector<int> ranks = allreduce_ranks(stage);
-        const std::size_t n = sync.bucket.size();
-        const auto [lo, hi] = zero_segment(stage, n);
-        auto& shard = me.zero_state[stage];
-        if (shard.empty() && slots > 0)
-          shard.assign(slots, std::vector<float>(hi - lo, 0.0f));
-        std::vector<float> wbuf(n);
-        std::size_t off = 0;
-        for (nn::Param* p : sync.local[0]->module.params()) {
-          std::copy(p->value.data(), p->value.data() + p->value.numel(),
-                    wbuf.begin() + off);
-          off += p->value.numel();
-        }
-        optim::apply_flat(opts_.optimizer, iteration_ + 1, mult, grad_scale,
-                          wbuf.data() + lo, sync.bucket.data() + lo,
-                          slots > 0 ? shard[0].data() : nullptr,
-                          slots > 1 ? shard[1].data() : nullptr, hi - lo);
-        comm.allgather(wbuf.data(), n, ranks, stage);
-        for (Replica* r : sync.local) {
-          off = 0;
-          for (nn::Param* p : r->module.params()) {
-            std::copy(wbuf.begin() + off, wbuf.begin() + off + p->value.numel(),
-                      p->value.data());
-            off += p->value.numel();
-          }
-        }
-      }
-      syncs.clear();
-    } else {
-      for (auto& r : me.replicas) r->opt.step(mult, grad_scale);
-    }
-  }
+  WorkerExecutor exec(*plan_, opts_, *store_, *workers_[rank], comm, group, w,
+                      iteration_);
+  exec.run(batch, B, losses);
 }
 
 IterationResult PipelineTrainer::train_iteration(const nn::MicroBatch& batch) {
@@ -420,16 +82,13 @@ IterationResult PipelineTrainer::train_iteration(const nn::MicroBatch& batch) {
                     "batch size " << batch.batch << " not divisible by N*W");
   const int B = batch.batch / (N * W);
   for (int m = 0; m < N; ++m)
-    if (halved_micro_[m])
+    if (plan_->micro_is_halved(m))
       CHIMERA_CHECK_MSG(B % 2 == 0, "backward halving needs even micro-batch");
 
   // PipeDream-2BW: compute this iteration on the 1-step-stale version. The
-  // module holds w_{t-1}; `latest` holds w_t.
-  if (scheme_ == Scheme::kPipeDream2BW) {
-    for (auto& worker : workers_)
-      for (auto& r : worker->replicas)
-        if (r->latest.empty()) r->latest = r->module.save_weights();
-  }
+  // module holds w_{t-1}; the store's double buffer holds w_t.
+  for (auto& worker : workers_)
+    for (auto& r : worker->replicas) store_->init_double_buffer(*r);
 
   for (auto& worker : workers_)
     for (auto& r : worker->replicas) r->module.zero_grads();
@@ -440,9 +99,9 @@ IterationResult PipelineTrainer::train_iteration(const nn::MicroBatch& batch) {
   threads.reserve(static_cast<std::size_t>(W) * D);
   for (int g = 0; g < W; ++g) {
     for (int w = 0; w < D; ++w) {
-      threads.emplace_back([this, g, w, &batch, B, N, &losses, &errors] {
+      threads.emplace_back([this, g, w, &batch, B, &losses, &errors] {
         try {
-          run_worker(g, w, batch, B, N, losses);
+          run_worker(g, w, batch, B, losses);
         } catch (...) {
           errors[static_cast<std::size_t>(g) * schedule_.depth + w] =
               std::current_exception();
@@ -457,11 +116,12 @@ IterationResult PipelineTrainer::train_iteration(const nn::MicroBatch& batch) {
   if (scheme_ == Scheme::kPipeDream2BW) {
     // 2BW is asynchronous: no allreduce ops exist in the schedule. Reduce
     // the accumulation-window gradient across the W replicas here (the
-    // gradient was computed at the stale version w_{t-1}), then apply it to
-    // the newest version: w_{t+1} = w_t − lr·g(w_{t-1}), and shift the
-    // double buffer so the next iteration computes on w_t.
+    // gradient was computed at the stale version w_{t-1}), then let the
+    // store apply it to the newest version and shift the double buffer:
+    // w_{t+1} = w_t − lr·g(w_{t-1}).
+    const double mult = opts_.lr_schedule.multiplier(iteration_);
     for (int w = 0; w < D; ++w) {
-      Worker& group0 = *workers_[w];
+      WorkerState& group0 = *workers_[w];
       for (std::size_t ri = 0; ri < group0.replicas.size(); ++ri) {
         auto reduced = group0.replicas[ri]->module.params();
         for (int g = 1; g < W; ++g) {
@@ -481,11 +141,7 @@ IterationResult PipelineTrainer::train_iteration(const nn::MicroBatch& batch) {
               params[i]->grad.add(reduced[i]->grad);
             }
           }
-          const std::vector<float> next_stale = r.latest;  // w_t
-          r.module.load_weights(r.latest);
-          r.opt.step(opts_.lr_schedule.multiplier(iteration_));
-          r.latest = r.module.save_weights();  // w_{t+1}
-          r.module.load_weights(next_stale);   // next iteration uses w_t
+          store_->step_double_buffered(r, mult);
         }
       }
     }
@@ -505,8 +161,7 @@ std::vector<float> PipelineTrainer::stage_weights(int group, int pipe,
 }
 
 int PipelineTrainer::weight_versions(int group, int pipe, int stage) const {
-  const Replica& r = find_replica(group, pipe, stage);
-  return static_cast<int>(r.stash.size()) + 1;
+  return store_->versions(find_replica(group, pipe, stage));
 }
 
 // ------------------------------------------------------------------------

@@ -1,9 +1,16 @@
-// Threaded pipeline-parallel training runtime.
+// Threaded pipeline-parallel training runtime — the facade over the layered
+// execution engine.
 //
 // Executes any PipelineSchedule for real: one thread per worker (rank),
 // stage modules with hand-written backward, activations and gradients
 // exchanged through the message-passing substrate, and per-stage gradient
 // allreduce across bidirectional-pipeline replicas and data-parallel groups.
+//
+// The trainer itself only assembles and drives the layers:
+//   core/execution_plan  — what runs, in which order, with which deps/tags
+//   runtime/worker_executor — the per-rank op-dispatch loop
+//   runtime/grad_sync    — gradient exchange + synchronous optimizer step
+//   runtime/weight_store — weight versioning (stashing, double buffering)
 //
 // Semantics per scheme:
 //  - synchronous (Chimera, GPipe, DAPPLE, GEMS, 1F1B): gradients accumulate
@@ -21,54 +28,14 @@
 #include <memory>
 #include <vector>
 
-#include "comm/compression.h"
 #include "comm/world.h"
 #include "core/exec_config.h"
-#include "core/schedule_analysis.h"
-#include "nn/stage.h"
-#include "optim/lr_schedule.h"
-#include "optim/optimizer.h"
+#include "core/execution_plan.h"
+#include "runtime/options.h"
+#include "runtime/weight_store.h"
+#include "runtime/worker_state.h"
 
 namespace chimera::rt {
-
-struct TrainerOptions {
-  int data_parallel = 1;  ///< W: replicated pipeline groups
-  /// Update rule + hyper-parameters, applied identically on every replica.
-  /// optimizer.clip_norm > 0 enables distributed global-gradient-norm
-  /// clipping (synchronous schemes only: the norm spans all stages, so the
-  /// trainer allreduces the squared norm across the whole world first).
-  optim::OptimizerConfig optimizer{};
-  optim::LrSchedule lr_schedule{};  ///< multiplier indexed by iteration
-  bool recompute = false;  ///< activation recomputation in every stage
-  comm::AllreduceAlgo allreduce = comm::AllreduceAlgo::kRing;
-  SyncPolicy sync = SyncPolicy::kAtEnd;  ///< gradient-sync placement
-  /// Launch the per-stage gradient allreduce nonblocking at its
-  /// AllReduceBegin op and complete it at AllReduceWait (paper §3.2's
-  /// overlapped eager sync). When false, the whole exchange runs blocking at
-  /// the Wait op. Either way each stage's gradients travel as one flattened
-  /// bucket, and results are bitwise identical.
-  bool overlap = true;
-  /// Lossy gradient compression for the stage-gradient exchange (the
-  /// paper's §5 "next step"). Runs blocking at the Wait op; replicas stay
-  /// bitwise consistent because every rank decodes the same byte stream.
-  /// Incompatible with zero_shard (the reduce-scatter needs exact addition).
-  comm::GradCompression compression = comm::GradCompression::kNone;
-  /// Fraction of gradient entries kept per round under kTopK.
-  double topk_fraction = 0.01;
-  /// ZeRO-1 (Rajbhandari et al., referenced in paper §2 as orthogonal):
-  /// shard the optimizer state across each stage's replica group. The
-  /// gradient sync becomes a reduce-scatter, each rank updates only its
-  /// shard of the flattened parameters, and an allgather redistributes the
-  /// result. Bitwise identical to the ring-allreduce path; state per rank
-  /// shrinks by the replica-group size. Synchronous schemes only; LAMB is
-  /// excluded (per-tensor trust ratio cannot shard).
-  bool zero_shard = false;
-};
-
-/// Result of one training iteration.
-struct IterationResult {
-  double loss = 0.0;  ///< mean loss over the mini-batch
-};
 
 class PipelineTrainer {
  public:
@@ -83,6 +50,10 @@ class PipelineTrainer {
 
   const PipelineSchedule& schedule() const { return schedule_; }
 
+  /// The shared plan all ranks execute (also what the analyzer's replay and
+  /// the simulator run for this schedule).
+  const ExecutionPlan& plan() const { return *plan_; }
+
   /// Flattened weights of the replica of `stage` in data-parallel group
   /// `group` hosted via pipeline `pipe` (tests compare replicas/reference).
   std::vector<float> stage_weights(int group, int pipe, int stage) const;
@@ -92,22 +63,18 @@ class PipelineTrainer {
   int weight_versions(int group, int pipe, int stage) const;
 
  private:
-  struct Replica;   // one hosted stage module + optimizer/version state
-  struct Worker;    // one rank: hosted replicas
   void run_worker(int group, int worker, const nn::MicroBatch& batch, int B,
-                  int N, std::vector<double>& losses);
-  Replica& find_replica(int group, int pipe, int stage);
+                  std::vector<double>& losses);
   const Replica& find_replica(int group, int pipe, int stage) const;
-  std::vector<int> allreduce_ranks(int stage) const;
 
   nn::SmallModelConfig model_;
   Scheme scheme_;
   TrainerOptions opts_;
   PipelineSchedule schedule_;
-  std::unique_ptr<OpIndex> index_;
-  std::vector<bool> halved_micro_;  ///< micro-batches with split backwards
+  std::unique_ptr<ExecutionPlan> plan_;
   std::unique_ptr<comm::World> world_;
-  std::vector<std::unique_ptr<Worker>> workers_;  ///< [group·D + worker]
+  std::vector<std::unique_ptr<WorkerState>> workers_;  ///< [group·D + worker]
+  std::unique_ptr<WeightStore> store_;
   long iteration_ = 0;
 };
 

@@ -1,0 +1,60 @@
+#include "runtime/weight_store.h"
+
+namespace chimera::rt {
+
+WeightStore::Policy WeightStore::policy_for(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kPipeDream:
+      return Policy::kStashed;
+    case Scheme::kPipeDream2BW:
+      return Policy::kDoubleBuffered;
+    default:
+      return Policy::kDirect;
+  }
+}
+
+void WeightStore::register_replica(const Replica& r) { state_[&r]; }
+
+void WeightStore::acquire(Replica& r, int micro) {
+  if (policy_ != Policy::kStashed) return;
+  state_.at(&r).stash[micro] = r.module.save_weights();
+}
+
+void WeightStore::begin_backward(Replica& r, int micro) {
+  if (policy_ != Policy::kStashed) return;
+  Versions& v = state_.at(&r);
+  v.live = r.module.save_weights();
+  r.module.load_weights(v.stash.at(micro));
+}
+
+void WeightStore::end_backward(Replica& r, int micro) {
+  if (policy_ != Policy::kStashed) return;
+  Versions& v = state_.at(&r);
+  r.module.load_weights(v.live);
+  v.stash.erase(micro);
+}
+
+int WeightStore::versions(const Replica& r) const {
+  auto it = state_.find(&r);
+  const int stashed =
+      it == state_.end() ? 0 : static_cast<int>(it->second.stash.size());
+  return stashed + 1;
+}
+
+void WeightStore::init_double_buffer(Replica& r) {
+  if (policy_ != Policy::kDoubleBuffered) return;
+  Versions& v = state_.at(&r);
+  if (v.latest.empty()) v.latest = r.module.save_weights();
+}
+
+void WeightStore::step_double_buffered(Replica& r, double lr_mult) {
+  if (policy_ != Policy::kDoubleBuffered) return;
+  Versions& v = state_.at(&r);
+  const std::vector<float> next_stale = v.latest;  // w_t
+  r.module.load_weights(v.latest);
+  r.opt.step(lr_mult);
+  v.latest = r.module.save_weights();  // w_{t+1}
+  r.module.load_weights(next_stale);   // next iteration computes on w_t
+}
+
+}  // namespace chimera::rt

@@ -1,0 +1,65 @@
+// Per-rank runtime state: the stage replicas a worker hosts plus the
+// per-stage scratch the gradient-sync strategies keep between iterations
+// (ZeRO-1 optimizer shards, top-k error-feedback residuals).
+//
+// One WorkerState belongs to exactly one rank (= one OS thread during an
+// iteration); the trainer owns the array of them across data-parallel
+// groups. The executor and GradSyncEngine operate on this structure, the
+// WeightStore keys its version bookkeeping by Replica address.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "nn/stage.h"
+#include "optim/optimizer.h"
+#include "support/check.h"
+
+namespace chimera::rt {
+
+/// One hosted stage replica: the module and the optimizer state for it.
+/// Weight *versions* (PipeDream stash, 2BW double buffer) live in the
+/// WeightStore, not here — the replica always exposes the weights the next
+/// compute op should use.
+struct Replica {
+  int pipe = 0;
+  int stage = 0;
+  nn::StageModule module;
+  optim::Optimizer opt;
+
+  Replica(const nn::SmallModelConfig& cfg, int pipe_, int stage_, int depth,
+          bool recompute, const optim::OptimizerConfig& ocfg)
+      : pipe(pipe_), stage(stage_), module(cfg, stage_, depth),
+        opt(module.params(), ocfg) {
+    module.set_recompute(recompute);
+  }
+};
+
+struct WorkerState {
+  std::vector<std::unique_ptr<Replica>> replicas;
+  /// ZeRO-1: this worker's shard of the optimizer state, per hosted stage.
+  /// Layout: zero_state[stage][slot] is a flat array covering the worker's
+  /// segment of the stage's flattened parameters.
+  std::map<int, std::vector<std::vector<float>>> zero_state;
+  /// Top-k sparsification error feedback, per hosted stage.
+  std::map<int, std::vector<float>> topk_residual;
+
+  Replica& find(int pipe, int stage) {
+    for (auto& r : replicas)
+      if (r->pipe == pipe && r->stage == stage) return *r;
+    CHIMERA_CHECK_MSG(false, "replica not hosted: pipe " << pipe << " stage "
+                                                         << stage);
+  }
+
+  /// All local replicas of `stage` (GEMS with odd depth can host the same
+  /// stage twice on one worker), in hosting order.
+  std::vector<Replica*> stage_replicas(int stage) {
+    std::vector<Replica*> out;
+    for (auto& r : replicas)
+      if (r->stage == stage) out.push_back(r.get());
+    return out;
+  }
+};
+
+}  // namespace chimera::rt

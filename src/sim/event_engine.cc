@@ -61,13 +61,12 @@ double EngineResult::bubble_ratio() const {
   return total / (compute_makespan * static_cast<double>(busy.size()));
 }
 
-EngineResult run_engine(const PipelineSchedule& schedule,
-                        const EngineCosts& costs) {
+EngineResult run_engine(const ExecutionPlan& plan, const EngineCosts& costs) {
+  const PipelineSchedule& schedule = plan.schedule();
   const int D = schedule.depth;
-  OpIndex index(schedule);
   Rng rng(costs.seed);
 
-  // --- static setup: deps + reverse (dependent) edges ---------------------
+  // --- static setup: the plan's precomputed deps + reverse edges ----------
   std::vector<std::vector<OpState>> state(D);
   // dependents[producer worker][producer op] -> list of consumer refs with
   // the slot of this dep in the consumer's dep list.
@@ -80,11 +79,9 @@ EngineResult run_engine(const PipelineSchedule& schedule,
     state[w].resize(schedule.worker_ops[w].size());
     dependents[w].resize(schedule.worker_ops[w].size());
   }
-  std::vector<OpRef> deps;
   for (int w = 0; w < D; ++w) {
     for (int i = 0; i < static_cast<int>(schedule.worker_ops[w].size()); ++i) {
-      deps.clear();
-      index.dependencies(OpRef{w, i}, deps);
+      const std::vector<OpRef>& deps = plan.worker_plan(w)[i].deps;
       OpState& st = state[w][i];
       st.deps = deps;
       st.dep_avail.assign(deps.size(), kUnknown);
@@ -168,10 +165,10 @@ EngineResult run_engine(const PipelineSchedule& schedule,
         // early stages' allreduces drain during bubbles instead of queueing
         // together after the flush.
         double coll_start = ar_last_begin[op.stage];
-        for (int g : index.allreduce_group(op.stage))
+        for (int g : plan.allreduce_group(op.stage))
           coll_start = std::max(coll_start, coll_link_free[g]);
         ar_done[op.stage] = coll_start + coll;
-        for (int g : index.allreduce_group(op.stage)) {
+        for (int g : plan.allreduce_group(op.stage)) {
           coll_link_free[g] = ar_done[op.stage];
           queue.push({ar_done[op.stage], g});
         }
@@ -207,6 +204,11 @@ EngineResult run_engine(const PipelineSchedule& schedule,
   CHIMERA_CHECK_MSG(remaining == 0,
                     "event engine stalled with " << remaining << " ops left");
   return result;
+}
+
+EngineResult run_engine(const PipelineSchedule& schedule,
+                        const EngineCosts& costs) {
+  return run_engine(ExecutionPlan(schedule), costs);
 }
 
 }  // namespace chimera::sim

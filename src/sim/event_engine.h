@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "core/execution_plan.h"
 #include "core/schedule.h"
 
 namespace chimera::sim {
@@ -63,7 +64,12 @@ struct EngineResult {
   double bubble_ratio() const;
 };
 
-/// Runs the schedule to completion. Throws CheckError on deadlock.
+/// Runs the plan to completion. Throws CheckError on deadlock. The engine
+/// executes exactly the dependencies the shared ExecutionPlan precomputed —
+/// the same lists the analyzer's replay and the threaded runtime honor.
+EngineResult run_engine(const ExecutionPlan& plan, const EngineCosts& costs);
+
+/// Convenience overload: lowers the schedule onto a fresh ExecutionPlan.
 EngineResult run_engine(const PipelineSchedule& schedule, const EngineCosts& costs);
 
 }  // namespace chimera::sim

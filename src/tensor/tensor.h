@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <climits>
 #include <cstddef>
 #include <vector>
 
@@ -21,6 +22,12 @@ class Tensor {
   Tensor() = default;
   Tensor(int rows, int cols) : rows_(rows), cols_(cols), v_(size_t(rows) * cols) {
     CHIMERA_CHECK(rows >= 0 && cols >= 0);
+  }
+  /// 1×n tensor initialized from `src` in a single pass (no zero-fill before
+  /// the copy) — the staging constructor of the message-passing hot path.
+  Tensor(const float* src, std::size_t n)
+      : rows_(1), cols_(static_cast<int>(n)), v_(src, src + n) {
+    CHIMERA_CHECK(n <= static_cast<std::size_t>(INT_MAX));
   }
 
   int rows() const { return rows_; }
