@@ -53,7 +53,8 @@ nn::MicroBatch make_batch(const nn::SmallModelConfig& cfg, int samples,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "ablation_compression");
   print_banner("Ablation — gradient compression for the sync allreduce (§5)");
 
   const comm::GradCompression codecs[] = {
@@ -72,7 +73,7 @@ int main() {
   const Case cases[] = {{"Bert-48", ModelSpec::bert48(), 4, 16},
                         {"GPT-2", ModelSpec::gpt2_64(), 32, 128}};
   for (const Case& c : cases) {
-    const StagePartition part(c.model, c.D);
+    const Partition part = plan_even(c.model, c.D);
     const double grad_bytes = 4.0 * static_cast<double>(part.max_stage_params());
     const double exact_bytes =
         wire_bytes(comm::GradCompression::kNone, grad_bytes, c.r, 0.01);
@@ -83,6 +84,9 @@ int main() {
       std::snprintf(ratio, sizeof ratio, "%.2fx", exact_bytes / bytes);
       wire.add_row(c.name, c.r, comm::compression_name(codec), mib(bytes),
                    secs * 1e3, ratio);
+      json.add(std::string(c.name) + "/" + comm::compression_name(codec),
+               "D=" + std::to_string(c.D) + ", r=" + std::to_string(c.r),
+               0.0, secs, {{"wire_mib", mib(bytes)}});
     }
   }
   wire.print();

@@ -11,7 +11,8 @@
 using namespace chimera;
 using namespace chimera::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "ablation_scale_methods");
   print_banner("Ablation — §3.5 scale-to-large-B̂ methods (Chimera, D=4)");
 
   const ModelSpec bert = ModelSpec::bert48();
@@ -42,6 +43,10 @@ int main() {
       t.add_row(K, minibatch, scale_method_name(m), cfg.B,
                 100.0 * r.bubble_ratio, r.throughput,
                 r.feasible ? r.note : "OOM");
+      json.add(scale_method_name(m),
+               "K=" + std::to_string(K) + ", B=" + std::to_string(cfg.B),
+               r.throughput, r.iteration_seconds,
+               {{"bubble_ratio", r.bubble_ratio}});
     }
   }
   t.print();

@@ -7,7 +7,8 @@
 using namespace chimera;
 using namespace chimera::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "ablation_topology");
   print_banner("Ablation — V100 topology: NVLink islands vs flat fabric");
 
   const ModelSpec bert = ModelSpec::bert48(512);
@@ -36,6 +37,11 @@ int main() {
       std::snprintf(gain, sizeof gain, "-");
     t.add_row(W, D, rh.feasible ? rh.throughput : 0.0,
               rf.feasible ? rf.throughput : 0.0, gain);
+    const std::string label = "W=" + std::to_string(W) + ", D=" + std::to_string(D);
+    json.add("hierarchical", label, rh.feasible ? rh.throughput : 0.0,
+             rh.iteration_seconds);
+    json.add("flat", label, rf.feasible ? rf.throughput : 0.0,
+             rf.iteration_seconds);
   }
   t.print();
 

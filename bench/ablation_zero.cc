@@ -22,7 +22,8 @@ double gib(double bytes) { return bytes / (1024.0 * 1024.0 * 1024.0); }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "ablation_zero");
   print_banner("Ablation — ZeRO-1 optimizer-state sharding under Chimera");
 
   // Adam (2 state slots): the regime where sharding matters most.
@@ -58,6 +59,11 @@ int main() {
     std::snprintf(saving, sizeof saving, "%.1fx", repl / zero);
     t.add_row(r.name, scheme_name(r.scheme), r.W, r.D, r.f, gib(repl),
               gib(zero), saving);
+    json.add(std::string(r.name) + "/" + scheme_name(r.scheme),
+             "W=" + std::to_string(r.W) + ", D=" + std::to_string(r.D) +
+                 ", f=" + std::to_string(r.f),
+             0.0, 0.0,
+             {{"replicated_state_gib", gib(repl)}, {"zero1_state_gib", gib(zero)}});
   }
   t.print();
 

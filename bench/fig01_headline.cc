@@ -6,7 +6,8 @@
 using namespace chimera;
 using namespace chimera::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "fig01_headline");
   const ModelSpec model = ModelSpec::gpt2_64();
   const MachineSpec machine = MachineSpec::piz_daint();
   const int P = 2048;
@@ -34,6 +35,10 @@ int main() {
     std::snprintf(speed, sizeof speed, "%.2fx", chimera_tp / r.throughput);
     t.add_row(scheme_name(s), config_label(c), 100.0 * r.bubble_ratio,
               r.memory.peak_bytes() / 1e9, r.throughput, speed);
+    json.add(scheme_name(s), config_label(c), r.throughput,
+             r.iteration_seconds,
+             {{"bubble_ratio", r.bubble_ratio},
+              {"peak_mem_gb", r.memory.peak_bytes() / 1e9}});
   }
   t.print();
   std::printf(

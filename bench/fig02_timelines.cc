@@ -7,15 +7,26 @@ using namespace chimera;
 
 namespace {
 
+bench::JsonReporter* reporter = nullptr;
+
 void show(const char* title, Scheme scheme, const ScheduleConfig& cfg,
           const ReplayCosts& costs = {.forward = 1.0, .backward = 2.0}) {
   PipelineSchedule s = build_schedule(scheme, cfg);
   std::printf("--- %s ---\n%s\n", title, render_timeline(s, costs).c_str());
+  if (reporter) {
+    const ReplayResult r = replay(s, costs);
+    reporter->add(title,
+                  "D=" + std::to_string(cfg.depth) +
+                      ", N=" + std::to_string(cfg.num_micro),
+                  0.0, r.makespan, {{"bubble_ratio", r.bubble_ratio()}});
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "fig02_timelines");
+  reporter = &json;
   print_banner("Figure 2 — schemes at D=4, N=4 (backward = 2x forward)");
   show("GPipe", Scheme::kGPipe, {4, 4, 1, ScaleMethod::kDirect});
   show("DAPPLE (1F1B + flush)", Scheme::kDapple, {4, 4, 1, ScaleMethod::kDirect});

@@ -10,6 +10,9 @@ using namespace chimera;
 
 namespace {
 
+bench::JsonReporter* reporter = nullptr;
+const char* panel_name = "";
+
 void config_row(TextTable& t, const ModelSpec& model, Scheme scheme, int W,
                 int D, int B, long minibatch) {
   const MachineSpec machine = MachineSpec::piz_daint();
@@ -21,6 +24,14 @@ void config_row(TextTable& t, const ModelSpec& model, Scheme scheme, int W,
   cfg.minibatch = scheme == Scheme::kPipeDream ? static_cast<long>(B) * W
                                                : minibatch;
   const MemoryReport plain = memory_model(cfg, model, machine, false);
+  if (reporter)
+    reporter->add(std::string(panel_name) + "/" + scheme_name(scheme),
+                  "W=" + std::to_string(W) + ", D=" + std::to_string(D) +
+                      ", B=" + std::to_string(B),
+                  0.0, 0.0,
+                  {{"peak_mem_gb", plain.peak_bytes() / 1e9},
+                   {"min_mem_gb", plain.min_bytes() / 1e9},
+                   {"fits", plain.fits(machine) ? 1.0 : 0.0}});
   if (!plain.fits(machine)) {
     const MemoryReport rec = memory_model(cfg, model, machine, true);
     t.add_row(scheme_name(scheme), "OOM", plain.peak_bytes() / 1e9,
@@ -39,6 +50,7 @@ void config_row(TextTable& t, const ModelSpec& model, Scheme scheme, int W,
 
 void figure_panel(const char* title, const ModelSpec& model, int W, int D,
                   int B, long minibatch) {
+  panel_name = title;
   print_banner(title);
   TextTable t({"scheme", "per-worker distribution", "peak GB", "note"});
   for (Scheme s : bench::all_schemes())
@@ -48,7 +60,9 @@ void figure_panel(const char* title, const ModelSpec& model, int W, int D,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "fig09_memory");
+  reporter = &json;
   const ModelSpec bert = ModelSpec::bert48();
   const ModelSpec gpt32 = ModelSpec::gpt2_32();
   figure_panel("Fig. 9a — Bert-48 (W=2, D=16, B=8, B̂=512)", bert, 2, 16, 8, 512);

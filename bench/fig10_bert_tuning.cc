@@ -5,7 +5,8 @@
 using namespace chimera;
 using namespace chimera::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "fig10_bert_tuning");
   const ModelSpec model = ModelSpec::bert48();
   const MachineSpec machine = MachineSpec::piz_daint();
   const int P = 32;
@@ -18,7 +19,7 @@ int main() {
                  " on 32 workers, Bert-48" +
                  (scheme == Scheme::kPipeDream ? " (B̂ = B*W)" : ", B̂=512"));
     SearchResult r = sweep_configs(scheme, model, machine, P, minibatch,
-                                   /*max_B=*/64, eval);
+                                   /*max_B=*/64, eval, paper_partition());
     TextTable t({"W", "D", "B", "N", "note", "seq/s", "best"});
     for (const Candidate& c : r.all) {
       const bool best = c.feasible && c.cfg.W == r.best.cfg.W &&
@@ -29,6 +30,8 @@ int main() {
       }
       t.add_row(c.cfg.W, c.cfg.D, c.cfg.B, c.cfg.num_micro(), c.note,
                 c.throughput, best ? "*" : "");
+      json.add(scheme_name(scheme), config_label(c), c.throughput,
+               c.throughput > 0.0 ? c.cfg.minibatch / c.throughput : 0.0);
     }
     t.print();
   }

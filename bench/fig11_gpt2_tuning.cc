@@ -5,7 +5,8 @@
 using namespace chimera;
 using namespace chimera::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "fig11_gpt2_tuning");
   const ModelSpec model = ModelSpec::gpt2_64();
   const MachineSpec machine = MachineSpec::piz_daint();
   const int P = 512;
@@ -17,7 +18,7 @@ int main() {
     print_banner(std::string("Figure 11 — ") + scheme_name(scheme) +
                  " on 512 workers, GPT-2");
     SearchResult r = sweep_configs(scheme, model, machine, P, minibatch,
-                                   /*max_B=*/16, eval);
+                                   /*max_B=*/16, eval, paper_partition());
     TextTable t({"D", "B", "note", "seq/s", "best"});
     for (const Candidate& c : r.all) {
       const bool best = c.feasible && c.cfg.D == r.best.cfg.D &&
@@ -27,6 +28,8 @@ int main() {
         continue;
       }
       t.add_row(c.cfg.D, c.cfg.B, c.note, c.throughput, best ? "*" : "");
+      json.add(scheme_name(scheme), config_label(c), c.throughput,
+               c.throughput > 0.0 ? c.cfg.minibatch / c.throughput : 0.0);
     }
     t.print();
   }

@@ -7,7 +7,8 @@
 using namespace chimera;
 using namespace chimera::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "fig12_eager_sync");
   const ModelSpec model = ModelSpec::bert48();
   const MachineSpec machine = MachineSpec::piz_daint();
 
@@ -30,6 +31,9 @@ int main() {
     char speed[16];
     std::snprintf(speed, sizeof speed, "%.3fx", opt / eager);
     t.add_row(P, minibatch, eager, opt, speed);
+    const std::string label = "P=" + std::to_string(P) + ", D=4, B=8";
+    json.add("eager-sync", label, eager, minibatch / eager);
+    json.add("eager-sync-opt", label, opt, minibatch / opt);
   }
   t.print();
   std::printf(

@@ -9,6 +9,8 @@ using namespace chimera::bench;
 
 namespace {
 
+JsonReporter* reporter = nullptr;
+
 void panel(const char* title, const ModelSpec& model, int P, long minibatch,
            int max_B) {
   const MachineSpec machine = MachineSpec::piz_daint();
@@ -20,7 +22,8 @@ void panel(const char* title, const ModelSpec& model, int P, long minibatch,
     return pm.throughput(cfg);
   };
   SearchResult greedy =
-      chimera_greedy_search(model, machine, P, minibatch, max_B, model_eval);
+      chimera_greedy_search(model, machine, P, minibatch, max_B, model_eval, 1,
+                            ScaleMethod::kDirect, paper_partition());
 
   double best_sim = 0.0, model_choice_sim = 0.0;
   for (const Candidate& c : greedy.all) {
@@ -31,6 +34,10 @@ void panel(const char* title, const ModelSpec& model, int P, long minibatch,
     std::snprintf(err, sizeof err, "%+.1f%%",
                   100.0 * (predicted - simulated) / simulated);
     t.add_row(config_label(c), predicted, simulated, err);
+    if (reporter)
+      reporter->add(title, config_label(c), simulated,
+                    simulated > 0.0 ? minibatch / simulated : 0.0,
+                    {{"predicted_throughput", predicted}});
     best_sim = std::max(best_sim, simulated);
     if (c.cfg.W == greedy.best.cfg.W && c.cfg.D == greedy.best.cfg.D)
       model_choice_sim = simulated;
@@ -42,7 +49,9 @@ void panel(const char* title, const ModelSpec& model, int P, long minibatch,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "fig13_perf_model");
+  reporter = &json;
   panel("Figure 13a — Chimera, Bert-48 on 32 workers, B̂=256",
         ModelSpec::bert48(), 32, 256, 16);
   panel("Figure 13b — Chimera, GPT-2 on 512 workers, B̂=512",

@@ -5,7 +5,8 @@
 using namespace chimera;
 using namespace chimera::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "fig14_weak_bert");
   const ModelSpec model = ModelSpec::bert48();
   const MachineSpec machine = MachineSpec::piz_daint();
 
@@ -27,6 +28,8 @@ int main() {
       char speed[16];
       std::snprintf(speed, sizeof speed, "%.2fx", ctp / tp);
       t.add_row(P, scheme_name(s), config_label(c), tp, speed);
+      json.add(std::string("P=") + std::to_string(P) + "/" + scheme_name(s),
+               config_label(c), tp, tp > 0.0 ? minibatch / tp : 0.0);
     }
   }
   t.print();

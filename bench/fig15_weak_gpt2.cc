@@ -6,7 +6,8 @@
 using namespace chimera;
 using namespace chimera::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "fig15_weak_gpt2");
   const ModelSpec model = ModelSpec::gpt2_64();
   const MachineSpec machine = MachineSpec::piz_daint();
 
@@ -32,6 +33,8 @@ int main() {
       char speed[16];
       std::snprintf(speed, sizeof speed, "%.2fx", ctp / tp);
       t.add_row(P, scheme_name(s), config_label(c), tp, speed);
+      json.add(std::string("P=") + std::to_string(P) + "/" + scheme_name(s),
+               config_label(c), tp, tp > 0.0 ? minibatch / tp : 0.0);
     }
   }
   t.print();

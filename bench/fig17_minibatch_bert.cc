@@ -25,7 +25,8 @@ double chimera_tp(const ModelSpec& model, const MachineSpec& machine,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "fig17_minibatch_bert");
   const ModelSpec model = ModelSpec::bert48();
   const MachineSpec machine = MachineSpec::piz_daint();
 
@@ -33,17 +34,27 @@ int main() {
   TextTable t({"B̂", "DAPPLE", "GPipe", "GEMS", "2BW", "PipeDream",
                "Chimera direct B=8", "doubling B=8 R", "halving B=4"});
   for (long bh : {512L, 1024L, 2048L, 3072L, 4096L}) {
+    const std::string label = "B^=" + std::to_string(bh);
     auto best = [&](Scheme s) {
       Candidate c = best_config(s, model, machine, 32, bh, 64);
-      return c.feasible ? sim::simulated_throughput(c.cfg, model, machine) : 0.0;
+      const double tp =
+          c.feasible ? sim::simulated_throughput(c.cfg, model, machine) : 0.0;
+      json.add(scheme_name(s), label, tp, tp > 0.0 ? bh / tp : 0.0);
+      return tp;
+    };
+    auto chimera = [&](const char* name, ScaleMethod m, int B,
+                       Recompute rec = Recompute::kAuto) {
+      const double tp = chimera_tp(model, machine, bh, m, B, rec);
+      json.add(name, label, tp, tp > 0.0 ? bh / tp : 0.0);
+      return tp;
     };
     t.add_row(bh, best(Scheme::kDapple), best(Scheme::kGPipe),
               best(Scheme::kGems), best(Scheme::kPipeDream2BW),
               best(Scheme::kPipeDream),
-              chimera_tp(model, machine, bh, ScaleMethod::kDirect, 8),
-              chimera_tp(model, machine, bh, ScaleMethod::kForwardDoubling, 8,
-                         Recompute::kOn),
-              chimera_tp(model, machine, bh, ScaleMethod::kBackwardHalving, 4));
+              chimera("Chimera-direct", ScaleMethod::kDirect, 8),
+              chimera("Chimera-doubling", ScaleMethod::kForwardDoubling, 8,
+                      Recompute::kOn),
+              chimera("Chimera-halving", ScaleMethod::kBackwardHalving, 4));
   }
   t.print();
   std::printf(

@@ -23,7 +23,8 @@ double chimera_tp(const ModelSpec& model, const MachineSpec& machine,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "fig18_minibatch_gpt2");
   const ModelSpec model = ModelSpec::gpt2_64();
   const MachineSpec machine = MachineSpec::piz_daint();
 
@@ -31,15 +32,24 @@ int main() {
   TextTable t({"B̂", "DAPPLE", "GPipe", "GEMS", "2BW", "PipeDream",
                "Chimera direct", "Chimera doubling"});
   for (long bh : {512L, 1024L, 1536L, 2048L}) {
+    const std::string label = "B^=" + std::to_string(bh);
     auto best = [&](Scheme s) {
       Candidate c = best_config(s, model, machine, 512, bh, 8);
-      return c.feasible ? sim::simulated_throughput(c.cfg, model, machine) : 0.0;
+      const double tp =
+          c.feasible ? sim::simulated_throughput(c.cfg, model, machine) : 0.0;
+      json.add(scheme_name(s), label, tp, tp > 0.0 ? bh / tp : 0.0);
+      return tp;
+    };
+    auto chimera = [&](const char* name, ScaleMethod m) {
+      const double tp = chimera_tp(model, machine, bh, m);
+      json.add(name, label, tp, tp > 0.0 ? bh / tp : 0.0);
+      return tp;
     };
     t.add_row(bh, best(Scheme::kDapple), best(Scheme::kGPipe),
               best(Scheme::kGems), best(Scheme::kPipeDream2BW),
               best(Scheme::kPipeDream),
-              chimera_tp(model, machine, bh, ScaleMethod::kDirect),
-              chimera_tp(model, machine, bh, ScaleMethod::kForwardDoubling));
+              chimera("Chimera-direct", ScaleMethod::kDirect),
+              chimera("Chimera-doubling", ScaleMethod::kForwardDoubling));
   }
   t.print();
   std::printf(

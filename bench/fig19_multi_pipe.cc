@@ -7,7 +7,8 @@
 using namespace chimera;
 using namespace chimera::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "fig19_multi_pipe");
   const ModelSpec model = ModelSpec::gpt2_32();
   const MachineSpec machine = MachineSpec::piz_daint();
   const long minibatch = 64;
@@ -37,6 +38,9 @@ int main() {
         continue;
       }
       t.add_row(label, pipes, 100.0 * r.bubble_ratio, r.throughput);
+      json.add(std::string(label) + ", pipes=" + std::to_string(pipes), label,
+               r.throughput, r.iteration_seconds,
+               {{"bubble_ratio", r.bubble_ratio}});
     }
   }
   t.print();

@@ -7,7 +7,8 @@
 
 using namespace chimera;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "table2_schemes");
   print_banner("Table 4 — models (exact parameter counts)");
   {
     TextTable t({"network", "layers", "parameters", "paper"});
@@ -38,6 +39,9 @@ int main() {
       t.add_row(scheme_name(s), bubble_ratio_formula(s, D, N),
                 async ? 0.0 : r.bubble_ratio(), weights, acts,
                 async ? "async (stale)" : "synchronous");
+      json.add(scheme_name(s), "D=8, N=8", 0.0, r.makespan,
+               {{"bubble_formula", bubble_ratio_formula(s, D, N)},
+                {"bubble_measured", async ? 0.0 : r.bubble_ratio()}});
     }
     t.print();
   }

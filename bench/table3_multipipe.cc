@@ -6,7 +6,8 @@
 
 using namespace chimera;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReporter json(argc, argv, "table3_multipipe");
   print_banner("Table 3 — Chimera with 2f pipelines (N = D)");
   for (int D : {8, 16, 32}) {
     std::printf("\nD = %d:\n", D);
@@ -24,6 +25,8 @@ int main() {
       std::snprintf(acts, sizeof acts, "[%d, %d]", alo, ahi);
       t.add_row(f, 2 * f, bubble_ratio_formula(Scheme::kChimera, D, D, f),
                 r.bubble_ratio(), D - D / (2 * f) + 1, acts);
+      json.add("Chimera f=" + std::to_string(f), "D=" + std::to_string(D),
+               0.0, r.makespan, {{"bubble_measured", r.bubble_ratio()}});
     }
     t.print();
   }

@@ -37,36 +37,43 @@ int main(int argc, char** argv) {
   };
   SearchResult chimera = chimera_greedy_search(model, machine, P, minibatch,
                                                /*max_B=*/32, model_eval);
-  print_banner("Chimera candidates (performance model, §3.4)");
-  TextTable ct({"W", "D", "B", "N", "recompute", "predicted seq/s", "simulated seq/s"});
+  print_banner("Chimera candidates (performance model, §3.4 + partition policy)");
+  TextTable ct({"W", "D", "B", "N", "partition", "recompute",
+                "predicted seq/s", "simulated seq/s"});
   for (const Candidate& c : chimera.all) {
     if (!c.feasible) {
-      ct.add_row(c.cfg.W, c.cfg.D, "-", "-", c.note, "-", "-");
+      ct.add_row(c.cfg.W, c.cfg.D, "-", "-",
+                 partition_policy_name(c.cfg.partition), c.note, "-", "-");
       continue;
     }
     ct.add_row(c.cfg.W, c.cfg.D, c.cfg.B, c.cfg.num_micro(),
+               partition_policy_name(c.cfg.partition),
                c.recompute ? "yes" : "no", c.throughput,
                sim_eval(c.cfg, c.recompute));
   }
   ct.print();
-  std::printf("chosen: W=%d D=%d B=%d%s\n", chimera.best.cfg.W,
+  std::printf("chosen: W=%d D=%d B=%d partition=%s%s\n", chimera.best.cfg.W,
               chimera.best.cfg.D, chimera.best.cfg.B,
+              partition_policy_name(chimera.best.cfg.partition),
               chimera.best.recompute ? " (R)" : "");
 
   // --- Baselines: full sweep ----------------------------------------------
   print_banner("Baseline sweeps (simulator-evaluated best per scheme)");
-  TextTable bt({"scheme", "W", "D", "B", "recompute", "seq/s"});
+  TextTable bt({"scheme", "W", "D", "B", "partition", "recompute", "seq/s"});
   for (Scheme s : {Scheme::kDapple, Scheme::kGPipe, Scheme::kGems,
                    Scheme::kPipeDream, Scheme::kPipeDream2BW}) {
     SearchResult r = sweep_configs(s, model, machine, P, minibatch, 32, sim_eval);
     if (r.best.feasible)
       bt.add_row(scheme_name(s), r.best.cfg.W, r.best.cfg.D, r.best.cfg.B,
+                 partition_policy_name(r.best.cfg.partition),
                  r.best.recompute ? "yes" : "no", r.best.throughput);
     else
-      bt.add_row(scheme_name(s), "-", "-", "-", "OOM everywhere", 0.0);
+      bt.add_row(scheme_name(s), "-", "-", "-", "-", "OOM everywhere", 0.0);
   }
   bt.add_row("Chimera", chimera.best.cfg.W, chimera.best.cfg.D,
-             chimera.best.cfg.B, chimera.best.recompute ? "yes" : "no",
+             chimera.best.cfg.B,
+             partition_policy_name(chimera.best.cfg.partition),
+             chimera.best.recompute ? "yes" : "no",
              sim_eval(chimera.best.cfg, chimera.best.recompute));
   bt.print();
   return 0;

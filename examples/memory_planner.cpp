@@ -1,14 +1,16 @@
 // Memory planner: per-worker memory breakdown for a deployment — the
-// paper's Fig. 9 view, for any scheme and configuration.
+// paper's Fig. 9 view, for any scheme, configuration and partition policy.
 //
 //   $ ./examples/memory_planner                 # the six Fig. 9 configs
-//   $ ./examples/memory_planner gpt2 32 1 1 512 # model D W B B̂ (one config)
+//   $ ./examples/memory_planner gpt2 32 1 1 512 [even|balanced-flops|
+//     balanced-memory]                          # model D W B B̂ [policy]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "core/memory_model.h"
+#include "core/partition.h"
 #include "support/table.h"
 
 using namespace chimera;
@@ -16,7 +18,7 @@ using namespace chimera;
 namespace {
 
 void report(const ModelSpec& model, Scheme scheme, int W, int D, int B,
-            long minibatch) {
+            long minibatch, PartitionPolicy policy = PartitionPolicy::kEven) {
   const MachineSpec machine = MachineSpec::piz_daint();
   ExecConfig cfg;
   cfg.scheme = scheme;
@@ -25,11 +27,15 @@ void report(const ModelSpec& model, Scheme scheme, int W, int D, int B,
   cfg.B = B;
   cfg.minibatch = scheme == Scheme::kPipeDream ? static_cast<long>(B) * W
                                                : minibatch;
+  cfg.partition = policy;
   const bool recompute = resolve_recompute(cfg, model, machine);
   const MemoryReport r = memory_model(cfg, model, machine, recompute);
-  std::printf("%-14s W=%-3d D=%-3d B=%-3d %s%s\n", scheme_name(scheme), W, D, B,
+  const Partition part = plan_partition(model, cfg);
+  std::printf("%-14s W=%-3d D=%-3d B=%-3d partition=%s %s%s\n",
+              scheme_name(scheme), W, D, B, partition_policy_name(policy),
               recompute ? "[activation recomputation] " : "",
               r.fits(machine) ? "" : "[OOM]");
+  std::printf("stage layer ranges: %s\n", part.describe().c_str());
   TextTable t({"worker", "weights GB", "activations GB", "total GB"});
   for (int w = 0; w < D; ++w) {
     t.add_row(w, r.workers[w].weights_bytes / 1e9,
@@ -41,6 +47,14 @@ void report(const ModelSpec& model, Scheme scheme, int W, int D, int B,
               machine.device_mem_bytes / 1e9);
 }
 
+PartitionPolicy parse_policy(const char* s) {
+  if (std::strcmp(s, "balanced-flops") == 0)
+    return PartitionPolicy::kBalancedFlops;
+  if (std::strcmp(s, "balanced-memory") == 0)
+    return PartitionPolicy::kBalancedMemory;
+  return PartitionPolicy::kEven;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -48,10 +62,12 @@ int main(int argc, char** argv) {
     const ModelSpec model = std::strcmp(argv[1], "gpt2") == 0
                                 ? ModelSpec::gpt2_64()
                                 : ModelSpec::bert48();
+    const PartitionPolicy policy =
+        argc >= 7 ? parse_policy(argv[6]) : PartitionPolicy::kEven;
     for (Scheme s : {Scheme::kChimera, Scheme::kDapple, Scheme::kGems,
                      Scheme::kGPipe, Scheme::kPipeDream, Scheme::kPipeDream2BW})
       report(model, s, std::atoi(argv[3]), std::atoi(argv[2]),
-             std::atoi(argv[4]), std::atol(argv[5]));
+             std::atoi(argv[4]), std::atol(argv[5]), policy);
     return 0;
   }
 

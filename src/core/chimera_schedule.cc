@@ -79,13 +79,30 @@ struct Builder {
   /// Forward-doubling unit (paper §3.5, Fig. 7(c)): covers exactly 2D
   /// micro-batches; every forward op carries two micro-batches, the two
   /// backwards run back to back where the base unit had one backward.
+  ///
+  /// Micro-batch ids are paired exactly as two consecutive plain units
+  /// would assign them to the pipes (contiguous per-pipe blocks of
+  /// D/(2f)): each replica then accumulates the same micro-batches in the
+  /// same order as under kDirect, which makes forward doubling *bitwise*
+  /// equivalent to direct concatenation (every kernel accumulates
+  /// row-sequentially). When the block size D/(2f) is odd the matching
+  /// pairs would span non-contiguous ids; fall back to consecutive pairing
+  /// (still a valid schedule, equivalent up to summation order).
   void add_doubled_unit(int first) {
     const int pairs_per_pipe = depth / num_pipes;  // D/(2f) chunk ops per pipe
-    int next = first;
+    const int block = depth / num_pipes;  // per-pipe micros of one plain unit
     for (int p = 0; p < num_pipes; ++p) {
+      std::vector<int> firsts;  // first id of each fused pair, in emit order
+      if (block % 2 == 0) {
+        for (int u = 0; u < 2; ++u)
+          for (int k = 0; k < block; k += 2)
+            firsts.push_back(first + u * depth + p * block + k);
+      } else {
+        for (int m = 0; m < pairs_per_pipe; ++m)
+          firsts.push_back(first + 2 * (p * pairs_per_pipe + m));
+      }
       for (int m = 0; m < pairs_per_pipe; ++m) {
-        const int micro = next;
-        next += 2;
+        const int micro = firsts[m];
         pipe_of_micro[micro] = p;
         pipe_of_micro[micro + 1] = p;
         for (int s = 0; s < depth; ++s) {

@@ -6,6 +6,13 @@
 
 namespace chimera {
 
+const std::vector<PartitionPolicy>& all_partition_policies() {
+  static const std::vector<PartitionPolicy> policies = {
+      PartitionPolicy::kEven, PartitionPolicy::kBalancedFlops,
+      PartitionPolicy::kBalancedMemory};
+  return policies;
+}
+
 std::vector<int> candidate_depths(int P, int layers) {
   // The paper's tuning space tops out at D = 32 (Figs. 10/11/15 sweep
   // D in {2..32}); one-layer stages are never evaluated.
@@ -45,29 +52,33 @@ bool prepare(Candidate& c, const ModelSpec& model, const MachineSpec& machine) {
 
 SearchResult sweep_configs(Scheme scheme, const ModelSpec& model,
                            const MachineSpec& machine, int P, long minibatch,
-                           int max_B, const Evaluator& eval) {
+                           int max_B, const Evaluator& eval,
+                           const std::vector<PartitionPolicy>& policies) {
   SearchResult result;
   for (int D : candidate_depths(P, model.layers)) {
     const int W = P / D;
     for (int B = 1; B <= max_B; B *= 2) {
-      Candidate c;
-      c.cfg.scheme = scheme;
-      c.cfg.W = W;
-      c.cfg.D = D;
-      c.cfg.B = B;
-      c.cfg.minibatch =
-          scheme == Scheme::kPipeDream ? static_cast<long>(B) * W : minibatch;
-      c.cfg.recompute = Recompute::kAuto;
-      if (scheme != Scheme::kPipeDream &&
-          c.cfg.minibatch / (static_cast<long>(W) * B) < 1)
-        continue;  // N must be at least 1
-      if (prepare(c, model, machine)) {
-        c.cfg.recompute = c.recompute ? Recompute::kOn : Recompute::kOff;
-        c.throughput = eval(c.cfg, c.recompute);
-        if (!result.best.feasible || c.throughput > result.best.throughput)
-          result.best = c;
+      for (PartitionPolicy policy : policies) {
+        Candidate c;
+        c.cfg.scheme = scheme;
+        c.cfg.W = W;
+        c.cfg.D = D;
+        c.cfg.B = B;
+        c.cfg.minibatch =
+            scheme == Scheme::kPipeDream ? static_cast<long>(B) * W : minibatch;
+        c.cfg.recompute = Recompute::kAuto;
+        c.cfg.partition = policy;
+        if (scheme != Scheme::kPipeDream &&
+            c.cfg.minibatch / (static_cast<long>(W) * B) < 1)
+          continue;  // N must be at least 1
+        if (prepare(c, model, machine)) {
+          c.cfg.recompute = c.recompute ? Recompute::kOn : Recompute::kOff;
+          c.throughput = eval(c.cfg, c.recompute);
+          if (!result.best.feasible || c.throughput > result.best.throughput)
+            result.best = c;
+        }
+        result.all.push_back(c);
       }
-      result.all.push_back(c);
     }
   }
   return result;
@@ -77,53 +88,59 @@ SearchResult chimera_greedy_search(const ModelSpec& model,
                                    const MachineSpec& machine, int P,
                                    long minibatch, int max_B,
                                    const Evaluator& eval, int pipes_f,
-                                   ScaleMethod scale) {
+                                   ScaleMethod scale,
+                                   const std::vector<PartitionPolicy>& policies) {
   SearchResult result;
   for (int D : candidate_depths(P, model.layers)) {
     if (D % 2 != 0 || (D / 2) % pipes_f != 0) continue;
     const int W = P / D;
-    // Greedy B: largest power of two fitting without recomputation; if none
-    // fits, the largest fitting with recomputation (paper section 3.4). The
-    // greedy rule presumes the pipeline stays fed: prefer B that keeps
-    // N >= D (all stages active, section 3.1's minimum); only when no such
-    // B exists fall back to N < D (small-minibatch regime).
-    Candidate chosen;
-    for (int pass = 0; pass < 4 && !chosen.feasible; ++pass) {
-      const bool recompute = (pass & 1) == 1;
-      const bool require_full = pass < 2;
-      for (int B = max_B; B >= 1; B /= 2) {
-        if (minibatch % (static_cast<long>(W) * B) != 0) continue;
-        if (require_full && minibatch / (static_cast<long>(W) * B) < D)
-          continue;
-        Candidate c;
-        c.cfg.scheme = Scheme::kChimera;
-        c.cfg.W = W;
-        c.cfg.D = D;
-        c.cfg.B = B;
-        c.cfg.minibatch = minibatch;
-        c.cfg.pipes_f = pipes_f;
-        c.cfg.scale = scale;
-        c.cfg.recompute = recompute ? Recompute::kOn : Recompute::kOff;
-        if (!memory_model(c.cfg, model, machine, recompute).fits(machine))
-          continue;
-        c.recompute = recompute;
-        c.feasible = true;
-        c.note = recompute ? "R" : "";
-        chosen = c;
-        break;
+    for (PartitionPolicy policy : policies) {
+      // Greedy B: largest power of two fitting without recomputation under
+      // this policy's planned split; if none fits, the largest fitting with
+      // recomputation (paper section 3.4). The greedy rule presumes the
+      // pipeline stays fed: prefer B that keeps N >= D (all stages active,
+      // section 3.1's minimum); only when no such B exists fall back to
+      // N < D (small-minibatch regime).
+      Candidate chosen;
+      for (int pass = 0; pass < 4 && !chosen.feasible; ++pass) {
+        const bool recompute = (pass & 1) == 1;
+        const bool require_full = pass < 2;
+        for (int B = max_B; B >= 1; B /= 2) {
+          if (minibatch % (static_cast<long>(W) * B) != 0) continue;
+          if (require_full && minibatch / (static_cast<long>(W) * B) < D)
+            continue;
+          Candidate c;
+          c.cfg.scheme = Scheme::kChimera;
+          c.cfg.W = W;
+          c.cfg.D = D;
+          c.cfg.B = B;
+          c.cfg.minibatch = minibatch;
+          c.cfg.pipes_f = pipes_f;
+          c.cfg.scale = scale;
+          c.cfg.recompute = recompute ? Recompute::kOn : Recompute::kOff;
+          c.cfg.partition = policy;
+          if (!memory_model(c.cfg, model, machine, recompute).fits(machine))
+            continue;
+          c.recompute = recompute;
+          c.feasible = true;
+          c.note = recompute ? "R" : "";
+          chosen = c;
+          break;
+        }
       }
-    }
-    if (!chosen.feasible) {
-      chosen.cfg.W = W;
-      chosen.cfg.D = D;
-      chosen.note = "OOM at every B";
+      if (!chosen.feasible) {
+        chosen.cfg.W = W;
+        chosen.cfg.D = D;
+        chosen.cfg.partition = policy;
+        chosen.note = "OOM at every B";
+        result.all.push_back(chosen);
+        continue;
+      }
+      chosen.throughput = eval(chosen.cfg, chosen.recompute);
+      if (!result.best.feasible || chosen.throughput > result.best.throughput)
+        result.best = chosen;
       result.all.push_back(chosen);
-      continue;
     }
-    chosen.throughput = eval(chosen.cfg, chosen.recompute);
-    if (!result.best.feasible || chosen.throughput > result.best.throughput)
-      result.best = chosen;
-    result.all.push_back(chosen);
   }
   return result;
 }

@@ -34,22 +34,29 @@ struct SearchResult {
 /// in either the performance model or the discrete-event simulator.
 using Evaluator = std::function<double(const ExecConfig&, bool recompute)>;
 
-/// Full sweep for one scheme over D ∈ powers of two dividing P (W = P/D) and
-/// B ∈ powers of two up to `max_B`. PipeDream's B̂ is fixed at B·W; all other
-/// schemes use `minibatch`. Infeasible points (memory, divisibility, depth >
-/// layers) are recorded with feasible=false.
-SearchResult sweep_configs(Scheme scheme, const ModelSpec& model,
-                           const MachineSpec& machine, int P, long minibatch,
-                           int max_B, const Evaluator& eval);
+/// The partition planners in the default tuning space: the paper-faithful
+/// even split plus both cost-balanced planners (core/partition.h).
+const std::vector<PartitionPolicy>& all_partition_policies();
 
-/// Chimera's greedy strategy: for each (W, D) pick the maximum power-of-two
-/// B that fits without recomputation (falling back to the largest B that
-/// fits with recomputation), then rank (W, D) by the evaluator.
-SearchResult chimera_greedy_search(const ModelSpec& model,
-                                   const MachineSpec& machine, int P,
-                                   long minibatch, int max_B,
-                                   const Evaluator& eval, int pipes_f = 1,
-                                   ScaleMethod scale = ScaleMethod::kDirect);
+/// Full sweep for one scheme over D ∈ powers of two dividing P (W = P/D),
+/// B ∈ powers of two up to `max_B`, and the given partition policies.
+/// PipeDream's B̂ is fixed at B·W; all other schemes use `minibatch`.
+/// Infeasible points (memory, divisibility, depth > layers) are recorded
+/// with feasible=false.
+SearchResult sweep_configs(
+    Scheme scheme, const ModelSpec& model, const MachineSpec& machine, int P,
+    long minibatch, int max_B, const Evaluator& eval,
+    const std::vector<PartitionPolicy>& policies = all_partition_policies());
+
+/// Chimera's greedy strategy: for each (W, D, partition policy) pick the
+/// maximum power-of-two B that fits without recomputation under that
+/// policy's planned split (falling back to the largest B that fits with
+/// recomputation), then rank candidates by the evaluator.
+SearchResult chimera_greedy_search(
+    const ModelSpec& model, const MachineSpec& machine, int P, long minibatch,
+    int max_B, const Evaluator& eval, int pipes_f = 1,
+    ScaleMethod scale = ScaleMethod::kDirect,
+    const std::vector<PartitionPolicy>& policies = all_partition_policies());
 
 /// Candidate depths: powers of two d with d | P, d ≤ layers, d ≤ P.
 std::vector<int> candidate_depths(int P, int layers);

@@ -2,6 +2,7 @@
 // tuning space the paper's evaluation sweeps (§4.2).
 #pragma once
 
+#include "core/partition.h"
 #include "core/schedule.h"
 #include "core/sync_placement.h"
 #include "support/check.h"
@@ -21,6 +22,9 @@ struct ExecConfig {
   ScaleMethod scale = ScaleMethod::kDirect;
   SyncPolicy sync = SyncPolicy::kEagerOpt;
   Recompute recompute = Recompute::kAuto;
+  /// How layers are split into the D stages (resolved by plan_partition;
+  /// kEven is the paper-faithful §4.2.3 split).
+  PartitionPolicy partition = PartitionPolicy::kEven;
 
   /// N: micro-batches per worker per iteration.
   int num_micro() const {

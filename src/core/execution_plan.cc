@@ -85,10 +85,10 @@ namespace {
 double op_cost(const Op& op, const ReplayCosts& c) {
   switch (op.kind) {
     case OpKind::kForward:
-      return c.forward * op.chunk;
+      return c.forward_cost(op.stage) * op.chunk;
     case OpKind::kBackward: {
-      double t = c.backward / op.half_count;
-      if (c.recompute) t += c.forward / op.half_count;
+      double t = c.backward_cost(op.stage) / op.half_count;
+      if (c.recompute) t += c.forward_cost(op.stage) / op.half_count;
       return t;
     }
     case OpKind::kAllReduceBegin:

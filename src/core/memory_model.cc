@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/partition.h"
 #include "core/schedule_analysis.h"
 
 namespace chimera {
@@ -22,7 +23,8 @@ double MemoryReport::min_bytes() const {
 MemoryReport memory_model(const ExecConfig& cfg, const ModelSpec& model,
                           const MachineSpec& machine, bool recompute) {
   const PipelineSchedule sched = build_schedule(cfg.scheme, cfg.schedule_config());
-  const StagePartition part(model, cfg.D);
+  const Partition part =
+      plan_partition(model, cfg.D, cfg.partition, &sched, cfg.B);
   const std::vector<int> inflight = max_inflight_micros(sched);
 
   MemoryReport report;
@@ -91,7 +93,8 @@ double optimizer_state_bytes(const ExecConfig& cfg, const ModelSpec& model,
                              int state_slots, bool zero_shard) {
   if (state_slots <= 0) return 0.0;
   const PipelineSchedule sched = build_schedule(cfg.scheme, cfg.schedule_config());
-  const StagePartition part(model, cfg.D);
+  const Partition part =
+      plan_partition(model, cfg.D, cfg.partition, &sched, cfg.B);
   const double shard_group =
       zero_shard ? static_cast<double>(sched.num_pipes) * cfg.W : 1.0;
   double peak = 0.0;

@@ -1,9 +1,5 @@
 #include "core/model_spec.h"
 
-#include <algorithm>
-
-#include "support/check.h"
-
 namespace chimera {
 
 ModelSpec ModelSpec::bert48(int seq) {
@@ -86,7 +82,14 @@ double ModelSpec::layer_fwd_flops(int B) const {
 }
 
 double ModelSpec::head_fwd_flops(int B) const {
-  return 2.0 * B * static_cast<double>(seq) * hidden * vocab;
+  double f = 2.0 * B * static_cast<double>(seq) * hidden * vocab;
+  if (bert_heads)  // MLM transform dense (h×h) feeding the decoder
+    f += 2.0 * B * static_cast<double>(seq) * hidden * hidden;
+  return f;
+}
+
+double ModelSpec::embedding_fwd_flops(int B) const {
+  return 2.0 * B * static_cast<double>(seq) * hidden;
 }
 
 double ModelSpec::layer_activation_bytes(int B) const {
@@ -99,50 +102,6 @@ double ModelSpec::layer_activation_bytes(int B) const {
 
 double ModelSpec::boundary_bytes(int B) const {
   return 4.0 * static_cast<double>(B) * seq * hidden;
-}
-
-StagePartition::StagePartition(const ModelSpec& model, int depth)
-    : model_(model), depth_(depth) {
-  CHIMERA_CHECK_MSG(depth >= 1 && depth <= model.layers,
-                    "cannot split " << model.layers << " layers into " << depth
-                                    << " stages");
-}
-
-int StagePartition::layers_in_stage(int stage) const {
-  const int base = model_.layers / depth_;
-  const int extra = model_.layers % depth_;
-  return base + (stage < extra ? 1 : 0);
-}
-
-std::int64_t StagePartition::stage_params(int stage) const {
-  std::int64_t p = layers_in_stage(stage) * model_.per_layer_params();
-  if (stage == 0) p += model_.embedding_params();
-  if (stage == depth_ - 1) p += model_.head_params();
-  return p;
-}
-
-double StagePartition::stage_fwd_flops(int stage, int B) const {
-  // The paper assumes balanced stages (§3.1); embedding/head compute is
-  // excluded from the pipeline clock, matching that assumption. Use
-  // ModelSpec::head_fwd_flops separately if the imbalanced case is needed.
-  return layers_in_stage(stage) * model_.layer_fwd_flops(B);
-}
-
-double StagePartition::stage_activation_bytes(int stage, int B) const {
-  return layers_in_stage(stage) * model_.layer_activation_bytes(B);
-}
-
-double StagePartition::max_stage_fwd_flops(int B) const {
-  double m = 0.0;
-  for (int st = 0; st < depth_; ++st)
-    m = std::max(m, stage_fwd_flops(st, B));
-  return m;
-}
-
-std::int64_t StagePartition::max_stage_params() const {
-  std::int64_t m = 0;
-  for (int st = 0; st < depth_; ++st) m = std::max(m, stage_params(st));
-  return m;
 }
 
 }  // namespace chimera

@@ -1,6 +1,6 @@
-// Transformer model specifications: exact parameter counting, FLOP model,
-// activation-footprint model and the layer-wise stage partition used by all
-// pipeline schemes (paper Table 4 and §4).
+// Transformer model specifications: exact parameter counting, FLOP model and
+// activation-footprint model (paper Table 4 and §4). The layer-wise stage
+// partition consumed by all pipeline schemes lives in core/partition.h.
 //
 // The two evaluation models reproduce the paper's parameter counts exactly:
 //   Bert-48 (L=48, h=1024) ................ 669,790,012 parameters
@@ -40,8 +40,13 @@ struct ModelSpec {
   std::int64_t total_params() const;
 
   // ---- compute (FLOPs for one micro-batch of size B) --------------------
-  double layer_fwd_flops(int B) const;  ///< 24·B·s·h² + 4·B·s²·h
-  double head_fwd_flops(int B) const;   ///< 2·B·s·h·V
+  double layer_fwd_flops(int B) const;      ///< 24·B·s·h² + 4·B·s²·h
+  /// Output head: 2·B·s·h·V logits GEMM, plus 2·B·s·h² for the BERT MLM
+  /// transform when bert_heads is set.
+  double head_fwd_flops(int B) const;
+  /// Embedding lookup + position add: 2·B·s·h (a gather, not a GEMM —
+  /// negligible next to the head, but kept so stage-0 cost is explicit).
+  double embedding_fwd_flops(int B) const;
 
   // ---- memory (bytes, fp32) ---------------------------------------------
   /// Activations stashed by one layer for one micro-batch during training
@@ -50,30 +55,6 @@ struct ModelSpec {
   /// The stage-boundary activation tensor (B·s·h values): the p2p message
   /// between stages and the only stash kept under activation recomputation.
   double boundary_bytes(int B) const;
-};
-
-/// Even layer-wise partition into D stages: stage 0 additionally holds the
-/// embeddings, stage D−1 the output head(s) (paper §4.2.3: "evenly
-/// partitioning the basic layers among the workers").
-struct StagePartition {
-  StagePartition(const ModelSpec& model, int depth);
-
-  int depth() const { return depth_; }
-  int layers_in_stage(int stage) const;
-  std::int64_t stage_params(int stage) const;
-  double stage_fwd_flops(int stage, int B) const;
-  /// Activation bytes stashed per in-flight micro-batch on this stage.
-  double stage_activation_bytes(int stage, int B) const;
-  /// Max over stages of forward time-determining FLOPs (the pipeline clock
-  /// is set by the slowest stage).
-  double max_stage_fwd_flops(int B) const;
-  std::int64_t max_stage_params() const;
-
-  const ModelSpec& model() const { return model_; }
-
- private:
-  ModelSpec model_;
-  int depth_;
 };
 
 }  // namespace chimera

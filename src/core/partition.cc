@@ -1,0 +1,255 @@
+#include "core/partition.h"
+
+#include <algorithm>
+
+#include "core/exec_config.h"
+#include "core/schedule.h"
+#include "support/check.h"
+
+namespace chimera {
+
+const char* partition_policy_name(PartitionPolicy p) {
+  switch (p) {
+    case PartitionPolicy::kEven: return "even";
+    case PartitionPolicy::kBalancedFlops: return "balanced-flops";
+    case PartitionPolicy::kBalancedMemory: return "balanced-memory";
+  }
+  return "?";
+}
+
+Partition::Partition(const ModelSpec& model, std::vector<StageRange> ranges)
+    : model_(model), ranges_(std::move(ranges)) {
+  CHIMERA_CHECK_MSG(!ranges_.empty(), "partition needs at least one stage");
+  int expect = 0;
+  for (std::size_t s = 0; s < ranges_.size(); ++s) {
+    CHIMERA_CHECK_MSG(ranges_[s].begin == expect && ranges_[s].size() >= 1,
+                      "stage " << s << " range [" << ranges_[s].begin << ", "
+                               << ranges_[s].end
+                               << ") does not continue the cover at layer "
+                               << expect);
+    expect = ranges_[s].end;
+  }
+  CHIMERA_CHECK_MSG(expect == model_.layers,
+                    "partition covers " << expect << " of " << model_.layers
+                                        << " layers");
+
+  const int D = depth();
+  params_.resize(D);
+  fwd_flops_unit_.resize(D);
+  act_bytes_unit_.resize(D);
+  for (int s = 0; s < D; ++s) {
+    const int n = ranges_[s].size();
+    params_[s] = n * model_.per_layer_params();
+    fwd_flops_unit_[s] = n * model_.layer_fwd_flops(1);
+    act_bytes_unit_[s] = n * model_.layer_activation_bytes(1);
+    if (s == 0) {
+      params_[s] += model_.embedding_params();
+      fwd_flops_unit_[s] += model_.embedding_fwd_flops(1);
+    }
+    if (s == D - 1) {
+      // The head's logits are produced inside backward (nn::StageModule) and
+      // never stashed, so the head adds FLOPs and parameters but no
+      // per-micro-batch activation bytes.
+      params_[s] += model_.head_params();
+      fwd_flops_unit_[s] += model_.head_fwd_flops(1);
+    }
+  }
+}
+
+double Partition::max_stage_fwd_flops(int B) const {
+  double m = 0.0;
+  for (double f : fwd_flops_unit_) m = std::max(m, f * B);
+  return m;
+}
+
+std::int64_t Partition::max_stage_params() const {
+  std::int64_t m = 0;
+  for (std::int64_t p : params_) m = std::max(m, p);
+  return m;
+}
+
+std::string Partition::describe() const {
+  std::string out;
+  for (std::size_t s = 0; s < ranges_.size(); ++s) {
+    if (s) out += " | ";
+    out += std::to_string(ranges_[s].begin) + "-" +
+           std::to_string(ranges_[s].end - 1);
+  }
+  return out;
+}
+
+namespace {
+
+void check_depth(const ModelSpec& model, int depth) {
+  CHIMERA_CHECK_MSG(depth >= 1 && depth <= model.layers,
+                    "cannot split " << model.layers << " layers into " << depth
+                                    << " stages");
+}
+
+/// Minimizes max over stages of cost(stage, layer range) over all contiguous
+/// partitions with ≥ 1 layer per stage. O(D·L²); L ≤ 64 in practice.
+template <typename CostFn>
+Partition plan_min_max(const ModelSpec& model, int depth, CostFn cost) {
+  check_depth(model, depth);
+  const int L = model.layers;
+  const int D = depth;
+  constexpr double kInf = 1e300;
+  // dp[s][i]: best achievable max cost placing layers [0, i) on stages
+  // [0, s]; cut[s][i]: begin layer of stage s in that optimum.
+  std::vector<std::vector<double>> dp(D, std::vector<double>(L + 1, kInf));
+  std::vector<std::vector<int>> cut(D, std::vector<int>(L + 1, -1));
+  for (int i = 1; i <= L; ++i) {
+    dp[0][i] = cost(0, StageRange{0, i});
+    cut[0][i] = 0;
+  }
+  for (int s = 1; s < D; ++s) {
+    for (int i = s + 1; i <= L; ++i) {
+      for (int j = s; j < i; ++j) {  // stage s covers [j, i)
+        if (dp[s - 1][j] >= kInf) continue;
+        const double c = std::max(dp[s - 1][j], cost(s, StageRange{j, i}));
+        if (c < dp[s][i]) {
+          dp[s][i] = c;
+          cut[s][i] = j;
+        }
+      }
+    }
+  }
+  std::vector<StageRange> ranges(D);
+  int end = L;
+  for (int s = D - 1; s >= 0; --s) {
+    const int begin = cut[s][end];
+    ranges[s] = StageRange{begin, end};
+    end = begin;
+  }
+  return Partition(model, std::move(ranges));
+}
+
+}  // namespace
+
+Partition plan_even(const ModelSpec& model, int depth) {
+  check_depth(model, depth);
+  const int base = model.layers / depth;
+  const int extra = model.layers % depth;
+  std::vector<StageRange> ranges(depth);
+  int at = 0;
+  for (int s = 0; s < depth; ++s) {
+    const int n = base + (s < extra ? 1 : 0);
+    ranges[s] = StageRange{at, at + n};
+    at += n;
+  }
+  return Partition(model, std::move(ranges));
+}
+
+Partition plan_balanced_flops(const ModelSpec& model, int depth) {
+  const double layer = model.layer_fwd_flops(1);
+  const double emb = model.embedding_fwd_flops(1);
+  const double head = model.head_fwd_flops(1);
+  return plan_min_max(model, depth, [&](int s, StageRange r) {
+    double c = r.size() * layer;
+    if (s == 0) c += emb;
+    if (s == depth - 1) c += head;
+    return c;
+  });
+}
+
+Partition plan_balanced_memory(const ModelSpec& model, int depth,
+                               const std::vector<double>& stage_inflight,
+                               int B,
+                               const std::vector<double>& weight_versions) {
+  CHIMERA_CHECK_MSG(
+      stage_inflight.empty() ||
+          static_cast<int>(stage_inflight.size()) == depth,
+      "in-flight profile has " << stage_inflight.size() << " entries for "
+                               << depth << " stages");
+  CHIMERA_CHECK_MSG(
+      weight_versions.empty() ||
+          static_cast<int>(weight_versions.size()) == depth,
+      "weight-version profile has " << weight_versions.size()
+                                    << " entries for " << depth << " stages");
+  auto inflight = [&](int s) {
+    return stage_inflight.empty() ? 1.0 : std::max(1.0, stage_inflight[s]);
+  };
+  auto versions = [&](int s) {
+    return weight_versions.empty() ? 0.0 : std::max(0.0, weight_versions[s]);
+  };
+  return plan_min_max(model, depth, [&](int s, StageRange r) {
+    // 12 B/parameter (fp32 weights + gradients + momentum) plus 4 B per
+    // stashed weight copy the scheme keeps on this stage, plus the stashed
+    // activations of every in-flight micro-batch — the same accounting
+    // core/memory_model charges.
+    double params = static_cast<double>(r.size()) * model.per_layer_params();
+    double act = r.size() * model.layer_activation_bytes(B);
+    if (s == 0) params += model.embedding_params();
+    if (s == depth - 1) params += model.head_params();
+    return (12.0 + 4.0 * versions(s)) * params + inflight(s) * act;
+  });
+}
+
+std::vector<double> stage_inflight_profile(const PipelineSchedule& s) {
+  // live[p][st]: stashed micro-batches of stage st in pipe p right now,
+  // replayed from the per-worker op order (the stash is acquired by the
+  // local forward and released by the local last backward half).
+  std::vector<std::vector<double>> live(
+      s.num_pipes, std::vector<double>(s.depth, 0.0));
+  std::vector<std::vector<double>> high = live;
+  for (int w = 0; w < s.depth; ++w) {
+    for (const Op& op : s.worker_ops[w]) {
+      if (op.kind == OpKind::kForward) {
+        live[op.pipe][op.stage] += op.chunk;
+        high[op.pipe][op.stage] =
+            std::max(high[op.pipe][op.stage], live[op.pipe][op.stage]);
+      } else if (op.kind == OpKind::kBackward &&
+                 op.half_index + 1 == op.half_count) {
+        live[op.pipe][op.stage] -= 1.0;
+      }
+    }
+  }
+  std::vector<double> profile(s.depth, 0.0);
+  for (int st = 0; st < s.depth; ++st)
+    for (int p = 0; p < s.num_pipes; ++p)
+      profile[st] = std::max(profile[st], high[p][st]);
+  return profile;
+}
+
+Partition plan_partition(const ModelSpec& model, int depth,
+                         PartitionPolicy policy,
+                         const PipelineSchedule* schedule, int B) {
+  switch (policy) {
+    case PartitionPolicy::kEven:
+      return plan_even(model, depth);
+    case PartitionPolicy::kBalancedFlops:
+      return plan_balanced_flops(model, depth);
+    case PartitionPolicy::kBalancedMemory: {
+      std::vector<double> profile;
+      std::vector<double> versions;
+      if (schedule && schedule->scheme == Scheme::kPipeDream) {
+        // No-flush steady state: stage s keeps D−s micro-batches stashed
+        // and D−s−1 extra weight copies (paper Table 2's [Ma, D·Ma] and
+        // [Mθ, D·Mθ] intervals).
+        profile.resize(depth);
+        versions.resize(depth);
+        for (int st = 0; st < depth; ++st) {
+          profile[st] = depth - st;
+          versions[st] = depth - st - 1;
+        }
+      } else if (schedule) {
+        profile = stage_inflight_profile(*schedule);
+        if (schedule->scheme == Scheme::kPipeDream2BW)
+          versions.assign(depth, 1.0);  // one double buffer per stage
+      }
+      return plan_balanced_memory(model, depth, profile, B, versions);
+    }
+  }
+  return plan_even(model, depth);
+}
+
+Partition plan_partition(const ModelSpec& model, const ExecConfig& cfg) {
+  if (cfg.partition == PartitionPolicy::kBalancedMemory) {
+    const PipelineSchedule sched =
+        build_schedule(cfg.scheme, cfg.schedule_config());
+    return plan_partition(model, cfg.D, cfg.partition, &sched, cfg.B);
+  }
+  return plan_partition(model, cfg.D, cfg.partition, nullptr, cfg.B);
+}
+
+}  // namespace chimera

@@ -4,6 +4,7 @@
 
 #include "core/execution_plan.h"
 #include "core/memory_model.h"
+#include "core/partition.h"
 #include "core/schedule_analysis.h"
 
 namespace chimera {
@@ -12,10 +13,10 @@ PerfBreakdown PerfModel::breakdown(const ExecConfig& cfg) const {
   PerfBreakdown out;
   out.recompute = resolve_recompute(cfg, model_, machine_);
 
-  const StagePartition part(model_, cfg.D);
-  out.Ft = part.max_stage_fwd_flops(cfg.B) /
-           (machine_.effective_flops() *
-            machine_.micro_batch_saturation(cfg.B, model_.seq));
+  const Partition part = plan_partition(model_, cfg);
+  const double eff = machine_.effective_flops() *
+                     machine_.micro_batch_saturation(cfg.B, model_.seq);
+  out.Ft = part.max_stage_fwd_flops(cfg.B) / eff;
   out.Bt = (out.recompute ? 3.0 : 2.0) * out.Ft;
   out.p2p = machine_.p2p_seconds(model_.boundary_bytes(cfg.B));
 
@@ -50,19 +51,30 @@ PerfBreakdown PerfModel::breakdown(const ExecConfig& cfg) const {
   const PipelineSchedule sched = build_schedule(cfg.scheme, cfg.schedule_config());
   const ExecutionPlan plan(sched);  // one lowering, replayed with many costs
 
+  // Planned stages are not equal-cost: bill the replay per stage, exactly
+  // the durations the discrete-event simulator charges.
   ReplayCosts costs;
-  costs.forward = out.Ft;
-  costs.backward = 2.0 * out.Ft;
+  costs.forward_by_stage.resize(cfg.D);
+  costs.backward_by_stage.resize(cfg.D);
+  for (int st = 0; st < cfg.D; ++st) {
+    const double f = part.stage_fwd_flops(st, cfg.B) / eff;
+    costs.forward_by_stage[st] = f;
+    costs.backward_by_stage[st] = 2.0 * f;
+  }
   costs.recompute = out.recompute;
   costs.p2p = out.p2p;
 
   const double base = replay(plan, costs).compute_makespan;
   out.compute_time = base;
 
-  // Cf/Cb: derivative of the makespan w.r.t. Ft and Bt (piecewise linear in
-  // both, so a small forward difference recovers the integer path counts).
+  // Cf/Cb: derivative of the *uniform-cost* makespan w.r.t. Ft and Bt
+  // (piecewise linear in both, so a small forward difference recovers the
+  // integer critical-path counts of Fig. 6, e.g. Cf=6, Cb=10 for D=N=6).
   {
-    ReplayCosts c0 = costs;
+    ReplayCosts c0;
+    c0.forward = out.Ft;
+    c0.backward = 2.0 * out.Ft;
+    c0.recompute = out.recompute;
     c0.p2p = 0.0;
     const double m0 = replay(plan, c0).compute_makespan;
     const double eps = 1e-7;

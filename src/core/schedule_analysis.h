@@ -67,6 +67,10 @@ struct ReplayCosts {
   double backward = 2.0;   ///< one micro-batch backward (paper: ≈ 2×forward)
   double p2p = 0.0;        ///< boundary-crossing activation/grad transfer
   double allreduce = 0.0;  ///< duration of one stage's gradient allreduce
+  /// Per-stage forward/backward durations (planned Partition stages are not
+  /// equal-cost); override the scalars when non-empty.
+  std::vector<double> forward_by_stage;
+  std::vector<double> backward_by_stage;
   /// Per-stage allreduce durations; overrides `allreduce` when non-empty.
   std::vector<double> allreduce_by_stage;
   /// CPU time an AllReduceBegin steals from the worker, as a fraction of the
@@ -74,6 +78,14 @@ struct ReplayCosts {
   double begin_cpu_fraction = 0.0;
   bool recompute = false;  ///< activation recomputation: backward += forward
 
+  double forward_cost(int stage) const {
+    if (!forward_by_stage.empty()) return forward_by_stage.at(stage);
+    return forward;
+  }
+  double backward_cost(int stage) const {
+    if (!backward_by_stage.empty()) return backward_by_stage.at(stage);
+    return backward;
+  }
   double allreduce_cost(int stage) const {
     if (!allreduce_by_stage.empty()) return allreduce_by_stage.at(stage);
     return allreduce;

@@ -13,12 +13,34 @@ MicroBatch MicroBatch::slice(int first, int count) const {
   return out;
 }
 
-StageModule::StageModule(const SmallModelConfig& cfg, int stage, int depth)
-    : cfg_(cfg), stage_(stage), depth_(depth) {
+ModelSpec SmallModelConfig::spec() const {
+  ModelSpec m;
+  m.name = "small-gpt";
+  m.layers = layers;
+  m.hidden = hidden;
+  m.heads = heads;
+  m.vocab = vocab;
+  m.max_pos = seq;
+  m.type_vocab = 0;
+  m.seq = seq;
+  m.tied_head = false;  // StageModule's head Linear is a separate parameter
+  m.bert_heads = false;
+  return m;
+}
+
+StageModule::StageModule(const SmallModelConfig& cfg, int stage, int depth,
+                         StageRange layers)
+    : cfg_(cfg), stage_(stage), depth_(depth), layers_(layers) {
   CHIMERA_CHECK(stage >= 0 && stage < depth);
-  // Seeding depends only on (model seed, stage): every data-parallel /
-  // bidirectional replica of a stage starts from identical weights, as a
-  // real deployment would after broadcasting the initial model.
+  CHIMERA_CHECK_MSG(layers.begin >= 0 && layers.begin < layers.end &&
+                        layers.end <= cfg.layers,
+                    "stage " << stage << " layer range [" << layers.begin
+                             << ", " << layers.end << ") outside the model's "
+                             << cfg.layers << " layers");
+  // Seeding depends only on (model seed, stage / global layer id): every
+  // data-parallel / bidirectional replica of a stage starts from identical
+  // weights, as a real deployment would after broadcasting the initial
+  // model, and a layer keeps its initialization under any partition.
   Rng base(cfg.seed);
   Rng rng = base.split(static_cast<std::uint64_t>(stage) + 1);
 
@@ -28,14 +50,11 @@ StageModule::StageModule(const SmallModelConfig& cfg, int stage, int depth)
     wte_->value.randn(rng, 0.02f);
     wpe_->value.randn(rng, 0.01f);
   }
-  int first_layer = 0;
-  for (int s = 0; s < stage; ++s) first_layer += cfg.layers_in_stage(s, depth);
-  const int count = cfg.layers_in_stage(stage, depth);
-  for (int l = 0; l < count; ++l) {
-    Rng lrng = base.split(1000 + first_layer + l);
+  for (int l = layers_.begin; l < layers_.end; ++l) {
+    Rng lrng = base.split(1000 + l);
     blocks_.push_back(std::make_unique<TransformerBlock>(
-        "block" + std::to_string(first_layer + l), cfg.hidden, cfg.heads,
-        cfg.seq, cfg.causal, lrng));
+        "block" + std::to_string(l), cfg.hidden, cfg.heads, cfg.seq,
+        cfg.causal, lrng));
   }
   if (is_last()) {
     Rng hrng = base.split(999983);
@@ -43,6 +62,10 @@ StageModule::StageModule(const SmallModelConfig& cfg, int stage, int depth)
     head_ = std::make_unique<Linear>("head", cfg.hidden, cfg.vocab, hrng, 0.02f);
   }
 }
+
+StageModule::StageModule(const SmallModelConfig& cfg, int stage, int depth)
+    : StageModule(cfg, stage, depth,
+                  plan_even(cfg.spec(), depth).range(stage)) {}
 
 Tensor StageModule::run_forward(const MicroBatch& mb, const Tensor& input,
                                 Stash& st) const {

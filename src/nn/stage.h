@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/partition.h"
 #include "nn/layers.h"
 
 namespace chimera::nn {
@@ -28,9 +29,10 @@ struct SmallModelConfig {
   bool causal = true;
   std::uint64_t seed = 1234;
 
-  int layers_in_stage(int stage, int depth) const {
-    return layers / depth + (stage < layers % depth ? 1 : 0);
-  }
+  /// Cost-model view of this architecture for the shared partition planners
+  /// (core/partition.h) — the runtime, simulator and analytic models all
+  /// split layers through the same Partition.
+  ModelSpec spec() const;
 };
 
 /// One micro-batch of token ids with next-token targets.
@@ -47,11 +49,19 @@ struct MicroBatch {
 
 class StageModule {
  public:
+  /// Owns transformer layers `layers` = [begin, end) of the model, as
+  /// assigned by a planned Partition. Stage 0 additionally owns the
+  /// embeddings, the last stage the final LayerNorm + LM head + loss.
+  StageModule(const SmallModelConfig& cfg, int stage, int depth,
+              StageRange layers);
+
+  /// Convenience: the paper-faithful even split (plan_even over spec()).
   StageModule(const SmallModelConfig& cfg, int stage, int depth);
 
   bool is_first() const { return stage_ == 0; }
   bool is_last() const { return stage_ == depth_ - 1; }
   int stage() const { return stage_; }
+  const StageRange& layer_range() const { return layers_; }
 
   /// Runs the stage forward for one micro-batch. `input` is the previous
   /// stage's output activation (ignored on stage 0, which embeds
@@ -96,6 +106,7 @@ class StageModule {
   SmallModelConfig cfg_;
   int stage_ = 0;
   int depth_ = 1;
+  StageRange layers_{};  ///< global layer range this stage executes
   bool recompute_ = false;
   double last_loss_ = 0.0;
 

@@ -4,6 +4,7 @@
 
 #include "comm/compression.h"
 #include "comm/world.h"
+#include "core/partition.h"
 #include "core/sync_placement.h"
 #include "optim/lr_schedule.h"
 #include "optim/optimizer.h"
@@ -12,6 +13,11 @@ namespace chimera::rt {
 
 struct TrainerOptions {
   int data_parallel = 1;  ///< W: replicated pipeline groups
+  /// How transformer layers are split into stages. The trainer plans one
+  /// Partition (core/partition.h) and every stage module takes its layer
+  /// range from it — the same planners the simulator and analytic models
+  /// consume.
+  PartitionPolicy partition = PartitionPolicy::kEven;
   /// Update rule + hyper-parameters, applied identically on every replica.
   /// optimizer.clip_norm > 0 enables distributed global-gradient-norm
   /// clipping (synchronous schemes only: the norm spans all stages, so the

@@ -9,6 +9,15 @@
 
 namespace chimera::rt {
 
+Partition runtime_partition(const nn::SmallModelConfig& model, int depth,
+                            PartitionPolicy policy,
+                            const PipelineSchedule* schedule) {
+  // One dispatcher for everyone: the runtime plans through the same
+  // core planner the analytic models and the simulator use, so the split
+  // it trains is the split they priced.
+  return plan_partition(model.spec(), depth, policy, schedule);
+}
+
 PipelineTrainer::PipelineTrainer(const nn::SmallModelConfig& model,
                                  Scheme scheme, const ScheduleConfig& sched_cfg,
                                  const TrainerOptions& opts)
@@ -40,6 +49,20 @@ PipelineTrainer::PipelineTrainer(const nn::SmallModelConfig& model,
 
   const int W = opts.data_parallel;
   const int D = schedule_.depth;
+  partition_ = std::make_unique<Partition>(
+      runtime_partition(model_, D, opts.partition, &schedule_));
+  // The runtime executes exactly the planned split: the ranges must cover
+  // all layers exactly once. Partition's constructor enforces a contiguous
+  // in-order cover, so checking the endpoints closes the contract.
+  CHIMERA_CHECK_MSG(partition_->depth() == D &&
+                        partition_->range(0).begin == 0 &&
+                        partition_->range(D - 1).end == model_.layers,
+                    "runtime partition covers ["
+                        << partition_->range(0).begin << ", "
+                        << partition_->range(D - 1).end << ") of "
+                        << model_.layers << " layers across "
+                        << partition_->depth() << " stages (want " << D << ")");
+
   world_ = std::make_unique<comm::World>(W * D);
   workers_.resize(static_cast<std::size_t>(W) * D);
   for (int g = 0; g < W; ++g) {
@@ -47,7 +70,8 @@ PipelineTrainer::PipelineTrainer(const nn::SmallModelConfig& model,
       auto worker = std::make_unique<WorkerState>();
       for (auto [pipe, stage] : schedule_.hosted_stages(w)) {
         worker->replicas.push_back(std::make_unique<Replica>(
-            model_, pipe, stage, D, opts.recompute, opts.optimizer));
+            model_, pipe, stage, D, partition_->range(stage), opts.recompute,
+            opts.optimizer));
         store_->register_replica(*worker->replicas.back());
       }
       workers_[static_cast<std::size_t>(g) * D + w] = std::move(worker);
@@ -201,8 +225,15 @@ std::vector<float> SequentialTrainer::weights() const {
 }
 
 std::vector<float> SequentialTrainer::stage_weights(int stage, int depth) const {
-  // Match parameters by name against a freshly shaped partition module.
-  nn::StageModule shape(model_, stage, depth);
+  // Match parameters by name against a module shaped like the pipeline's
+  // replica of `stage`: plan the same policy the pipeline trainer plans.
+  // kBalancedMemory's plan depends on the schedule, which this trainer
+  // does not have — refuse rather than silently shape a different split.
+  CHIMERA_CHECK_MSG(opts_.partition != PartitionPolicy::kBalancedMemory,
+                    "kBalancedMemory plans are schedule-dependent; compare "
+                    "against PipelineTrainer::partition() ranges instead");
+  const Partition part = runtime_partition(model_, depth, opts_.partition);
+  nn::StageModule shape(model_, stage, depth, part.range(stage));
   std::map<std::string, const nn::Param*> by_name;
   for (const nn::Param* p : const_cast<nn::StageModule&>(*module_).params())
     by_name[p->name] = p;

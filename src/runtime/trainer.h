@@ -37,6 +37,14 @@
 
 namespace chimera::rt {
 
+/// The layer partition the runtime executes for `model` at `depth` under
+/// `policy` — policy dispatch over the shared planners of core/partition.h.
+/// kBalancedMemory reads the in-flight stash profile from `schedule` (an
+/// even profile is assumed when none is given).
+Partition runtime_partition(const nn::SmallModelConfig& model, int depth,
+                            PartitionPolicy policy,
+                            const PipelineSchedule* schedule = nullptr);
+
 class PipelineTrainer {
  public:
   PipelineTrainer(const nn::SmallModelConfig& model, Scheme scheme,
@@ -53,6 +61,9 @@ class PipelineTrainer {
   /// The shared plan all ranks execute (also what the analyzer's replay and
   /// the simulator run for this schedule).
   const ExecutionPlan& plan() const { return *plan_; }
+
+  /// The planned layer partition every hosted stage module was built from.
+  const Partition& partition() const { return *partition_; }
 
   /// Flattened weights of the replica of `stage` in data-parallel group
   /// `group` hosted via pipeline `pipe` (tests compare replicas/reference).
@@ -71,6 +82,7 @@ class PipelineTrainer {
   Scheme scheme_;
   TrainerOptions opts_;
   PipelineSchedule schedule_;
+  std::unique_ptr<Partition> partition_;
   std::unique_ptr<ExecutionPlan> plan_;
   std::unique_ptr<comm::World> world_;
   std::vector<std::unique_ptr<WorkerState>> workers_;  ///< [group·D + worker]

@@ -29,8 +29,9 @@ struct Replica {
   optim::Optimizer opt;
 
   Replica(const nn::SmallModelConfig& cfg, int pipe_, int stage_, int depth,
-          bool recompute, const optim::OptimizerConfig& ocfg)
-      : pipe(pipe_), stage(stage_), module(cfg, stage_, depth),
+          StageRange layers, bool recompute,
+          const optim::OptimizerConfig& ocfg)
+      : pipe(pipe_), stage(stage_), module(cfg, stage_, depth, layers),
         opt(module.params(), ocfg) {
     module.set_recompute(recompute);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/partition.h"
 #include "core/schedule_analysis.h"
 
 namespace chimera::sim {
@@ -29,7 +30,7 @@ SimResult simulate(const ExecConfig& cfg, const ModelSpec& model,
   out.feasible = true;
   if (recompute) out.note = "R";
 
-  const StagePartition part(model, cfg.D);
+  const Partition part = plan_partition(model, cfg);
   const double eff =
       machine.effective_flops() * machine.micro_batch_saturation(cfg.B, model.seq);
   const double bf = recompute ? 3.0 : 2.0;

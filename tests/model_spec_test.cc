@@ -1,8 +1,9 @@
-// Parameter-count and partition tests: the model specs must reproduce the
-// paper's Table 4 exactly.
+// Parameter-count tests: the model specs must reproduce the paper's Table 4
+// exactly. (Partition/planner tests live in partition_test.cc.)
 #include <gtest/gtest.h>
 
 #include "core/model_spec.h"
+#include "core/partition.h"
 #include "support/check.h"
 
 namespace chimera {
@@ -26,10 +27,10 @@ TEST(ModelSpec, PerLayerFormula) {
   EXPECT_EQ(m.per_layer_params(), 12 * h * h + 13 * h);
 }
 
-TEST(StagePartition, LayersSplitEvenly) {
+TEST(EvenPartition, LayersSplitEvenly) {
   const ModelSpec m = ModelSpec::bert48();
   for (int D : {2, 4, 8, 16, 48}) {
-    StagePartition p(m, D);
+    const Partition p = plan_even(m, D);
     int total = 0;
     for (int s = 0; s < D; ++s) {
       total += p.layers_in_stage(s);
@@ -39,11 +40,11 @@ TEST(StagePartition, LayersSplitEvenly) {
   }
 }
 
-TEST(StagePartition, StageParamsSumToTotal) {
+TEST(EvenPartition, StageParamsSumToTotal) {
   for (const ModelSpec& m : {ModelSpec::bert48(), ModelSpec::gpt2_64(),
                              ModelSpec::gpt2_32()}) {
     for (int D : {1, 2, 4, 8, 16}) {
-      StagePartition p(m, D);
+      const Partition p = plan_even(m, D);
       std::int64_t total = 0;
       for (int s = 0; s < D; ++s) total += p.stage_params(s);
       EXPECT_EQ(total, m.total_params()) << m.name << " D=" << D;
@@ -51,18 +52,18 @@ TEST(StagePartition, StageParamsSumToTotal) {
   }
 }
 
-TEST(StagePartition, FirstStageHeaviestForBert) {
+TEST(EvenPartition, FirstStageHeaviestForBert) {
   // The paper (§4.1): "the first stage usually has more weights than other
   // stages since it includes an extra embedding layer".
   const ModelSpec m = ModelSpec::bert48();
-  StagePartition p(m, 16);
+  const Partition p = plan_even(m, 16);
   for (int s = 1; s < 15; ++s)
     EXPECT_GT(p.stage_params(0), p.stage_params(s));
 }
 
-TEST(StagePartition, RejectsMoreStagesThanLayers) {
+TEST(EvenPartition, RejectsMoreStagesThanLayers) {
   const ModelSpec m = ModelSpec::gpt2_32();
-  EXPECT_THROW(StagePartition(m, 64), CheckError);
+  EXPECT_THROW(plan_even(m, 64), CheckError);
 }
 
 TEST(ModelSpec, FlopAndActivationModelsScaleLinearlyInBatch) {

@@ -1,0 +1,276 @@
+// Partition planner tests (core/partition.h): every planner produces a
+// valid cover, the cost-balanced planners beat the paper's even split on the
+// imbalance the embeddings/head introduce, and the runtime executes exactly
+// the planned ranges.
+#include <gtest/gtest.h>
+
+#include "core/config_search.h"
+#include "core/memory_model.h"
+#include "core/partition.h"
+#include "runtime/trainer.h"
+#include "sim/simulate.h"
+#include "support/check.h"
+
+namespace chimera {
+namespace {
+
+/// Piz Daint with unconstrained memory: isolates the compute-balance effect
+/// from OOM/recompute feasibility.
+MachineSpec big_memory_machine() {
+  MachineSpec m = MachineSpec::piz_daint();
+  m.device_mem_bytes = 1e15;
+  return m;
+}
+
+std::vector<PartitionPolicy> every_policy() {
+  return {PartitionPolicy::kEven, PartitionPolicy::kBalancedFlops,
+          PartitionPolicy::kBalancedMemory};
+}
+
+TEST(Partition, EveryPlannerCoversAllLayersExactlyOnce) {
+  for (const ModelSpec& m : {ModelSpec::bert48(), ModelSpec::gpt2_64()}) {
+    for (int D : {2, 4, 8, 16, 32}) {
+      for (PartitionPolicy policy : every_policy()) {
+        ExecConfig cfg;
+        cfg.scheme = Scheme::kDapple;
+        cfg.D = D;
+        cfg.B = 1;
+        cfg.minibatch = 2L * D;
+        cfg.partition = policy;
+        const Partition p = plan_partition(m, cfg);
+        ASSERT_EQ(p.depth(), D);
+        int covered = 0;
+        std::int64_t params = 0;
+        for (int s = 0; s < D; ++s) {
+          EXPECT_EQ(p.range(s).begin, covered) << partition_policy_name(policy);
+          EXPECT_GE(p.layers_in_stage(s), 1);
+          covered = p.range(s).end;
+          params += p.stage_params(s);
+        }
+        EXPECT_EQ(covered, m.layers) << partition_policy_name(policy);
+        EXPECT_EQ(params, m.total_params()) << partition_policy_name(policy);
+      }
+    }
+  }
+}
+
+TEST(Partition, ConstructorRejectsBrokenCovers) {
+  const ModelSpec m = ModelSpec::gpt2_32();
+  EXPECT_THROW(Partition(m, {{0, 16}, {20, 32}}), CheckError);  // gap
+  EXPECT_THROW(Partition(m, {{0, 16}, {8, 32}}), CheckError);   // overlap
+  EXPECT_THROW(Partition(m, {{0, 16}, {16, 16}}), CheckError);  // empty stage
+  EXPECT_THROW(Partition(m, {{0, 16}}), CheckError);            // short cover
+}
+
+TEST(Partition, BalancedFlopsStrictlyLowersMaxStageTimeForGpt2) {
+  // Acceptance: GPT-2's untied LM head (2·B·s·h·V ≈ 3 transformer layers of
+  // forward compute) makes the even split imbalanced; the DP planner must
+  // strictly lower the pipeline clock at D ∈ {4, 8}.
+  const ModelSpec m = ModelSpec::gpt2_64();
+  ASSERT_FALSE(m.tied_head);
+  for (int D : {4, 8}) {
+    const Partition even = plan_even(m, D);
+    const Partition balanced = plan_balanced_flops(m, D);
+    for (int B : {1, 4}) {
+      EXPECT_LT(balanced.max_stage_fwd_flops(B), even.max_stage_fwd_flops(B))
+          << "D=" << D << " B=" << B;
+    }
+    // The planner moves layers off the head-carrying last stage.
+    EXPECT_LT(balanced.layers_in_stage(D - 1), even.layers_in_stage(D - 1));
+  }
+}
+
+TEST(Partition, BalancedFlopsImprovesSimulatedThroughputForGpt2) {
+  // Acceptance: the slowest stage sets the simulated pipeline clock, so the
+  // lower max-stage forward time must show up as end-to-end throughput for
+  // every scheme that maps one stage to one worker.
+  const ModelSpec m = ModelSpec::gpt2_64();
+  const MachineSpec machine = big_memory_machine();
+  for (Scheme scheme : {Scheme::kDapple, Scheme::kGPipe, Scheme::kOneF1B}) {
+    for (int D : {4, 8}) {
+      ExecConfig cfg;
+      cfg.scheme = scheme;
+      cfg.W = 1;
+      cfg.D = D;
+      cfg.B = 1;
+      cfg.minibatch = 2L * D;
+      cfg.partition = PartitionPolicy::kEven;
+      const double even = sim::simulated_throughput(cfg, m, machine);
+      cfg.partition = PartitionPolicy::kBalancedFlops;
+      const double balanced = sim::simulated_throughput(cfg, m, machine);
+      ASSERT_GT(even, 0.0);
+      EXPECT_GT(balanced, even) << scheme_name(scheme) << " D=" << D;
+    }
+  }
+}
+
+TEST(Partition, ChimeraBidirectionalPairingAlreadyAmortizesTheImbalance) {
+  // Chimera hosts down-stage w and up-stage D−1−w on the same worker, so the
+  // embedding-heavy and head-heavy stages land together and the even split
+  // is already balanced at the *worker* level (the Fig. 9 balance story).
+  // Cost-balancing the stages must therefore change Chimera's throughput
+  // only marginally — unlike the ≥ 8% swing on the unidirectional schemes.
+  const ModelSpec m = ModelSpec::gpt2_64();
+  const MachineSpec machine = big_memory_machine();
+  for (int D : {4, 8}) {
+    ExecConfig cfg;
+    cfg.scheme = Scheme::kChimera;
+    cfg.W = 1;
+    cfg.D = D;
+    cfg.B = 1;
+    cfg.minibatch = 2L * D;
+    cfg.partition = PartitionPolicy::kEven;
+    const double even = sim::simulated_throughput(cfg, m, machine);
+    cfg.partition = PartitionPolicy::kBalancedFlops;
+    const double balanced = sim::simulated_throughput(cfg, m, machine);
+    ASSERT_GT(even, 0.0);
+    EXPECT_NEAR(balanced, even, 0.03 * even) << "D=" << D;
+  }
+}
+
+TEST(Partition, BalancedFlopsNeverWorseThanEvenOnTheClock) {
+  for (const ModelSpec& m : {ModelSpec::bert48(), ModelSpec::gpt2_64(),
+                             ModelSpec::gpt2_32()}) {
+    for (int D : {2, 4, 8, 16, 32}) {
+      EXPECT_LE(plan_balanced_flops(m, D).max_stage_fwd_flops(1),
+                plan_even(m, D).max_stage_fwd_flops(1))
+          << m.name << " D=" << D;
+    }
+  }
+}
+
+TEST(Partition, BalancedMemoryLowersPeakWorkerBytes) {
+  // DAPPLE's stage 0 both stashes the most micro-batches (D in flight) and
+  // owns the embeddings; balancing under the in-flight profile must lower
+  // the per-worker peak vs the even split.
+  const ModelSpec m = ModelSpec::gpt2_64();
+  const MachineSpec machine = big_memory_machine();
+  ExecConfig cfg;
+  cfg.scheme = Scheme::kDapple;
+  cfg.W = 1;
+  cfg.D = 8;
+  cfg.B = 1;
+  cfg.minibatch = 8;
+  cfg.partition = PartitionPolicy::kEven;
+  const double even =
+      memory_model(cfg, m, machine, /*recompute=*/false).peak_bytes();
+  cfg.partition = PartitionPolicy::kBalancedMemory;
+  const double balanced =
+      memory_model(cfg, m, machine, /*recompute=*/false).peak_bytes();
+  EXPECT_LT(balanced, even);
+}
+
+TEST(Partition, BalancedMemoryChargesPipeDreamWeightVersions) {
+  // PipeDream's steady state stashes D−s−1 extra weight copies on stage s
+  // in addition to D−s in-flight activations; the planner must balance the
+  // same objective memory_model charges, so its plan can never have a
+  // higher peak than the even split.
+  const ModelSpec m = ModelSpec::gpt2_64();
+  const MachineSpec machine = big_memory_machine();
+  ExecConfig cfg;
+  cfg.scheme = Scheme::kPipeDream;
+  cfg.W = 1;
+  cfg.D = 8;
+  cfg.B = 1;
+  cfg.minibatch = 1;
+  cfg.partition = PartitionPolicy::kEven;
+  const double even =
+      memory_model(cfg, m, machine, /*recompute=*/false).peak_bytes();
+  cfg.partition = PartitionPolicy::kBalancedMemory;
+  const double balanced =
+      memory_model(cfg, m, machine, /*recompute=*/false).peak_bytes();
+  EXPECT_LT(balanced, even);
+  // And the plan shifts layers off the version-heavy early stages.
+  const Partition p = plan_partition(m, cfg);
+  EXPECT_LT(p.layers_in_stage(0), plan_even(m, 8).layers_in_stage(0));
+}
+
+TEST(Partition, StageInflightProfileMatchesOneFOneBShape) {
+  // 1F1B keeps D−s micro-batches stashed on stage s during an iteration's
+  // steady state (the memory imbalance the planner consumes).
+  const PipelineSchedule s =
+      build_schedule(Scheme::kDapple, {8, 16, 1, ScaleMethod::kDirect});
+  const std::vector<double> profile = stage_inflight_profile(s);
+  ASSERT_EQ(profile.size(), 8u);
+  for (int st = 1; st < 8; ++st) EXPECT_LE(profile[st], profile[st - 1]);
+  EXPECT_EQ(profile[0], 8.0);
+  EXPECT_EQ(profile[7], 1.0);
+}
+
+TEST(Partition, PolicyJoinsTheSweptSpace) {
+  const ModelSpec m = ModelSpec::bert48();
+  const MachineSpec machine = MachineSpec::piz_daint();
+  const Evaluator eval = [](const ExecConfig&, bool) { return 1.0; };
+  const SearchResult r =
+      sweep_configs(Scheme::kDapple, m, machine, 8, 64, 2, eval);
+  bool seen[3] = {false, false, false};
+  for (const Candidate& c : r.all)
+    seen[static_cast<int>(c.cfg.partition)] = true;
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+// ---- the runtime executes the planned ranges ----------------------------
+
+nn::SmallModelConfig head_heavy_model() {
+  // Large vocab relative to hidden: the LM head costs ≈ 1.4 layers of
+  // forward compute, so the balanced plan differs from the even one.
+  nn::SmallModelConfig cfg;
+  cfg.vocab = 211;
+  cfg.hidden = 12;
+  cfg.heads = 2;
+  cfg.layers = 6;
+  cfg.seq = 6;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+TEST(RuntimePartition, TrainerExecutesThePlannedRanges) {
+  const nn::SmallModelConfig model = head_heavy_model();
+  rt::TrainerOptions opts;
+  opts.partition = PartitionPolicy::kBalancedFlops;
+  rt::PipelineTrainer t(model, Scheme::kChimera, {2, 2, 1, ScaleMethod::kDirect},
+                        opts);
+  const Partition planned = plan_balanced_flops(model.spec(), 2);
+  ASSERT_EQ(t.partition().ranges(), planned.ranges());
+  // And the plan is genuinely non-even: the head-carrying stage gave up
+  // layers.
+  EXPECT_GT(t.partition().layers_in_stage(0), t.partition().layers_in_stage(1));
+}
+
+TEST(RuntimePartition, BalancedFlopsMatchesSequentialSgd) {
+  // The equivalence guarantee is partition-independent: a cost-balanced
+  // split must train to exactly the same weights as the sequential
+  // reference on the same micro-batch partition.
+  const nn::SmallModelConfig model = head_heavy_model();
+  rt::TrainerOptions opts;
+  opts.partition = PartitionPolicy::kBalancedFlops;
+  rt::PipelineTrainer pipe(model, Scheme::kChimera,
+                           {2, 2, 1, ScaleMethod::kDirect}, opts);
+  rt::SequentialTrainer seq(model, opts);
+  Rng rng(7);
+  for (int it = 0; it < 3; ++it) {
+    nn::MicroBatch batch;
+    batch.batch = 4;
+    batch.seq = model.seq;
+    for (int i = 0; i < batch.batch * model.seq; ++i) {
+      const int tok = static_cast<int>(rng.next_below(model.vocab));
+      batch.tokens.push_back(tok);
+      batch.targets.push_back((tok + 1) % model.vocab);
+    }
+    const rt::IterationResult pr = pipe.train_iteration(batch);
+    const rt::IterationResult sr = seq.train_iteration(batch, 2);
+    EXPECT_NEAR(pr.loss, sr.loss, 1e-4) << "iter " << it;
+  }
+  for (int st = 0; st < 2; ++st) {
+    const std::vector<float> pw = pipe.stage_weights(0, 0, st);
+    const std::vector<float> sw = seq.stage_weights(st, 2);
+    ASSERT_EQ(pw.size(), sw.size()) << "stage " << st;
+    double gap = 0.0;
+    for (std::size_t i = 0; i < pw.size(); ++i)
+      gap = std::max(gap, std::abs(static_cast<double>(pw[i]) - sw[i]));
+    EXPECT_LT(gap, 5e-5) << "stage " << st;
+  }
+}
+
+}  // namespace
+}  // namespace chimera

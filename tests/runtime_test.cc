@@ -125,6 +125,34 @@ TEST(Equivalence, ForwardDoublingWithRecomputationMatches) {
             5e-5);
 }
 
+TEST(Equivalence, ScaleMethodsBitwiseIdenticalAtTwoUnits) {
+  // §3.5: at N = 2D the three ways of concatenating basic scheduling units
+  // — direct, forward doubling, backward halving — reorder *whole-row*
+  // work only: every kernel accumulates gradients row-sequentially, so the
+  // final weights must agree bit for bit, not just within tolerance.
+  const nn::SmallModelConfig model = test_model();
+  std::vector<std::vector<std::vector<float>>> weights;  // [method][stage]
+  for (ScaleMethod scale : {ScaleMethod::kDirect, ScaleMethod::kForwardDoubling,
+                            ScaleMethod::kBackwardHalving}) {
+    TrainerOptions opts;
+    opts.optimizer.rule = optim::Rule::kMomentum;
+    opts.optimizer.momentum = 0.9f;
+    PipelineTrainer t(model, Scheme::kChimera, {4, 8, 1, scale}, opts);
+    for (int it = 0; it < 2; ++it)
+      t.train_iteration(make_batch(model, 16, 1200 + it));  // B = 2
+    std::vector<std::vector<float>> per_stage;
+    for (int st = 0; st < 4; ++st)
+      per_stage.push_back(t.stage_weights(0, 0, st));
+    weights.push_back(std::move(per_stage));
+  }
+  for (int st = 0; st < 4; ++st) {
+    EXPECT_EQ(weights[0][st], weights[1][st])
+        << "forward doubling differs from direct at stage " << st;
+    EXPECT_EQ(weights[0][st], weights[2][st])
+        << "backward halving differs from direct at stage " << st;
+  }
+}
+
 TEST(Equivalence, GpipeMatchesSequentialSgd) {
   TrainerOptions opts;
   EXPECT_LT(equivalence_gap(Scheme::kGPipe, {4, 4, 1, ScaleMethod::kDirect},
