@@ -1,0 +1,173 @@
+// Wall-clock throughput of the real threaded runtime — the perf-trajectory
+// bench for the persistent parallel execution substrate.
+//
+// Unlike the fig/table benches (which replay the *analytic* models or the
+// event simulator), this binary trains a real nn::SmallModelConfig through
+// PipelineTrainer and clocks iterations per second: persistent worker pool,
+// intra-op kernel sharding and the zero-realloc hot path all show up here
+// or not at all. Each configuration is measured twice — once pinned to the
+// serial kernel path (intra_op = 0) and once with the auto-sized helper
+// pool — and reports the speedup; the kernels' fixed split points keep the
+// two runs bitwise identical (DESIGN.md §2 item 17), so the speedup is pure
+// execution, not arithmetic drift.
+//
+//   $ ./bench_runtime_throughput [--json BENCH_runtime_throughput.json]
+//       [--small] [--iters N] [--hidden H] [--layers L] [--seq S]
+//       [--vocab V] [--micro B]
+//
+// Defaults are a GPT-2-small-like scaled shape; --small is the CI smoke
+// configuration.
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "runtime/trainer.h"
+#include "tensor/compute_pool.h"
+
+using namespace chimera;
+using namespace chimera::bench;
+
+namespace {
+
+struct BenchConfig {
+  int hidden = 192;
+  int heads = 8;
+  int layers = 8;
+  int seq = 64;
+  int vocab = 768;
+  int micro = 1;  ///< B: samples per micro-batch
+  int iters = 3;
+  int warmup = 1;
+};
+
+nn::MicroBatch make_batch(const nn::SmallModelConfig& cfg, int samples) {
+  nn::MicroBatch mb;
+  mb.batch = samples;
+  mb.seq = cfg.seq;
+  Rng rng(7);
+  for (int i = 0; i < samples * cfg.seq; ++i) {
+    const int t = static_cast<int>(rng.next_below(cfg.vocab));
+    mb.tokens.push_back(t);
+    mb.targets.push_back((t + 1) % cfg.vocab);
+  }
+  return mb;
+}
+
+/// Iterations/s of one trainer configuration at the given intra-op setting.
+double measure(const nn::SmallModelConfig& model, Scheme scheme,
+               const ScheduleConfig& sc, bool recompute, int intra_op,
+               const BenchConfig& bc, double* loss_out) {
+  rt::TrainerOptions opts;
+  opts.recompute = recompute;
+  opts.intra_op = intra_op;
+  rt::PipelineTrainer t(model, scheme, sc, opts);
+  const nn::MicroBatch batch = make_batch(model, bc.micro * sc.num_micro);
+  for (int i = 0; i < bc.warmup; ++i) t.train_iteration(batch);
+  const auto t0 = std::chrono::steady_clock::now();
+  double loss = 0.0;
+  for (int i = 0; i < bc.iters; ++i) loss = t.train_iteration(batch).loss;
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (loss_out) *loss_out = loss;
+  return bc.iters / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "runtime_throughput");
+  BenchConfig bc;
+  // --small is a preset applied first, so flag order never matters: any
+  // explicit --iters/--hidden/... always wins over it.
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--small")) {
+      bc.hidden = 64;
+      bc.heads = 4;
+      bc.layers = 8;
+      bc.seq = 16;
+      bc.vocab = 128;
+      bc.iters = 2;
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](int& field) {
+      if (i + 1 < argc) field = std::atoi(argv[++i]);
+    };
+    if (!std::strcmp(argv[i], "--iters")) next(bc.iters);
+    else if (!std::strcmp(argv[i], "--hidden")) next(bc.hidden);
+    else if (!std::strcmp(argv[i], "--layers")) next(bc.layers);
+    else if (!std::strcmp(argv[i], "--seq")) next(bc.seq);
+    else if (!std::strcmp(argv[i], "--vocab")) next(bc.vocab);
+    else if (!std::strcmp(argv[i], "--micro")) next(bc.micro);
+  }
+
+  nn::SmallModelConfig model;
+  model.hidden = bc.hidden;
+  model.heads = bc.heads;
+  model.layers = bc.layers;
+  model.seq = bc.seq;
+  model.vocab = bc.vocab;
+
+  print_banner("Runtime wall-clock throughput (real training iterations)");
+  std::printf("model: hidden=%d layers=%d seq=%d vocab=%d  micro B=%d  "
+              "hardware threads=%u\n\n",
+              bc.hidden, bc.layers, bc.seq, bc.vocab, bc.micro,
+              std::thread::hardware_concurrency());
+
+  TextTable table({"scheme", "config", "serial it/s", "pooled it/s",
+                   "speedup", "seq/s", "loss"});
+  bool determinism_broken = false;
+  struct Case {
+    Scheme scheme;
+    int depth;
+    int num_micro;
+  };
+  const Case cases[] = {
+      {Scheme::kChimera, 4, 4},
+      {Scheme::kDapple, 4, 8},
+      {Scheme::kGPipe, 4, 4},
+  };
+  for (const Case& c : cases) {
+    for (bool recompute : {false, true}) {
+      const ScheduleConfig sc{c.depth, c.num_micro, 1, ScaleMethod::kDirect};
+      double loss_serial = 0.0, loss_pooled = 0.0;
+      const double serial =
+          measure(model, c.scheme, sc, recompute, /*intra_op=*/0, bc,
+                  &loss_serial);
+      const double pooled = measure(model, c.scheme, sc, recompute,
+                                    /*intra_op=*/-1, bc, &loss_pooled);
+      if (loss_serial != loss_pooled) {
+        std::fprintf(stderr,
+                     "FAIL: pooled loss %.17g != serial loss %.17g "
+                     "(determinism contract broken)\n",
+                     loss_pooled, loss_serial);
+        determinism_broken = true;
+      }
+      const int samples = bc.micro * c.num_micro;
+      const std::string name =
+          std::string(scheme_name(c.scheme)) + (recompute ? "+R" : "");
+      const std::string config = "D=" + std::to_string(c.depth) +
+                                 ", N=" + std::to_string(c.num_micro) +
+                                 ", B=" + std::to_string(bc.micro);
+      char speedup[16];
+      std::snprintf(speedup, sizeof speedup, "%.2fx", pooled / serial);
+      table.add_row(name, config, serial, pooled, speedup, pooled * samples,
+                    loss_pooled);
+      json.add(name, config, pooled * samples, 1.0 / pooled,
+               {{"iters_per_s", pooled},
+                {"serial_iters_per_s", serial},
+                {"speedup_vs_serial", pooled / serial},
+                {"loss", loss_pooled}});
+    }
+  }
+  table.print();
+  ComputePool::instance().set_helpers(0);
+  // Nonzero on a pooled-vs-serial mismatch so the CI smoke job enforces
+  // the bitwise-parity contract, not just wall-clock collection.
+  return determinism_broken ? 1 : 0;
+}

@@ -13,11 +13,16 @@ Linear::Linear(std::string name, int in, int out, Rng& rng, float init_scale)
 }
 
 Tensor Linear::forward(const Tensor& x, Ctx& ctx) const {
+  Tensor y;
+  forward_into(x, ctx, y);
+  return y;
+}
+
+void Linear::forward_into(const Tensor& x, Ctx& ctx, Tensor& y) const {
   ctx.x = x;
-  Tensor y(x.rows(), w_.value.cols());
+  y.reshape(x.rows(), w_.value.cols());  // gemm zeroes before accumulating
   gemm(x, w_.value, y);
   add_bias(y, b_.value);
-  return y;
 }
 
 Tensor Linear::backward(const Tensor& dy, const Ctx& ctx) {
@@ -37,12 +42,18 @@ LayerNorm::LayerNorm(std::string name, int hidden)
 }
 
 Tensor LayerNorm::forward(const Tensor& x, Ctx& ctx) const {
-  ctx.x = x;
-  ctx.mean = Tensor(x.rows(), 1);
-  ctx.rstd = Tensor(x.rows(), 1);
-  Tensor y(x.rows(), x.cols());
-  layernorm_forward(x, gamma_.value, beta_.value, y, ctx.mean, ctx.rstd);
+  Tensor y;
+  forward_into(x, ctx, y);
   return y;
+}
+
+void LayerNorm::forward_into(const Tensor& x, Ctx& ctx, Tensor& y) const {
+  ctx.x = x;
+  // layernorm_forward writes every element of all three outputs.
+  ctx.mean.reshape(x.rows(), 1);
+  ctx.rstd.reshape(x.rows(), 1);
+  y.reshape(x.rows(), x.cols());
+  layernorm_forward(x, gamma_.value, beta_.value, y, ctx.mean, ctx.rstd);
 }
 
 Tensor LayerNorm::backward(const Tensor& dy, const Ctx& ctx) {
@@ -101,11 +112,14 @@ Tensor MultiHeadAttention::forward(const Tensor& x, Ctx& ctx) const {
   CHIMERA_CHECK_MSG(rows % seq_ == 0, "rows must be a multiple of seq");
   const int batch = rows / seq_;
   ctx.batch = batch;
-  ctx.qkv = qkv_.forward(x, ctx.qkv_ctx);
-  ctx.probs.assign(static_cast<std::size_t>(batch) * heads_, Tensor());
+  qkv_.forward_into(x, ctx.qkv_ctx, ctx.qkv);
+  // Keep the per-head prob tensors alive across micro-batches/iterations:
+  // re-assignment below reuses their storage (zero-realloc hot path).
+  if (ctx.probs.size() != static_cast<std::size_t>(batch) * heads_)
+    ctx.probs.assign(static_cast<std::size_t>(batch) * heads_, Tensor());
 
-  Tensor merged(rows, hidden_);
-  merged.zero();
+  Tensor merged;
+  merged.reshape(rows, hidden_);  // fully written by the head-merge loops
   const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
   Tensor q(seq_, dk_), k(seq_, dk_), v(seq_, dk_);
   Tensor scores(seq_, seq_), probs(seq_, seq_), context(seq_, dk_);
@@ -206,6 +220,14 @@ Tensor TransformerBlock::backward(const Tensor& dy, const Ctx& ctx) {
 }
 
 void TransformerBlock::collect(std::vector<Param*>& out) {
+  ln1_.collect(out);
+  attn_.collect(out);
+  ln2_.collect(out);
+  fc_.collect(out);
+  proj_.collect(out);
+}
+
+void TransformerBlock::collect(std::vector<const Param*>& out) const {
   ln1_.collect(out);
   attn_.collect(out);
   ln2_.collect(out);

@@ -35,9 +35,16 @@ class Linear {
   };
 
   Tensor forward(const Tensor& x, Ctx& ctx) const;
+  /// Like forward but writes into `y` (re-shaped in place) — callers with a
+  /// persistent workspace avoid constructing the output.
+  void forward_into(const Tensor& x, Ctx& ctx, Tensor& y) const;
   Tensor backward(const Tensor& dy, const Ctx& ctx);
 
   void collect(std::vector<Param*>& out) {
+    out.push_back(&w_);
+    out.push_back(&b_);
+  }
+  void collect(std::vector<const Param*>& out) const {
     out.push_back(&w_);
     out.push_back(&b_);
   }
@@ -58,9 +65,15 @@ class LayerNorm {
   };
 
   Tensor forward(const Tensor& x, Ctx& ctx) const;
+  /// Workspace variant of forward: `y` is re-shaped in place.
+  void forward_into(const Tensor& x, Ctx& ctx, Tensor& y) const;
   Tensor backward(const Tensor& dy, const Ctx& ctx);
 
   void collect(std::vector<Param*>& out) {
+    out.push_back(&gamma_);
+    out.push_back(&beta_);
+  }
+  void collect(std::vector<const Param*>& out) const {
     out.push_back(&gamma_);
     out.push_back(&beta_);
   }
@@ -90,6 +103,10 @@ class MultiHeadAttention {
     qkv_.collect(out);
     proj_.collect(out);
   }
+  void collect(std::vector<const Param*>& out) const {
+    qkv_.collect(out);
+    proj_.collect(out);
+  }
 
  private:
   int hidden_, heads_, seq_, dk_;
@@ -115,6 +132,7 @@ class TransformerBlock {
   Tensor backward(const Tensor& dy, const Ctx& ctx);
 
   void collect(std::vector<Param*>& out);
+  void collect(std::vector<const Param*>& out) const;
 
  private:
   LayerNorm ln1_;

@@ -91,16 +91,25 @@ Tensor StageModule::run_forward(const MicroBatch& mb, const Tensor& input,
   return x;
 }
 
+StageModule::Stash StageModule::acquire_stash() {
+  if (stash_pool_.empty()) return {};
+  Stash st = std::move(stash_pool_.back());
+  stash_pool_.pop_back();
+  return st;
+}
+
 Tensor StageModule::forward(const MicroBatch& mb, const Tensor& input, long key) {
   CHIMERA_CHECK_MSG(stash_.find(key) == stash_.end(),
                     "duplicate forward stash key " << key);
-  Stash& st = stash_[key];
+  Stash& st = stash_.emplace(key, acquire_stash()).first->second;
   if (!is_first()) st.input = input;
   if (recompute_) {
-    // Only the boundary input is kept; rebuild everything in backward.
-    Stash scratch;
-    scratch.input = st.input;
-    return run_forward(mb, input, scratch);
+    // Only the boundary input is kept (in st); rebuild everything from it
+    // in backward. The scratch stash just absorbs the throwaway contexts.
+    Stash scratch = acquire_stash();
+    Tensor out = run_forward(mb, input, scratch);
+    stash_pool_.push_back(std::move(scratch));
+    return out;
   }
   return run_forward(mb, input, st);
 }
@@ -112,25 +121,27 @@ Tensor StageModule::backward(const MicroBatch& mb, const Tensor& grad_out,
   Stash st = std::move(it->second);
   stash_.erase(it);
   if (recompute_) {
-    Stash rebuilt;
-    rebuilt.input = st.input;
-    Tensor out = run_forward(mb, st.input, rebuilt);
+    Stash rebuilt = acquire_stash();
+    rebuilt.input = std::move(st.input);
+    Tensor out = run_forward(mb, rebuilt.input, rebuilt);
     (void)out;
+    stash_pool_.push_back(std::move(st));
     st = std::move(rebuilt);
   }
 
   Tensor dy;
   if (is_last()) {
     // Logits are produced here rather than in forward: they are the largest
-    // tensor in the stage and are only needed for the loss gradient.
-    LayerNorm::Ctx ln_ctx;
-    Tensor normed = final_ln_->forward(st.head_input, ln_ctx);
-    Linear::Ctx head_ctx;
-    Tensor logits = head_->forward(normed, head_ctx);
-    Tensor dlogits(logits.rows(), logits.cols());
-    last_loss_ = cross_entropy(logits, mb.targets, dlogits, loss_scale);
-    Tensor dnormed = head_->backward(dlogits, head_ctx);
-    dy = final_ln_->backward(dnormed, ln_ctx);
+    // tensor in the stage and are only needed for the loss gradient. They
+    // live in the persistent head workspace, re-shaped per micro-batch.
+    final_ln_->forward_into(st.head_input, head_ws_.ln, head_ws_.normed);
+    head_->forward_into(head_ws_.normed, head_ws_.head, head_ws_.logits);
+    // softmax_rows (inside cross_entropy) overwrites dlogits in full.
+    head_ws_.dlogits.reshape(head_ws_.logits.rows(), head_ws_.logits.cols());
+    last_loss_ = cross_entropy(head_ws_.logits, mb.targets, head_ws_.dlogits,
+                               loss_scale);
+    Tensor dnormed = head_->backward(head_ws_.dlogits, head_ws_.head);
+    dy = final_ln_->backward(dnormed, head_ws_.ln);
   } else {
     dy = grad_out;
   }
@@ -149,8 +160,10 @@ Tensor StageModule::backward(const MicroBatch& mb, const Tensor& grad_out,
         wpe_->grad.at(pos, c) += dy.at(r, c);
       }
     }
+    stash_pool_.push_back(std::move(st));
     return Tensor();
   }
+  stash_pool_.push_back(std::move(st));
   return dy;
 }
 
@@ -164,13 +177,23 @@ std::vector<Param*> StageModule::params() {
   return out;
 }
 
+std::vector<const Param*> StageModule::params() const {
+  std::vector<const Param*> out;
+  if (wte_) out.push_back(wte_.get());
+  if (wpe_) out.push_back(wpe_.get());
+  for (const auto& b : blocks_) b->collect(out);
+  if (final_ln_) final_ln_->collect(out);
+  if (head_) head_->collect(out);
+  return out;
+}
+
 void StageModule::zero_grads() {
   for (Param* p : params()) p->grad.zero();
 }
 
 std::vector<float> StageModule::save_weights() const {
   std::vector<float> flat;
-  for (const Param* p : const_cast<StageModule*>(this)->params())
+  for (const Param* p : params())
     flat.insert(flat.end(), p->value.data(), p->value.data() + p->value.numel());
   return flat;
 }

@@ -83,6 +83,7 @@ class StageModule {
   double last_loss() const { return last_loss_; }
 
   std::vector<Param*> params();
+  std::vector<const Param*> params() const;
   void zero_grads();
   std::size_t stash_count() const { return stash_.size(); }
 
@@ -101,7 +102,18 @@ class StageModule {
     Tensor head_input;  ///< last stage: output of the final block
   };
 
+  /// Last-stage scratch for the head + loss computed in backward. The
+  /// logits are the largest tensors in the stage; keeping them in a
+  /// persistent workspace (re-shaped in place per micro-batch) removes the
+  /// biggest per-micro allocation from the hot path.
+  struct HeadWorkspace {
+    LayerNorm::Ctx ln;
+    Linear::Ctx head;
+    Tensor normed, logits, dlogits;
+  };
+
   Tensor run_forward(const MicroBatch& mb, const Tensor& input, Stash& st) const;
+  Stash acquire_stash();
 
   SmallModelConfig cfg_;
   int stage_ = 0;
@@ -115,6 +127,11 @@ class StageModule {
   std::unique_ptr<LayerNorm> final_ln_;          // last stage
   std::unique_ptr<Linear> head_;                 // last stage (untied)
   std::map<long, Stash> stash_;
+  /// Activation arena: retired stashes parked for reuse. Their tensors keep
+  /// their micro-batch-shaped storage, so after the first pass over each
+  /// shape the forward/backward path constructs no fresh buffers.
+  std::vector<Stash> stash_pool_;
+  HeadWorkspace head_ws_;  ///< last stage only
 };
 
 }  // namespace chimera::nn

@@ -37,9 +37,11 @@ double LrSchedule::multiplier(long step) const {
       return min_ratio + (1.0 - min_ratio) * frac;
     }
     case ScheduleKind::kInverseSqrt: {
-      // Continuous at the warmup boundary: multiplier(warmup) = 1.
+      // Continuous at the warmup boundary: multiplier(warmup) = 1 — the
+      // first post-warmup step is `step == warmup_steps`, so the decay is
+      // sqrt(warmup/step), not sqrt(warmup/(step+1)).
       const double base = static_cast<double>(std::max<long>(1, warmup_steps));
-      return std::sqrt(base / static_cast<double>(std::max<long>(1, step + 1)));
+      return std::sqrt(base / static_cast<double>(std::max<long>(1, step)));
     }
     case ScheduleKind::kConstant:
       break;

@@ -7,6 +7,34 @@
 
 namespace chimera::rt {
 
+std::size_t flat_grad_size(const std::vector<nn::Param*>& params) {
+  std::size_t total = 0;
+  for (const nn::Param* p : params) total += p->grad.numel();
+  return total;
+}
+
+void copy_grads_flat(const std::vector<nn::Param*>& params, float* buf) {
+  for (const nn::Param* p : params) {
+    std::copy(p->grad.data(), p->grad.data() + p->grad.numel(), buf);
+    buf += p->grad.numel();
+  }
+}
+
+void add_grads_flat(const std::vector<nn::Param*>& params, float* buf) {
+  for (const nn::Param* p : params) {
+    const float* g = p->grad.data();
+    for (std::size_t k = 0; k < p->grad.numel(); ++k) buf[k] += g[k];
+    buf += p->grad.numel();
+  }
+}
+
+void load_grads_flat(const std::vector<nn::Param*>& params, const float* buf) {
+  for (nn::Param* p : params) {
+    std::copy(buf, buf + p->grad.numel(), p->grad.data());
+    buf += p->grad.numel();
+  }
+}
+
 // ------------------------------------------------------------------------
 // Strategy interface
 
@@ -199,33 +227,17 @@ void GradSyncEngine::fill_bucket(int stage, StageSync& sync) {
   sync.local = me_.stage_replicas(stage);
   CHIMERA_CHECK_MSG(!sync.local.empty(), "sync for unhosted stage " << stage);
   auto first = sync.local[0]->module.params();
-  std::size_t total = 0;
-  for (nn::Param* p : first) total += p->grad.numel();
-  sync.bucket.resize(total);
-  std::size_t off = 0;
-  for (std::size_t i = 0; i < first.size(); ++i) {
-    const std::size_t count = first[i]->grad.numel();
-    const float* g0 = first[i]->grad.data();
-    std::copy(g0, g0 + count, sync.bucket.begin() + off);
-    // GEMS with odd depth can host the same stage twice on one worker;
-    // their contributions combine locally before the collective.
-    for (std::size_t li = 1; li < sync.local.size(); ++li) {
-      const float* g = sync.local[li]->module.params()[i]->grad.data();
-      for (std::size_t k = 0; k < count; ++k) sync.bucket[off + k] += g[k];
-    }
-    off += count;
-  }
+  sync.bucket.resize(flat_grad_size(first));
+  copy_grads_flat(first, sync.bucket.data());
+  // GEMS with odd depth can host the same stage twice on one worker;
+  // their contributions combine locally before the collective.
+  for (std::size_t li = 1; li < sync.local.size(); ++li)
+    add_grads_flat(sync.local[li]->module.params(), sync.bucket.data());
 }
 
 void GradSyncEngine::drain_bucket(StageSync& sync) {
-  for (Replica* r : sync.local) {
-    std::size_t off = 0;
-    for (nn::Param* p : r->module.params()) {
-      std::copy(sync.bucket.begin() + off,
-                sync.bucket.begin() + off + p->grad.numel(), p->grad.data());
-      off += p->grad.numel();
-    }
-  }
+  for (Replica* r : sync.local)
+    load_grads_flat(r->module.params(), sync.bucket.data());
 }
 
 void GradSyncEngine::begin(int stage) {

@@ -33,6 +33,15 @@
 
 namespace chimera::rt {
 
+/// Flat gradient-bucket primitives shared by the sync engine's buckets and
+/// the trainer's 2BW cross-replica reduction. Accumulation is element-wise
+/// in caller order, so the per-element summation order (and the bits) match
+/// a serial in-place reduction.
+std::size_t flat_grad_size(const std::vector<nn::Param*>& params);
+void copy_grads_flat(const std::vector<nn::Param*>& params, float* buf);
+void add_grads_flat(const std::vector<nn::Param*>& params, float* buf);
+void load_grads_flat(const std::vector<nn::Param*>& params, const float* buf);
+
 class GradSyncEngine {
  public:
   GradSyncEngine(const ExecutionPlan& plan, const TrainerOptions& opts,

@@ -48,6 +48,13 @@ struct TrainerOptions {
   /// shrinks by the replica-group size. Synchronous schemes only; LAMB is
   /// excluded (per-tensor trust ratio cannot shard).
   bool zero_shard = false;
+  /// Intra-op helper threads for the shared kernel ComputePool. −1 sizes the
+  /// pool so the W·D pipeline workers plus the helpers never oversubscribe
+  /// hardware_concurrency (helpers = max(0, hw − W·D)); 0 forces the serial
+  /// kernel path. The pool is process-wide — the most recently constructed
+  /// PipelineTrainer's setting wins — and the kernels' fixed split points
+  /// make results bitwise identical at any setting (DESIGN.md §2 item 17).
+  int intra_op = -1;
 };
 
 /// Result of one training iteration.

@@ -1,11 +1,13 @@
 #include "runtime/trainer.h"
 
-#include <exception>
+#include <algorithm>
 #include <map>
 #include <string>
 #include <thread>
 
+#include "runtime/grad_sync.h"
 #include "runtime/worker_executor.h"
+#include "tensor/compute_pool.h"
 
 namespace chimera::rt {
 
@@ -65,8 +67,11 @@ PipelineTrainer::PipelineTrainer(const nn::SmallModelConfig& model,
 
   world_ = std::make_unique<comm::World>(W * D);
   workers_.resize(static_cast<std::size_t>(W) * D);
+  comms_.resize(static_cast<std::size_t>(W) * D);
   for (int g = 0; g < W; ++g) {
     for (int w = 0; w < D; ++w) {
+      const int rank = g * D + w;
+      comms_[rank] = std::make_unique<comm::Communicator>(*world_, rank);
       auto worker = std::make_unique<WorkerState>();
       for (auto [pipe, stage] : schedule_.hosted_stages(w)) {
         worker->replicas.push_back(std::make_unique<Replica>(
@@ -77,6 +82,15 @@ PipelineTrainer::PipelineTrainer(const nn::SmallModelConfig& model,
       workers_[static_cast<std::size_t>(g) * D + w] = std::move(worker);
     }
   }
+  // Threading model (DESIGN.md §2 item 17): W·D persistent pipeline workers
+  // plus shared intra-op kernel helpers, together never oversubscribing the
+  // host. The kernels' fixed split points keep results bitwise identical at
+  // any helper count.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  ComputePool::instance().set_helpers(
+      opts.intra_op >= 0 ? opts.intra_op : std::max(0, hw - W * D));
+  reduce_bufs_.resize(D);
+  pool_ = std::make_unique<WorkerPool>(W * D);
 }
 
 PipelineTrainer::~PipelineTrainer() = default;
@@ -92,15 +106,47 @@ const Replica& PipelineTrainer::find_replica(int group, int pipe,
 void PipelineTrainer::run_worker(int group, int w, const nn::MicroBatch& batch,
                                  int B, std::vector<double>& losses) {
   const int rank = group * schedule_.depth + w;
-  comm::Communicator comm(*world_, rank);
-  WorkerExecutor exec(*plan_, opts_, *store_, *workers_[rank], comm, group, w,
-                      iteration_);
+  WorkerExecutor exec(*plan_, opts_, *store_, *workers_[rank], *comms_[rank],
+                      group, w, iteration_);
   exec.run(batch, B, losses);
+}
+
+void PipelineTrainer::reduce_2bw_worker(int rank) {
+  // 2BW is asynchronous: no allreduce ops exist in the schedule. Reduce the
+  // accumulation-window gradient across the W replicas (computed at the
+  // stale version w_{t-1}) into an explicit per-stage buffer, then let the
+  // store apply it to the newest version and shift the double buffer:
+  // w_{t+1} = w_t − lr·g(w_{t-1}). One pool task per stage-hosting worker:
+  // group 0's ranks each reduce their worker's stages, the rest idle.
+  const int W = opts_.data_parallel;
+  const int D = schedule_.depth;
+  if (rank >= D) return;
+  const int w = rank;
+  const double mult = opts_.lr_schedule.multiplier(iteration_);
+  WorkerState& group0 = *workers_[w];
+  reduce_bufs_[w].resize(group0.replicas.size());
+  for (std::size_t ri = 0; ri < group0.replicas.size(); ++ri) {
+    auto params0 = group0.replicas[ri]->module.params();
+    std::vector<float>& buf = reduce_bufs_[w][ri];  // pre-sized after iter 0
+    buf.resize(flat_grad_size(params0));
+    copy_grads_flat(params0, buf.data());
+    // Same summation order as a serial in-place reduction: groups ascending.
+    for (int g = 1; g < W; ++g)
+      add_grads_flat(workers_[static_cast<std::size_t>(g) * D + w]
+                         ->replicas[ri]
+                         ->module.params(),
+                     buf.data());
+    for (int g = 0; g < W; ++g) {
+      Replica& r =
+          *workers_[static_cast<std::size_t>(g) * D + w]->replicas[ri];
+      load_grads_flat(r.module.params(), buf.data());
+      store_->step_double_buffered(r, mult);
+    }
+  }
 }
 
 IterationResult PipelineTrainer::train_iteration(const nn::MicroBatch& batch) {
   const int W = opts_.data_parallel;
-  const int D = schedule_.depth;
   const int N = schedule_.num_micro;
   CHIMERA_CHECK_MSG(batch.batch % (N * W) == 0,
                     "batch size " << batch.batch << " not divisible by N*W");
@@ -118,58 +164,13 @@ IterationResult PipelineTrainer::train_iteration(const nn::MicroBatch& batch) {
     for (auto& r : worker->replicas) r->module.zero_grads();
 
   std::vector<double> losses(static_cast<std::size_t>(N) * W * 2, 0.0);
-  std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(W) * D);
-  threads.reserve(static_cast<std::size_t>(W) * D);
-  for (int g = 0; g < W; ++g) {
-    for (int w = 0; w < D; ++w) {
-      threads.emplace_back([this, g, w, &batch, B, &losses, &errors] {
-        try {
-          run_worker(g, w, batch, B, losses);
-        } catch (...) {
-          errors[static_cast<std::size_t>(g) * schedule_.depth + w] =
-              std::current_exception();
-        }
-      });
-    }
-  }
-  for (auto& t : threads) t.join();
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  pool_->run([this, &batch, B, &losses](int rank) {
+    run_worker(rank / schedule_.depth, rank % schedule_.depth, batch, B,
+               losses);
+  });
 
-  if (scheme_ == Scheme::kPipeDream2BW) {
-    // 2BW is asynchronous: no allreduce ops exist in the schedule. Reduce
-    // the accumulation-window gradient across the W replicas here (the
-    // gradient was computed at the stale version w_{t-1}), then let the
-    // store apply it to the newest version and shift the double buffer:
-    // w_{t+1} = w_t − lr·g(w_{t-1}).
-    const double mult = opts_.lr_schedule.multiplier(iteration_);
-    for (int w = 0; w < D; ++w) {
-      WorkerState& group0 = *workers_[w];
-      for (std::size_t ri = 0; ri < group0.replicas.size(); ++ri) {
-        auto reduced = group0.replicas[ri]->module.params();
-        for (int g = 1; g < W; ++g) {
-          auto params = workers_[static_cast<std::size_t>(g) * D + w]
-                            ->replicas[ri]
-                            ->module.params();
-          for (std::size_t i = 0; i < reduced.size(); ++i)
-            reduced[i]->grad.add(params[i]->grad);
-        }
-        for (int g = 0; g < W; ++g) {
-          Replica& r = *workers_[static_cast<std::size_t>(g) * D + w]
-                            ->replicas[ri];
-          if (g > 0) {
-            auto params = r.module.params();
-            for (std::size_t i = 0; i < reduced.size(); ++i) {
-              params[i]->grad.zero();
-              params[i]->grad.add(reduced[i]->grad);
-            }
-          }
-          store_->step_double_buffered(r, mult);
-        }
-      }
-    }
-  }
+  if (scheme_ == Scheme::kPipeDream2BW)
+    pool_->run([this](int rank) { reduce_2bw_worker(rank); });
 
   ++iteration_;
   IterationResult out;
@@ -234,9 +235,9 @@ std::vector<float> SequentialTrainer::stage_weights(int stage, int depth) const 
                     "against PipelineTrainer::partition() ranges instead");
   const Partition part = runtime_partition(model_, depth, opts_.partition);
   nn::StageModule shape(model_, stage, depth, part.range(stage));
+  const nn::StageModule& mine = *module_;
   std::map<std::string, const nn::Param*> by_name;
-  for (const nn::Param* p : const_cast<nn::StageModule&>(*module_).params())
-    by_name[p->name] = p;
+  for (const nn::Param* p : mine.params()) by_name[p->name] = p;
   std::vector<float> out;
   for (nn::Param* p : shape.params()) {
     auto it = by_name.find(p->name);

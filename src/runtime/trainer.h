@@ -1,16 +1,21 @@
 // Threaded pipeline-parallel training runtime — the facade over the layered
 // execution engine.
 //
-// Executes any PipelineSchedule for real: one thread per worker (rank),
-// stage modules with hand-written backward, activations and gradients
-// exchanged through the message-passing substrate, and per-stage gradient
-// allreduce across bidirectional-pipeline replicas and data-parallel groups.
+// Executes any PipelineSchedule for real: one persistent thread per worker
+// (rank) parked between iterations, stage modules with hand-written
+// backward, activations and gradients exchanged through the message-passing
+// substrate, and per-stage gradient allreduce across bidirectional-pipeline
+// replicas and data-parallel groups.
 //
 // The trainer itself only assembles and drives the layers:
 //   core/execution_plan  — what runs, in which order, with which deps/tags
+//   runtime/worker_pool  — the persistent rank threads (created once)
 //   runtime/worker_executor — the per-rank op-dispatch loop
 //   runtime/grad_sync    — gradient exchange + synchronous optimizer step
 //   runtime/weight_store — weight versioning (stashing, double buffering)
+// Kernels inside the stage modules additionally shard onto the shared
+// intra-op ComputePool (tensor/compute_pool.h), sized so pipeline workers
+// plus helpers never oversubscribe the host (DESIGN.md §2 item 17).
 //
 // Semantics per scheme:
 //  - synchronous (Chimera, GPipe, DAPPLE, GEMS, 1F1B): gradients accumulate
@@ -33,6 +38,7 @@
 #include "core/execution_plan.h"
 #include "runtime/options.h"
 #include "runtime/weight_store.h"
+#include "runtime/worker_pool.h"
 #include "runtime/worker_state.h"
 
 namespace chimera::rt {
@@ -76,6 +82,7 @@ class PipelineTrainer {
  private:
   void run_worker(int group, int worker, const nn::MicroBatch& batch, int B,
                   std::vector<double>& losses);
+  void reduce_2bw_worker(int rank);
   const Replica& find_replica(int group, int pipe, int stage) const;
 
   nn::SmallModelConfig model_;
@@ -85,9 +92,19 @@ class PipelineTrainer {
   std::unique_ptr<Partition> partition_;
   std::unique_ptr<ExecutionPlan> plan_;
   std::unique_ptr<comm::World> world_;
+  /// One persistent endpoint per rank, owned by that rank's pool thread for
+  /// the trainer's lifetime (collective tag sequences stay in lockstep
+  /// because every group member enters the same collectives each iteration).
+  std::vector<std::unique_ptr<comm::Communicator>> comms_;
   std::vector<std::unique_ptr<WorkerState>> workers_;  ///< [group·D + worker]
   std::unique_ptr<WeightStore> store_;
+  /// 2BW cross-replica reduction scratch: [worker][replica] flattened
+  /// gradient sum, pre-sized on first use and reused every iteration.
+  std::vector<std::vector<std::vector<float>>> reduce_bufs_;
   long iteration_ = 0;
+  /// Last member: its destructor parks and joins the rank threads while the
+  /// state above is still alive.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 /// Reference: the same model trained on one device with identical

@@ -1,0 +1,56 @@
+#include "runtime/worker_pool.h"
+
+#include "support/check.h"
+
+namespace chimera::rt {
+
+WorkerPool::WorkerPool(int ranks) : errors_(ranks) {
+  CHIMERA_CHECK(ranks >= 1);
+  threads_.reserve(ranks);
+  for (int r = 0; r < ranks; ++r)
+    threads_.emplace_back([this, r] { thread_main(r); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::thread_main(int rank) {
+  long seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    const std::function<void(int)>* job = job_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*job)(rank);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    errors_[rank] = error;
+    if (--pending_ == 0) cv_done_.notify_all();
+  }
+}
+
+void WorkerPool::run(const std::function<void(int)>& job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &job;
+  pending_ = ranks();
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+  job_ = nullptr;
+  for (const std::exception_ptr& e : errors_)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace chimera::rt

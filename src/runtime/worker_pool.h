@@ -1,0 +1,50 @@
+// WorkerPool: the persistent rank threads of the training runtime.
+//
+// The trainer creates one thread per rank (W·D) once; between iterations
+// the threads park on a condition variable instead of being joined and
+// respawned, and per-rank state that used to be rebuilt every iteration
+// (the Communicator endpoint) lives for the trainer's lifetime. run()
+// dispatches one job — "execute this iteration's plan" or "reduce the 2BW
+// window gradients" — to every rank and blocks until all have finished;
+// exceptions are captured per rank and the first one is rethrown on the
+// caller, preserving the semantics of the old spawn/join loop.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chimera::rt {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(int ranks);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int ranks() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs job(rank) on every rank's persistent thread and blocks until all
+  /// have returned. If any rank threw, the first (lowest-rank) exception is
+  /// rethrown here after every rank has finished.
+  void run(const std::function<void(int)>& job);
+
+ private:
+  void thread_main(int rank);
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;  ///< workers: a new generation started
+  std::condition_variable cv_done_;  ///< caller: all ranks finished
+  const std::function<void(int)>* job_ = nullptr;
+  long generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace chimera::rt

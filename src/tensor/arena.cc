@@ -1,0 +1,73 @@
+#include "tensor/arena.h"
+
+#include <array>
+#include <bit>
+#include <utility>
+
+namespace chimera::detail {
+namespace {
+
+constexpr int kBuckets = 40;             ///< capacities up to 2^40 floats
+constexpr std::size_t kMaxPerBucket = 16;  ///< bound on parked memory
+constexpr std::size_t kMinRecycled = 64;   ///< tiny buffers go to malloc
+
+/// Index of the bucket whose entries all have capacity ≥ 2^b — entries are
+/// filed by floor(log2(capacity)), acquired at ceil(log2(n)).
+int floor_log2(std::size_t n) { return std::bit_width(n) - 1; }
+int ceil_log2(std::size_t n) { return std::bit_width(n - 1); }
+
+/// Lifecycle of this thread's freelist: once the Arena thread_local has
+/// been destroyed during thread exit it must never be touched again, so
+/// releases degrade to plain frees.
+enum class State { kUnused, kAlive, kDead };
+thread_local State t_state = State::kUnused;
+
+struct Arena {
+  std::array<std::vector<std::vector<float>>, kBuckets> buckets;
+  Arena() { t_state = State::kAlive; }
+  ~Arena() { t_state = State::kDead; }
+};
+
+Arena& arena() {
+  static thread_local Arena a;
+  return a;
+}
+
+}  // namespace
+
+std::vector<float> arena_acquire(std::size_t n) {
+  if (n < kMinRecycled || t_state == State::kDead) {
+    std::vector<float> v;
+    v.reserve(n);
+    return v;
+  }
+  const int b = ceil_log2(n);
+  Arena& a = arena();  // constructs (and marks alive) on first use
+  if (b < kBuckets && !a.buckets[b].empty()) {
+    std::vector<float> v = std::move(a.buckets[b].back());
+    a.buckets[b].pop_back();
+    return v;
+  }
+  std::vector<float> v;
+  v.reserve(std::size_t(1) << b);  // full bucket width: refiles where acquired
+  return v;
+}
+
+void arena_release(std::vector<float>&& v) {
+  if (v.capacity() < kMinRecycled) return;  // freed by the vector itself
+  if (t_state == State::kDead) return;      // thread exiting: plain free
+  const int b = floor_log2(v.capacity());
+  Arena& a = arena();
+  if (b >= kBuckets || a.buckets[b].size() >= kMaxPerBucket) return;
+  v.clear();
+  a.buckets[b].push_back(std::move(v));
+}
+
+std::size_t arena_parked() {
+  if (t_state != State::kAlive) return 0;
+  std::size_t n = 0;
+  for (const auto& bucket : arena().buckets) n += bucket.size();
+  return n;
+}
+
+}  // namespace chimera::detail

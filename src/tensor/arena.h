@@ -1,0 +1,32 @@
+// Thread-local recycling of tensor storage — the zero-realloc half of the
+// runtime hot path (DESIGN.md §2 item 17).
+//
+// Every Tensor construction and destruction routes its std::vector<float>
+// buffer through a per-thread freelist bucketed by power-of-two capacity.
+// Once the first iteration has touched every activation/gradient shape, the
+// persistent worker threads stop hitting the allocator entirely: a fresh
+// Tensor reuses a same-bucket buffer (still zero-filled, so semantics are
+// unchanged) and a destroyed Tensor parks its buffer for the next micro-
+// batch. Freelists are thread-local, so no synchronization is involved;
+// buffers may migrate between threads through the p2p mailboxes (allocated
+// on the sender, released on the receiver), which only rebalances the
+// freelists.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace chimera::detail {
+
+/// Returns an empty vector with capacity ≥ n (recycled when a matching
+/// buffer is parked, freshly reserved otherwise).
+std::vector<float> arena_acquire(std::size_t n);
+
+/// Parks `v`'s buffer on this thread's freelist (or frees it when the
+/// bucket is full or the thread is shutting down).
+void arena_release(std::vector<float>&& v);
+
+/// Buffers currently parked on this thread's freelist (tests/diagnostics).
+std::size_t arena_parked();
+
+}  // namespace chimera::detail

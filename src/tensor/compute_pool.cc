@@ -1,0 +1,157 @@
+#include "tensor/compute_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chimera {
+
+namespace {
+/// Fixed shard cap: part of the determinism contract — the split must not
+/// vary with the machine, so the cap is a constant, not hardware_concurrency.
+constexpr int kMaxShards = 16;
+}  // namespace
+
+int plan_shards(int total_units, std::size_t work_per_unit, std::size_t grain) {
+  if (total_units <= 1) return 1;
+  const std::size_t total_work =
+      static_cast<std::size_t>(total_units) * std::max<std::size_t>(1, work_per_unit);
+  const std::size_t by_grain = total_work / std::max<std::size_t>(1, grain);
+  const int shards = static_cast<int>(
+      std::min<std::size_t>(by_grain, static_cast<std::size_t>(kMaxShards)));
+  return std::max(1, std::min(shards, total_units));
+}
+
+/// One in-flight parallel_for. All fields are guarded by the pool mutex;
+/// only fn execution happens outside it, on disjoint shard indices. The Job
+/// lives on the caller's stack: the caller leaves run() only after `done ==
+/// shards`, and every helper access to the Job happens under the pool mutex
+/// before that final transition is observed.
+struct Job {
+  void (*fn)(void*, int);
+  void* ctx;
+  int shards;
+  int next = 0;  ///< next unclaimed shard
+  int done = 0;  ///< completed shards
+  std::exception_ptr error;  ///< first shard exception; rethrown on caller
+};
+
+struct ComputePool::Impl {
+  mutable std::mutex mutex;
+  std::mutex resize_mutex;  ///< serializes set_helpers vs set_helpers
+  std::condition_variable cv_work;  ///< helpers: a job has shards to claim
+  std::condition_variable cv_done;  ///< callers: a shard finished
+  std::deque<Job*> active;          ///< jobs with unclaimed shards
+  std::vector<std::thread> threads;
+  /// Lock-free mirror of threads.size() for run()'s inline fast path. A
+  /// stale read is benign either way: the queued path makes progress with
+  /// zero helpers (the caller claims every shard itself), and the inline
+  /// path is always correct.
+  std::atomic<int> helper_count{0};
+  bool shutdown = false;
+
+  void helper_main() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      cv_work.wait(lock, [&] { return shutdown || !active.empty(); });
+      if (shutdown) return;
+      Job* job = active.front();
+      const int shard = job->next++;
+      if (job->next == job->shards) active.pop_front();
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        job->fn(job->ctx, shard);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      if (err && !job->error) job->error = err;
+      if (++job->done == job->shards) cv_done.notify_all();
+    }
+  }
+
+  void stop_threads() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      shutdown = true;
+    }
+    cv_work.notify_all();
+    for (std::thread& t : threads) t.join();
+    threads.clear();
+    shutdown = false;
+  }
+};
+
+ComputePool::ComputePool() : impl_(new Impl) {}
+
+ComputePool::~ComputePool() {
+  impl_->stop_threads();
+  delete impl_;
+}
+
+ComputePool& ComputePool::instance() {
+  static ComputePool pool;
+  return pool;
+}
+
+int ComputePool::helpers() const {
+  return impl_->helper_count.load(std::memory_order_acquire);
+}
+
+void ComputePool::set_helpers(int helpers) {
+  // Serialized against other resizers (every trainer constructor calls
+  // this); the pool mutex itself cannot be held across the joins below.
+  std::lock_guard<std::mutex> resize_lock(impl_->resize_mutex);
+  helpers = std::max(0, helpers);
+  if (helpers == this->helpers()) return;
+  impl_->helper_count.store(0, std::memory_order_release);
+  impl_->stop_threads();
+  impl_->threads.reserve(helpers);
+  for (int i = 0; i < helpers; ++i)
+    impl_->threads.emplace_back([this] { impl_->helper_main(); });
+  impl_->helper_count.store(helpers, std::memory_order_release);
+}
+
+void ComputePool::run(int shards, void (*fn)(void*, int), void* ctx) {
+  // Inline fast path: nothing to fan out to, or nothing worth fanning out.
+  // The shard *split* is unchanged, so the results are too.
+  if (shards == 1 || helpers() == 0) {
+    for (int s = 0; s < shards; ++s) fn(ctx, s);
+    return;
+  }
+  Job job{fn, ctx, shards};
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->active.push_back(&job);
+  impl_->cv_work.notify_all();
+  // The caller participates: claim shards like any helper, then wait for
+  // the stragglers. A throwing shard does not unwind past the helpers'
+  // live Job pointer — the exception is parked and rethrown only after
+  // every shard has finished and the job left the queue.
+  while (job.next < job.shards) {
+    const int shard = job.next++;
+    if (job.next == job.shards) {
+      auto it = std::find(impl_->active.begin(), impl_->active.end(), &job);
+      if (it != impl_->active.end()) impl_->active.erase(it);
+    }
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      fn(ctx, shard);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !job.error) job.error = err;
+    ++job.done;
+  }
+  impl_->cv_done.wait(lock, [&] { return job.done == job.shards; });
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace chimera

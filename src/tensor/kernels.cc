@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "tensor/compute_pool.h"
 
 namespace chimera {
 namespace {
@@ -19,20 +22,28 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int i0 = 0; i0 < m; i0 += kBlock) {
-    const int i1 = std::min(m, i0 + kBlock);
-    for (int l0 = 0; l0 < k; l0 += kBlock) {
-      const int l1 = std::min(k, l0 + kBlock);
-      for (int i = i0; i < i1; ++i) {
-        for (int l = l0; l < l1; ++l) {
-          const float av = pa[static_cast<std::size_t>(i) * k + l];
-          const float* brow = pb + static_cast<std::size_t>(l) * n;
-          float* crow = pc + static_cast<std::size_t>(i) * n;
-          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Shards split the output rows; the kBlock×kBlock cache blocking runs
+  // *inside* each shard. Per output element the accumulation order over l
+  // (l0 blocks ascending, l ascending) is unchanged — bitwise ≡ serial.
+  const int shards = plan_shards(m, static_cast<std::size_t>(k) * n);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int r0 = shard_begin(m, shards, s);
+    const int r1 = shard_begin(m, shards, s + 1);
+    for (int i0 = r0; i0 < r1; i0 += kBlock) {
+      const int i1 = std::min(r1, i0 + kBlock);
+      for (int l0 = 0; l0 < k; l0 += kBlock) {
+        const int l1 = std::min(k, l0 + kBlock);
+        for (int i = i0; i < i1; ++i) {
+          for (int l = l0; l < l1; ++l) {
+            const float av = pa[static_cast<std::size_t>(i) * k + l];
+            const float* brow = pb + static_cast<std::size_t>(l) * n;
+            float* crow = pc + static_cast<std::size_t>(i) * n;
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
         }
       }
     }
-  }
+  });
 }
 
 void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
@@ -42,15 +53,23 @@ void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int l = 0; l < k; ++l) {
-    const float* arow = pa + static_cast<std::size_t>(l) * m;
-    const float* brow = pb + static_cast<std::size_t>(l) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      float* crow = pc + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Shards split the output rows i (= columns of A); the l loop stays
+  // outermost inside each shard, so per element the order over l — and the
+  // result — is bitwise ≡ serial.
+  const int shards = plan_shards(m, static_cast<std::size_t>(k) * n);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int i0 = shard_begin(m, shards, s);
+    const int i1 = shard_begin(m, shards, s + 1);
+    for (int l = 0; l < k; ++l) {
+      const float* arow = pa + static_cast<std::size_t>(l) * m;
+      const float* brow = pb + static_cast<std::size_t>(l) * n;
+      for (int i = i0; i < i1; ++i) {
+        const float av = arow[i];
+        float* crow = pc + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
@@ -60,28 +79,47 @@ void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<std::size_t>(i) * k;
-    float* crow = pc + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = pb + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int l = 0; l < k; ++l) acc += arow[l] * brow[l];
-      crow[j] += acc;
+  const int shards = plan_shards(m, static_cast<std::size_t>(k) * n);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int r0 = shard_begin(m, shards, s);
+    const int r1 = shard_begin(m, shards, s + 1);
+    for (int i = r0; i < r1; ++i) {
+      const float* arow = pa + static_cast<std::size_t>(i) * k;
+      float* crow = pc + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = pb + static_cast<std::size_t>(j) * k;
+        float acc = 0.0f;
+        for (int l = 0; l < k; ++l) acc += arow[l] * brow[l];
+        crow[j] += acc;
+      }
     }
-  }
+  });
 }
 
 void add_bias(Tensor& y, const Tensor& bias) {
   CHIMERA_CHECK(bias.cols() == y.cols() && bias.rows() == 1);
-  for (int r = 0; r < y.rows(); ++r)
-    for (int c = 0; c < y.cols(); ++c) y.at(r, c) += bias.at(0, c);
+  const int R = y.rows(), C = y.cols();
+  const int shards = plan_shards(R, static_cast<std::size_t>(C));
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int r0 = shard_begin(R, shards, s);
+    const int r1 = shard_begin(R, shards, s + 1);
+    for (int r = r0; r < r1; ++r)
+      for (int c = 0; c < C; ++c) y.at(r, c) += bias.at(0, c);
+  });
 }
 
 void bias_backward(const Tensor& dy, Tensor& dbias) {
   CHIMERA_CHECK(dbias.cols() == dy.cols() && dbias.rows() == 1);
-  for (int r = 0; r < dy.rows(); ++r)
-    for (int c = 0; c < dy.cols(); ++c) dbias.at(0, c) += dy.at(r, c);
+  const int R = dy.rows(), C = dy.cols();
+  // Column shards: each dbias element accumulates its rows in ascending
+  // order on exactly one shard — bitwise ≡ serial, no partials needed.
+  const int shards = plan_shards(C, static_cast<std::size_t>(R));
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int c0 = shard_begin(C, shards, s);
+    const int c1 = shard_begin(C, shards, s + 1);
+    for (int r = 0; r < R; ++r)
+      for (int c = c0; c < c1; ++c) dbias.at(0, c) += dy.at(r, c);
+  });
 }
 
 namespace {
@@ -90,21 +128,37 @@ constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 
 void gelu_forward(const Tensor& x, Tensor& y) {
   CHIMERA_CHECK(x.numel() == y.numel());
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    const float v = x[i];
-    y[i] = 0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
-  }
+  const std::size_t n = x.numel();
+  const int units = static_cast<int>(n / 256 + 1);  // split in 256-elem units
+  const int shards = plan_shards(units, 256 * 8);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const std::size_t i0 = static_cast<std::size_t>(shard_begin(units, shards, s)) * 256;
+    const std::size_t i1 =
+        std::min(n, static_cast<std::size_t>(shard_begin(units, shards, s + 1)) * 256);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float v = x[i];
+      y[i] = 0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
+    }
+  });
 }
 
 void gelu_backward(const Tensor& x, const Tensor& dy, Tensor& dx) {
   CHIMERA_CHECK(x.numel() == dy.numel() && x.numel() == dx.numel());
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    const float v = x[i];
-    const float u = kGeluC * (v + 0.044715f * v * v * v);
-    const float t = std::tanh(u);
-    const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
-    dx[i] = dy[i] * (0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du);
-  }
+  const std::size_t n = x.numel();
+  const int units = static_cast<int>(n / 256 + 1);
+  const int shards = plan_shards(units, 256 * 8);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const std::size_t i0 = static_cast<std::size_t>(shard_begin(units, shards, s)) * 256;
+    const std::size_t i1 =
+        std::min(n, static_cast<std::size_t>(shard_begin(units, shards, s + 1)) * 256);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float v = x[i];
+      const float u = kGeluC * (v + 0.044715f * v * v * v);
+      const float t = std::tanh(u);
+      const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+      dx[i] = dy[i] * (0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du);
+    }
+  });
 }
 
 void layernorm_forward(const Tensor& x, const Tensor& gamma, const Tensor& beta,
@@ -112,22 +166,27 @@ void layernorm_forward(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const int R = x.rows(), H = x.cols();
   CHIMERA_CHECK(gamma.cols() == H && beta.cols() == H);
   CHIMERA_CHECK(y.rows() == R && mean.rows() == R && rstd.rows() == R);
-  for (int r = 0; r < R; ++r) {
-    float mu = 0.0f;
-    for (int c = 0; c < H; ++c) mu += x.at(r, c);
-    mu /= H;
-    float var = 0.0f;
-    for (int c = 0; c < H; ++c) {
-      const float d = x.at(r, c) - mu;
-      var += d * d;
+  const int shards = plan_shards(R, static_cast<std::size_t>(H) * 4);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int r0 = shard_begin(R, shards, s);
+    const int r1 = shard_begin(R, shards, s + 1);
+    for (int r = r0; r < r1; ++r) {
+      float mu = 0.0f;
+      for (int c = 0; c < H; ++c) mu += x.at(r, c);
+      mu /= H;
+      float var = 0.0f;
+      for (int c = 0; c < H; ++c) {
+        const float d = x.at(r, c) - mu;
+        var += d * d;
+      }
+      var /= H;
+      const float rs = 1.0f / std::sqrt(var + 1e-5f);
+      mean.at(r, 0) = mu;
+      rstd.at(r, 0) = rs;
+      for (int c = 0; c < H; ++c)
+        y.at(r, c) = (x.at(r, c) - mu) * rs * gamma.at(0, c) + beta.at(0, c);
     }
-    var /= H;
-    const float rs = 1.0f / std::sqrt(var + 1e-5f);
-    mean.at(r, 0) = mu;
-    rstd.at(r, 0) = rs;
-    for (int c = 0; c < H; ++c)
-      y.at(r, c) = (x.at(r, c) - mu) * rs * gamma.at(0, c) + beta.at(0, c);
-  }
+  });
 }
 
 void layernorm_backward(const Tensor& x, const Tensor& gamma,
@@ -135,41 +194,67 @@ void layernorm_backward(const Tensor& x, const Tensor& gamma,
                         const Tensor& dy, Tensor& dx, Tensor& dgamma,
                         Tensor& dbeta) {
   const int R = x.rows(), H = x.cols();
-  for (int r = 0; r < R; ++r) {
-    const float mu = mean.at(r, 0);
-    const float rs = rstd.at(r, 0);
-    float sum_dyg = 0.0f, sum_dyg_xhat = 0.0f;
-    for (int c = 0; c < H; ++c) {
-      const float xhat = (x.at(r, c) - mu) * rs;
-      const float dyg = dy.at(r, c) * gamma.at(0, c);
-      sum_dyg += dyg;
-      sum_dyg_xhat += dyg * xhat;
-      dgamma.at(0, c) += dy.at(r, c) * xhat;
-      dbeta.at(0, c) += dy.at(r, c);
+  ComputePool& pool = ComputePool::instance();
+  // Pass 1, row shards: dx — each row's sums and outputs are self-contained.
+  const int row_shards = plan_shards(R, static_cast<std::size_t>(H) * 6);
+  pool.parallel_for(row_shards, [&](int s) {
+    const int r0 = shard_begin(R, row_shards, s);
+    const int r1 = shard_begin(R, row_shards, s + 1);
+    for (int r = r0; r < r1; ++r) {
+      const float mu = mean.at(r, 0);
+      const float rs = rstd.at(r, 0);
+      float sum_dyg = 0.0f, sum_dyg_xhat = 0.0f;
+      for (int c = 0; c < H; ++c) {
+        const float xhat = (x.at(r, c) - mu) * rs;
+        const float dyg = dy.at(r, c) * gamma.at(0, c);
+        sum_dyg += dyg;
+        sum_dyg_xhat += dyg * xhat;
+      }
+      for (int c = 0; c < H; ++c) {
+        const float xhat = (x.at(r, c) - mu) * rs;
+        const float dyg = dy.at(r, c) * gamma.at(0, c);
+        dx.at(r, c) = rs * (dyg - sum_dyg / H - xhat * sum_dyg_xhat / H);
+      }
     }
-    for (int c = 0; c < H; ++c) {
-      const float xhat = (x.at(r, c) - mu) * rs;
-      const float dyg = dy.at(r, c) * gamma.at(0, c);
-      dx.at(r, c) = rs * (dyg - sum_dyg / H - xhat * sum_dyg_xhat / H);
+  });
+  // Pass 2, column shards: dgamma/dbeta — each parameter element accumulates
+  // its rows in ascending order on exactly one shard, bitwise ≡ serial.
+  const int col_shards = plan_shards(H, static_cast<std::size_t>(R) * 3);
+  pool.parallel_for(col_shards, [&](int s) {
+    const int c0 = shard_begin(H, col_shards, s);
+    const int c1 = shard_begin(H, col_shards, s + 1);
+    for (int r = 0; r < R; ++r) {
+      const float mu = mean.at(r, 0);
+      const float rs = rstd.at(r, 0);
+      for (int c = c0; c < c1; ++c) {
+        const float xhat = (x.at(r, c) - mu) * rs;
+        dgamma.at(0, c) += dy.at(r, c) * xhat;
+        dbeta.at(0, c) += dy.at(r, c);
+      }
     }
-  }
+  });
 }
 
 void softmax_rows(const Tensor& x, Tensor& y) {
   const int R = x.rows(), C = x.cols();
   CHIMERA_CHECK(y.rows() == R && y.cols() == C);
-  for (int r = 0; r < R; ++r) {
-    float mx = x.at(r, 0);
-    for (int c = 1; c < C; ++c) mx = std::max(mx, x.at(r, c));
-    float sum = 0.0f;
-    for (int c = 0; c < C; ++c) {
-      const float e = std::exp(x.at(r, c) - mx);
-      y.at(r, c) = e;
-      sum += e;
+  const int shards = plan_shards(R, static_cast<std::size_t>(C) * 4);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int r0 = shard_begin(R, shards, s);
+    const int r1 = shard_begin(R, shards, s + 1);
+    for (int r = r0; r < r1; ++r) {
+      float mx = x.at(r, 0);
+      for (int c = 1; c < C; ++c) mx = std::max(mx, x.at(r, c));
+      float sum = 0.0f;
+      for (int c = 0; c < C; ++c) {
+        const float e = std::exp(x.at(r, c) - mx);
+        y.at(r, c) = e;
+        sum += e;
+      }
+      const float inv = 1.0f / sum;
+      for (int c = 0; c < C; ++c) y.at(r, c) *= inv;
     }
-    const float inv = 1.0f / sum;
-    for (int c = 0; c < C; ++c) y.at(r, c) *= inv;
-  }
+  });
 }
 
 float cross_entropy(const Tensor& logits, const std::vector<int>& targets,
@@ -177,16 +262,33 @@ float cross_entropy(const Tensor& logits, const std::vector<int>& targets,
   const int R = logits.rows(), V = logits.cols();
   CHIMERA_CHECK(static_cast<int>(targets.size()) == R);
   CHIMERA_CHECK(dlogits.rows() == R && dlogits.cols() == V);
+  for (int r = 0; r < R; ++r)  // validate before entering the parallel region
+    CHIMERA_CHECK(targets[r] >= 0 && targets[r] < V);
   softmax_rows(logits, dlogits);  // reuse dlogits as probability buffer
-  float loss = 0.0f;
   const float inv_rows = 1.0f / R;
-  for (int r = 0; r < R; ++r) {
-    const int t = targets[r];
-    CHIMERA_CHECK(t >= 0 && t < V);
-    loss -= std::log(std::max(dlogits.at(r, t), 1e-20f));
-    for (int c = 0; c < V; ++c) dlogits.at(r, c) *= inv_rows * loss_scale;
-    dlogits.at(r, t) -= inv_rows * loss_scale;
-  }
+  // Row shards write a per-row log-prob; the scalar loss is then summed in
+  // row order on the caller — the same association as the serial loop.
+  // The scratch is the caller's thread_local (kept across calls, so the
+  // steady state allocates nothing). The lambda must reach it through an
+  // automatic pointer: thread-storage variables are not captured, and every
+  // helper shard has to write the *caller's* buffer. The pool join orders
+  // those writes before the caller's read.
+  static thread_local std::vector<float> logp_scratch;
+  logp_scratch.resize(static_cast<std::size_t>(R));
+  float* const row_logp = logp_scratch.data();
+  const int shards = plan_shards(R, static_cast<std::size_t>(V) * 2);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int r0 = shard_begin(R, shards, s);
+    const int r1 = shard_begin(R, shards, s + 1);
+    for (int r = r0; r < r1; ++r) {
+      const int t = targets[r];
+      row_logp[r] = std::log(std::max(dlogits.at(r, t), 1e-20f));
+      for (int c = 0; c < V; ++c) dlogits.at(r, c) *= inv_rows * loss_scale;
+      dlogits.at(r, t) -= inv_rows * loss_scale;
+    }
+  });
+  float loss = 0.0f;
+  for (int r = 0; r < R; ++r) loss -= row_logp[r];
   return loss * inv_rows;
 }
 

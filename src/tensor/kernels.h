@@ -1,8 +1,11 @@
 // Dense kernels for the training runtime: blocked GEMM (with transpose
 // variants), bias, GELU, LayerNorm, row softmax and cross-entropy — each
-// with its backward. All kernels are single-threaded and use fixed loop
-// orders so results are bit-deterministic, which the gradient-equivalence
-// tests (pipeline vs sequential SGD) rely on.
+// with its backward. Kernels shard their outer loops onto the shared
+// ComputePool (tensor/compute_pool.h) with shape-only split points and
+// fixed per-element accumulation orders, so results are bit-deterministic
+// and identical to the serial path at any thread count — which the
+// gradient-equivalence tests (pipeline vs sequential SGD) and the runtime
+// parity tests rely on (DESIGN.md §2 item 17).
 #pragma once
 
 #include "tensor/tensor.h"

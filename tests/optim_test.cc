@@ -242,7 +242,22 @@ TEST(LrSchedule, CosineDecayHitsMidpointAndFloor) {
 TEST(LrSchedule, InverseSqrtContinuousAtWarmupBoundary) {
   LrSchedule s{ScheduleKind::kInverseSqrt, 16, 0, 0.0};
   EXPECT_NEAR(s.multiplier(15), 1.0, 1e-12);           // end of warmup
-  EXPECT_NEAR(s.multiplier(63), std::sqrt(16.0 / 64.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.multiplier(16), 1.0);             // first decay step
+  EXPECT_NEAR(s.multiplier(64), std::sqrt(16.0 / 64.0), 1e-12);
+}
+
+TEST(LrSchedule, EveryKindContinuousAtWarmupBoundary) {
+  // The warmup ramp ends at 1 and every decay branch starts at 1: no jump
+  // at the handover step for any schedule kind (the inverse-sqrt branch
+  // used to decay by sqrt(w/(w+1)) at step == warmup).
+  const long w = 32;
+  for (ScheduleKind k :
+       {ScheduleKind::kConstant, ScheduleKind::kWarmupLinear,
+        ScheduleKind::kWarmupCosine, ScheduleKind::kInverseSqrt}) {
+    LrSchedule s{k, w, 400, 0.05};
+    EXPECT_DOUBLE_EQ(s.multiplier(w - 1), 1.0) << schedule_kind_name(k);
+    EXPECT_DOUBLE_EQ(s.multiplier(w), 1.0) << schedule_kind_name(k);
+  }
 }
 
 class ScheduleShape

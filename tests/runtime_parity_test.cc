@@ -1,0 +1,157 @@
+// Parity of the pooled runtime with the serial path.
+//
+// The persistent worker pool and the intra-op kernel sharding
+// (tensor/compute_pool.h) promise bitwise-identical results at any helper
+// count: split points are a function of the problem shape only, every
+// output element keeps the serial per-element accumulation order, and
+// cross-row reductions combine fixed shards in a fixed order (DESIGN.md §2
+// item 17). These tests hold the runtime to that promise — losses and
+// trained weights from a trainer pinned to the serial kernel path
+// (intra_op = 0) must equal, bit for bit, those from one running with
+// helper threads, across schemes, recomputation and data parallelism.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/trainer.h"
+#include "tensor/compute_pool.h"
+
+namespace chimera::rt {
+namespace {
+
+/// Big enough that the kernels genuinely shard at the default grain
+/// (unlike the tiny equivalence model): the block GEMMs split ≥ 4 ways and
+/// the head/loss path (R = B·seq rows × vocab per micro-batch) crosses the
+/// grain so the cross-entropy row shards run on helpers too.
+nn::SmallModelConfig parity_model() {
+  nn::SmallModelConfig cfg;
+  cfg.vocab = 2048;
+  cfg.hidden = 64;
+  cfg.heads = 4;
+  cfg.layers = 4;
+  cfg.seq = 16;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+nn::MicroBatch make_batch(const nn::SmallModelConfig& cfg, int samples,
+                          std::uint64_t seed) {
+  nn::MicroBatch mb;
+  mb.batch = samples;
+  mb.seq = cfg.seq;
+  Rng rng(seed);
+  for (int i = 0; i < samples * cfg.seq; ++i) {
+    const int t = static_cast<int>(rng.next_below(cfg.vocab));
+    mb.tokens.push_back(t);
+    mb.targets.push_back((t + 1) % cfg.vocab);
+  }
+  return mb;
+}
+
+struct TrainedState {
+  std::vector<double> losses;
+  std::vector<std::vector<float>> weights;  ///< [group·D + stage]
+};
+
+TrainedState run_trainer(Scheme scheme, const ScheduleConfig& sc, bool recompute,
+                int W, int intra_op) {
+  const nn::SmallModelConfig model = parity_model();
+  TrainerOptions opts;
+  opts.recompute = recompute;
+  opts.data_parallel = W;
+  opts.intra_op = intra_op;
+  PipelineTrainer t(model, scheme, sc, opts);
+  TrainedState out;
+  const int samples = 2 * sc.num_micro * W;  // B = 2
+  for (int it = 0; it < 2; ++it)
+    out.losses.push_back(
+        t.train_iteration(make_batch(model, samples, 7100 + it)).loss);
+  for (int g = 0; g < W; ++g)
+    for (int st = 0; st < sc.depth; ++st)
+      out.weights.push_back(t.stage_weights(g, 0, st));
+  return out;
+}
+
+TEST(RuntimeParity, PooledRuntimeBitwiseMatchesSerialPath) {
+  struct Case {
+    Scheme scheme;
+    ScheduleConfig sc;
+  };
+  const Case cases[] = {
+      {Scheme::kChimera, {4, 4, 1, ScaleMethod::kDirect}},
+      {Scheme::kDapple, {4, 8, 1, ScaleMethod::kDirect}},
+      {Scheme::kGPipe, {4, 4, 1, ScaleMethod::kDirect}},
+  };
+  for (const Case& c : cases) {
+    for (bool recompute : {false, true}) {
+      for (int W : {1, 2}) {
+        SCOPED_TRACE(std::string(scheme_name(c.scheme)) +
+                     (recompute ? " +R" : "") + " W=" + std::to_string(W));
+        const TrainedState serial = run_trainer(c.scheme, c.sc, recompute, W, 0);
+        const TrainedState pooled = run_trainer(c.scheme, c.sc, recompute, W, 3);
+        EXPECT_EQ(serial.losses, pooled.losses);  // exact, not approximate
+        ASSERT_EQ(serial.weights.size(), pooled.weights.size());
+        for (std::size_t i = 0; i < serial.weights.size(); ++i)
+          EXPECT_EQ(serial.weights[i], pooled.weights[i]) << "replica " << i;
+      }
+    }
+  }
+  ComputePool::instance().set_helpers(0);
+}
+
+TEST(RuntimeParity, ShardedKernelsBitwiseMatchSerial) {
+  // Kernel-level version of the same contract, directly on the reduction-
+  // carrying kernels (GEMM accumulation, layernorm's dgamma/dbeta, the
+  // cross-entropy loss sum). Shapes sit above the shard grain for every
+  // path — including the layernorm column reduction and the loss row
+  // shards — so the helper threads genuinely execute them.
+  Rng rng(99);
+  Tensor a(130, 70), b(70, 90);
+  a.randn(rng, 1.0f);
+  b.randn(rng, 1.0f);
+  Tensor x(256, 192), gamma(1, 192), beta(1, 192), dy(256, 192);
+  x.randn(rng, 1.0f);
+  gamma.fill(1.0f);
+  beta.zero();
+  dy.randn(rng, 0.5f);
+  Tensor logits(256, 320);
+  logits.randn(rng, 1.0f);
+  std::vector<int> targets;
+  for (int r = 0; r < 256; ++r)
+    targets.push_back(static_cast<int>(rng.next_below(320)));
+
+  auto run_all = [&](Tensor& c, Tensor& y, Tensor& mean, Tensor& rstd,
+                     Tensor& dx, Tensor& dgamma, Tensor& dbeta,
+                     Tensor& dlogits) {
+    gemm(a, b, c);
+    layernorm_forward(x, gamma, beta, y, mean, rstd);
+    layernorm_backward(x, gamma, mean, rstd, dy, dx, dgamma, dbeta);
+    return cross_entropy(logits, targets, dlogits, 0.25f);
+  };
+
+  ComputePool::instance().set_helpers(0);
+  Tensor c1(130, 90), y1(256, 192), m1(256, 1), r1(256, 1), dx1(256, 192),
+      dg1(1, 192), db1(1, 192), dl1(256, 320);
+  const float loss1 = run_all(c1, y1, m1, r1, dx1, dg1, db1, dl1);
+
+  ComputePool::instance().set_helpers(4);
+  Tensor c2(130, 90), y2(256, 192), m2(256, 1), r2(256, 1), dx2(256, 192),
+      dg2(1, 192), db2(1, 192), dl2(256, 320);
+  const float loss2 = run_all(c2, y2, m2, r2, dx2, dg2, db2, dl2);
+  ComputePool::instance().set_helpers(0);
+
+  EXPECT_EQ(loss1, loss2);
+  auto expect_same = [](const Tensor& u, const Tensor& v) {
+    ASSERT_EQ(u.numel(), v.numel());
+    for (std::size_t i = 0; i < u.numel(); ++i) ASSERT_EQ(u[i], v[i]) << i;
+  };
+  expect_same(c1, c2);
+  expect_same(y1, y2);
+  expect_same(dx1, dx2);
+  expect_same(dg1, dg2);
+  expect_same(db1, db2);
+  expect_same(dl1, dl2);
+}
+
+}  // namespace
+}  // namespace chimera::rt
