@@ -1,0 +1,89 @@
+// Serving batcher ablation: how the batch budget B and the round size N
+// trade requests/s against per-request latency and padding waste.
+//
+// Larger B amortizes per-op overhead (bigger GEMMs, fewer rounds) but makes
+// each request wait for more company and pads more of the tail; larger N
+// keeps the pipes fuller per pool dispatch at the cost of a longer round.
+// All legs serve the same request stream through Chimera f=1 at D=4 — the
+// batcher (rt::form_round, DESIGN.md §5) is the only thing swept.
+//
+//   $ ./bench_ablation_serving [--json BENCH_ablation_serving.json] [--small]
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "runtime/serving.h"
+#include "tensor/compute_pool.h"
+
+using namespace chimera;
+using namespace chimera::bench;
+
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "ablation_serving");
+  bool small = false;
+  for (int i = 1; i < argc; ++i)
+    if (!std::strcmp(argv[i], "--small")) small = true;
+
+  nn::SmallModelConfig model;
+  model.hidden = small ? 48 : 96;
+  model.heads = small ? 4 : 8;
+  model.layers = 8;
+  model.seq = small ? 16 : 32;
+  model.vocab = small ? 1536 : 4096;
+  const int depth = 4;
+  const int requests = small ? 36 : 72;
+
+  print_banner("Serving ablation: batch budget B x round size N "
+               "(Chimera f=1, D=4)");
+  std::printf("model: hidden=%d layers=%d seq=%d vocab=%d  R=%d requests\n\n",
+              model.hidden, model.layers, model.seq, model.vocab, requests);
+
+  TextTable table({"B", "N slots", "req/s", "p50 ms", "p99 ms", "rounds",
+                   "padded rows"});
+  for (int B : {1, 2, 4, 8}) {
+    for (int N : {4, 8}) {
+      rt::ServeOptions opts;
+      opts.max_batch = B;
+      rt::ServingEngine engine(model, Scheme::kChimera,
+                               ScheduleConfig{depth, N, 1, ScaleMethod::kDirect},
+                               opts);
+      Rng rng(7);
+      auto submit_all = [&](int n) {
+        for (int r = 0; r < n; ++r) {
+          std::vector<int> tokens(model.seq);
+          for (int& t : tokens)
+            t = static_cast<int>(rng.next_below(model.vocab));
+          engine.submit(std::move(tokens));
+        }
+      };
+      submit_all(N * B);  // warm-up round
+      (void)engine.serve_pending();
+
+      const auto t0 = std::chrono::steady_clock::now();
+      submit_all(requests);
+      const std::vector<rt::ServeResult> results = engine.serve_pending();
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+
+      rt::ServingStats timed;
+      for (const rt::ServeResult& r : results)
+        timed.latencies_us.push_back(r.latency_us());
+      const rt::ServingStats stats = engine.stats();
+      const double req_per_s = results.size() / secs;
+      const double p50 = timed.percentile_us(50.0) / 1000.0;
+      const double p99 = timed.percentile_us(99.0) / 1000.0;
+      table.add_row(B, N, req_per_s, p50, p99, stats.rounds - 1,
+                    stats.padded_rows);
+      json.add("Chimera f=1", "B=" + std::to_string(B) + ", N=" + std::to_string(N),
+               req_per_s, secs / std::max<long>(1, stats.rounds - 1),
+               {{"p50_ms", p50},
+                {"p99_ms", p99},
+                {"padded_rows", static_cast<double>(stats.padded_rows)}});
+    }
+  }
+  table.print();
+  ComputePool::instance().set_helpers(0);
+  return 0;
+}

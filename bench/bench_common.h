@@ -69,11 +69,27 @@ class JsonReporter {
   }
 
  private:
+  /// Full JSON string escaping: quotes, backslashes and control characters
+  /// (scheme/config names are caller-supplied — a quote or a stray newline
+  /// must not emit an invalid record).
   static std::string escape(const std::string& s) {
     std::string out;
     for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
     }
     return out;
   }

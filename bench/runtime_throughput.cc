@@ -12,8 +12,8 @@
 // execution, not arithmetic drift.
 //
 //   $ ./bench_runtime_throughput [--json BENCH_runtime_throughput.json]
-//       [--small] [--iters N] [--hidden H] [--layers L] [--seq S]
-//       [--vocab V] [--micro B]
+//       [--small] [--iters N] [--hidden H] [--heads A] [--layers L]
+//       [--seq S] [--vocab V] [--micro B]
 //
 // Defaults are a GPT-2-small-like scaled shape; --small is the CI smoke
 // configuration.
@@ -100,6 +100,7 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--iters")) next(bc.iters);
     else if (!std::strcmp(argv[i], "--hidden")) next(bc.hidden);
+    else if (!std::strcmp(argv[i], "--heads")) next(bc.heads);
     else if (!std::strcmp(argv[i], "--layers")) next(bc.layers);
     else if (!std::strcmp(argv[i], "--seq")) next(bc.seq);
     else if (!std::strcmp(argv[i], "--vocab")) next(bc.vocab);

@@ -1,0 +1,223 @@
+// Requests/s and latency of the real serving engine: Chimera's
+// bidirectional (2f-pipe) serving vs single-direction GPipe-style serving
+// at equal depth and batch budget (same D, same micro-batch size B, same
+// slots per round).
+//
+// Why bidirectional wins at inference: per-stage forward costs are
+// imbalanced — at GPT vocabulary proportions the LM head costs several
+// transformer layers (core/partition.h) — so the single-direction pipeline
+// is clocked by its head worker while the others idle. Chimera pairs
+// down-stage w with up-stage D−1−w on one worker, so head-heavy and
+// embedding-light stages land together and every worker carries ≈ the same
+// load (DESIGN.md §5). Two speedups are reported per configuration:
+//   pred ×GPipe — the dependency-exact replay of the forward-only plan
+//                 with per-stage partition costs (deterministic on any
+//                 host; what the schedule alone guarantees);
+//   wall ×GPipe — measured requests/s through rt::ServingEngine (the D
+//                 rank threads must actually run in parallel to show it).
+// The bench exits nonzero if the best Chimera predicted speedup falls
+// under 1.5×, or — on hosts with *more than* D cores, where the ratio is
+// not noise-bound — if the measured one does; at ≤ D cores the wall-clock
+// column is informational.
+//
+//   $ ./bench_serving_throughput [--json BENCH_serving_throughput.json]
+//       [--small] [--requests R] [--hidden H] [--heads A] [--layers L]
+//       [--seq S] [--vocab V] [--batch B] [--slots N]
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "runtime/serving.h"
+#include "tensor/compute_pool.h"
+
+using namespace chimera;
+using namespace chimera::bench;
+
+namespace {
+
+struct BenchConfig {
+  // GPT-2-small-like *proportions*: vocab ≫ hidden makes the head stage
+  // dominant, exactly the regime real LM serving sits in.
+  int hidden = 96;
+  int heads = 8;
+  int layers = 8;
+  int seq = 32;
+  int vocab = 4096;
+  int depth = 4;
+  int batch = 4;      ///< B: requests per micro-batch slot
+  int slots = 8;      ///< N: micro-batch slots per serving round
+  int requests = 96;  ///< timed request count per leg
+};
+
+std::vector<int> make_tokens(const nn::SmallModelConfig& cfg, Rng& rng) {
+  std::vector<int> tokens(cfg.seq);
+  for (int& t : tokens) t = static_cast<int>(rng.next_below(cfg.vocab));
+  return tokens;
+}
+
+struct LegResult {
+  double req_per_s = 0.0;
+  double round_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double predicted_makespan = 0.0;  ///< replay units (per-stage FLOPs)
+  long rounds = 0;
+};
+
+LegResult measure(const nn::SmallModelConfig& model, Scheme scheme, int f,
+                  const BenchConfig& bc) {
+  rt::ServeOptions opts;
+  opts.max_batch = bc.batch;
+  rt::ServingEngine engine(
+      model, scheme, ScheduleConfig{bc.depth, bc.slots, f, ScaleMethod::kDirect},
+      opts);
+
+  // Schedule-level prediction: replay the forward-only plan with the
+  // planned partition's per-stage FLOPs as op costs.
+  ReplayCosts costs;
+  costs.forward_by_stage.resize(bc.depth);
+  for (int s = 0; s < bc.depth; ++s)
+    costs.forward_by_stage[s] = engine.partition().stage_fwd_flops(s, bc.batch);
+  LegResult out;
+  out.predicted_makespan = replay(engine.plan(), costs).makespan;
+
+  Rng rng(99);
+  // Warm-up round: first-touch allocations (arenas, mailboxes, workspaces).
+  for (int r = 0; r < bc.slots * bc.batch; ++r)
+    engine.submit(make_tokens(model, rng));
+  (void)engine.serve_pending();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < bc.requests; ++r) engine.submit(make_tokens(model, rng));
+  const std::vector<rt::ServeResult> results = engine.serve_pending();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  rt::ServingStats timed;
+  for (const rt::ServeResult& r : results)
+    timed.latencies_us.push_back(r.latency_us());
+  const long rounds = engine.stats().rounds - 1;  // minus warm-up
+  out.req_per_s = results.size() / secs;
+  out.round_s = secs / std::max<long>(1, rounds);
+  out.p50_ms = timed.percentile_us(50.0) / 1000.0;
+  out.p99_ms = timed.percentile_us(99.0) / 1000.0;
+  out.rounds = rounds;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "serving_throughput");
+  BenchConfig bc;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--small")) {
+      bc.hidden = 48;
+      bc.heads = 4;
+      bc.layers = 8;
+      bc.seq = 16;
+      bc.vocab = 1536;
+      bc.batch = 4;
+      bc.slots = 8;
+      bc.requests = 64;
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](int& field) {
+      if (i + 1 < argc) field = std::atoi(argv[++i]);
+    };
+    if (!std::strcmp(argv[i], "--requests")) next(bc.requests);
+    else if (!std::strcmp(argv[i], "--hidden")) next(bc.hidden);
+    else if (!std::strcmp(argv[i], "--heads")) next(bc.heads);
+    else if (!std::strcmp(argv[i], "--layers")) next(bc.layers);
+    else if (!std::strcmp(argv[i], "--seq")) next(bc.seq);
+    else if (!std::strcmp(argv[i], "--vocab")) next(bc.vocab);
+    else if (!std::strcmp(argv[i], "--batch")) next(bc.batch);
+    else if (!std::strcmp(argv[i], "--slots")) next(bc.slots);
+  }
+
+  nn::SmallModelConfig model;
+  model.hidden = bc.hidden;
+  model.heads = bc.heads;
+  model.layers = bc.layers;
+  model.seq = bc.seq;
+  model.vocab = bc.vocab;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  print_banner("Serving throughput: bidirectional (Chimera 2f) vs "
+               "single-direction pipelines");
+  std::printf("model: hidden=%d layers=%d seq=%d vocab=%d  D=%d  B=%d  "
+              "N=%d slots/round  R=%d requests  hardware threads=%u\n\n",
+              bc.hidden, bc.layers, bc.seq, bc.vocab, bc.depth, bc.batch,
+              bc.slots, bc.requests, hw);
+
+  struct Leg {
+    const char* name;
+    Scheme scheme;
+    int f;
+  };
+  const Leg legs[] = {{"GPipe (single direction)", Scheme::kGPipe, 1},
+                      {"Chimera f=1 (2 pipes)", Scheme::kChimera, 1},
+                      {"Chimera f=2 (4 pipes)", Scheme::kChimera, 2}};
+
+  TextTable table({"serving scheme", "req/s", "p50 ms", "p99 ms",
+                   "pred xGPipe", "wall xGPipe"});
+  double base_pred = 0.0, base_wall = 0.0;
+  double best_pred = 0.0, best_wall = 0.0;
+  for (const Leg& leg : legs) {
+    const LegResult r = measure(model, leg.scheme, leg.f, bc);
+    if (leg.scheme == Scheme::kGPipe) {
+      base_pred = r.predicted_makespan;
+      base_wall = r.req_per_s;
+    }
+    const double pred_speedup = base_pred / r.predicted_makespan;
+    const double wall_speedup = r.req_per_s / base_wall;
+    if (leg.scheme == Scheme::kChimera) {
+      best_pred = std::max(best_pred, pred_speedup);
+      best_wall = std::max(best_wall, wall_speedup);
+    }
+    table.add_row(leg.name, r.req_per_s, r.p50_ms, r.p99_ms, pred_speedup,
+                  wall_speedup);
+    const std::string config = "D=" + std::to_string(bc.depth) +
+                               ", B=" + std::to_string(bc.batch) +
+                               ", N=" + std::to_string(bc.slots);
+    json.add(leg.name, config, r.req_per_s, r.round_s,
+             {{"p50_ms", r.p50_ms},
+              {"p99_ms", r.p99_ms},
+              {"predicted_speedup_vs_gpipe", pred_speedup},
+              {"wall_speedup_vs_gpipe", wall_speedup},
+              {"rounds", static_cast<double>(r.rounds)}});
+  }
+  table.print();
+
+  // Acceptance: bidirectional serving ≥ 1.5× single-direction at equal D
+  // and batch budget. The schedule-level replay prediction is deterministic
+  // on any host and must always hold. The wall-clock ratio is enforced only
+  // when the host has cores to spare beyond the D rank threads (hw > D):
+  // with hw < D all compute serializes and every scheme ties by
+  // construction; with hw == D (shared CI runners) the last core is
+  // contended by the OS/runner agent and the ratio is noise-bound.
+  bool fail = false;
+  std::printf("\nbest Chimera speedup vs GPipe: predicted %.2fx, wall %.2fx\n",
+              best_pred, best_wall);
+  if (best_pred < 1.5) {
+    std::fprintf(stderr, "FAIL: predicted serving speedup %.2fx < 1.5x\n",
+                 best_pred);
+    fail = true;
+  }
+  if (hw > static_cast<unsigned>(bc.depth)) {
+    if (best_wall < 1.5) {
+      std::fprintf(stderr, "FAIL: wall-clock serving speedup %.2fx < 1.5x\n",
+                   best_wall);
+      fail = true;
+    }
+  } else {
+    std::printf("(wall-clock criterion informational only: %u hardware "
+                "threads for D=%d workers)\n", hw, bc.depth);
+  }
+  ComputePool::instance().set_helpers(0);
+  return fail ? 1 : 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Cross-doc link checker: every relative markdown link target in the
+# top-level and docs/ markdown files must resolve to an existing file, so
+# cross-doc references cannot rot when files move.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+checked=0
+for f in README.md DESIGN.md ROADMAP.md docs/*.md; do
+  [ -e "$f" ] || continue
+  dir=$(dirname "$f")
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $f -> $target" >&2
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" 2>/dev/null | sed 's/^](//; s/)$//')
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check-docs: $checked relative link(s) resolve"
+fi
+exit "$status"

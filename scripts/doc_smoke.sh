@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Doc smoke: extract every fenced `sh` block from README.md and docs/*.md
+# and execute it from the repository root, so documented commands cannot
+# rot. Blocks run in file order (README's quickstart block builds the tree
+# the later blocks use), each in its own subshell with -euo pipefail.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+files=(README.md docs/*.md)
+total=0
+for f in "${files[@]}"; do
+  base=$(basename "$f")
+  count=$(awk -v dir="$tmpdir" -v base="$base" '
+    /^```sh[ \t]*$/ { inb = 1; ++n; next }
+    /^```[ \t]*$/   { inb = 0; next }
+    inb             { print > (dir "/" base "." n ".sh") }
+    END             { print n + 0 }
+  ' "$f")
+  # Numeric iteration, not a glob: a glob would run block 10 before block 2.
+  for ((i = 1; i <= count; i++)); do
+    block="$tmpdir/$base.$i.sh"
+    [ -e "$block" ] || continue
+    echo "=== $f :: block $i ==="
+    sed 's/^/    /' "$block"
+    (bash -euo pipefail "$block")
+    total=$((total + 1))
+  done
+  rm -f "$tmpdir/$base".*.sh
+done
+
+echo "doc-smoke: $total shell block(s) passed"
+[ "$total" -gt 0 ] || { echo "doc-smoke: no shell blocks found?" >&2; exit 1; }

@@ -47,7 +47,9 @@ ExecutionPlan::ExecutionPlan(const PipelineSchedule& s)
                 u.send_tag =
                     p2p_tag(OpKind::kForward, op.pipe, op.stage + 1, m, h);
               }
-              u.acquires_stash = h == 0;  // one stash per micro-batch
+              // One stash per micro-batch — except in forward-only serving
+              // plans, where no backward will ever consume (or release) it.
+              u.acquires_stash = !s.forward_only && h == 0;
               p.units.push_back(u);
             }
           }

@@ -1,0 +1,121 @@
+#include "core/inference_schedule.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace chimera {
+namespace {
+
+/// One forward op plus its synthetic wavefront slot, used only during
+/// construction. Slot = (position within the pipe) + stage: every dependency
+/// sits exactly one slot earlier, so sorting each worker by slot yields a
+/// per-pipe-FIFO, deadlock-free program order by construction.
+struct SlottedOp {
+  long slot;
+  Op op;
+};
+
+PipelineSchedule build_chimera_inference(const ScheduleConfig& cfg) {
+  const int D = cfg.depth;
+  const int N = cfg.num_micro;
+  const int f = cfg.pipes_f;
+  CHIMERA_CHECK_MSG(D >= 2 && D % 2 == 0,
+                    "Chimera requires an even number of stages, got D=" << D);
+  CHIMERA_CHECK_MSG(f >= 1 && (D / 2) % f == 0,
+                    "pipes_f must divide D/2 (D=" << D << ", f=" << f << ")");
+
+  PipelineSchedule s;
+  s.scheme = Scheme::kChimera;
+  s.depth = D;
+  s.num_micro = N;
+  s.num_pipes = 2 * f;
+  s.synchronous = true;
+  s.forward_only = true;
+  s.worker_ops.resize(D);
+  s.pipe_of_micro.assign(N, 0);
+
+  // Same stage→worker geometry as the training builder
+  // (core/chimera_schedule.cc): pipeline pair i enters D/f workers after
+  // pair i−1, the up member mirrors the down member.
+  s.stage_worker.assign(s.num_pipes, std::vector<int>(D));
+  const int offset_step = D / f;
+  for (int i = 0; i < f; ++i) {
+    for (int st = 0; st < D; ++st) {
+      s.stage_worker[2 * i][st] = (i * offset_step + st) % D;
+      s.stage_worker[2 * i + 1][st] = (i * offset_step + D - 1 - st) % D;
+    }
+  }
+
+  // Round-robin slot→pipe assignment in pipe order [down0, up0, down1, …]
+  // — unlike training's contiguous blocks: a lightly-loaded serving round
+  // dispatches only a prefix of the slots (rt::ServingEngine skips the
+  // rest), and round-robin keeps any prefix spread across both directions.
+  std::vector<std::vector<SlottedOp>> per_worker(D);
+  for (int micro = 0; micro < N; ++micro) {
+    const int p = micro % s.num_pipes;
+    const int q = micro / s.num_pipes;  // position within the pipe
+    s.pipe_of_micro[micro] = p;
+    for (int st = 0; st < D; ++st)
+      per_worker[s.stage_worker[p][st]].push_back(SlottedOp{
+          static_cast<long>(q) + st, Op{OpKind::kForward, micro, 1, st, p, 0, 1}});
+  }
+  for (int w = 0; w < D; ++w) {
+    auto& ops = per_worker[w];
+    std::sort(ops.begin(), ops.end(), [](const SlottedOp& a, const SlottedOp& b) {
+      return std::tie(a.slot, a.op.pipe, a.op.micro) <
+             std::tie(b.slot, b.op.pipe, b.op.micro);
+    });
+    s.worker_ops[w].reserve(ops.size());
+    for (const SlottedOp& so : ops) s.worker_ops[w].push_back(so.op);
+  }
+  return s;
+}
+
+PipelineSchedule build_single_direction_inference(Scheme scheme,
+                                                  const ScheduleConfig& cfg) {
+  const int D = cfg.depth;
+  const int N = cfg.num_micro;
+  CHIMERA_CHECK_MSG(D >= 1, "need at least one stage");
+
+  PipelineSchedule s;
+  s.scheme = scheme;
+  s.depth = D;
+  s.num_micro = N;
+  s.num_pipes = 1;
+  s.synchronous = true;
+  s.forward_only = true;
+  s.stage_worker.assign(1, std::vector<int>(D));
+  for (int i = 0; i < D; ++i) s.stage_worker[0][i] = i;
+  s.pipe_of_micro.assign(N, 0);
+  s.worker_ops.resize(D);
+  for (int w = 0; w < D; ++w)
+    for (int m = 0; m < N; ++m)
+      s.worker_ops[w].push_back(Op{OpKind::kForward, m, 1, w, 0, 0, 1});
+  return s;
+}
+
+}  // namespace
+
+PipelineSchedule build_inference_schedule(Scheme scheme,
+                                          const ScheduleConfig& cfg) {
+  CHIMERA_CHECK_MSG(cfg.num_micro >= 1, "need at least one micro-batch slot");
+  switch (scheme) {
+    case Scheme::kChimera:
+      return build_chimera_inference(cfg);
+    case Scheme::kGPipe:
+    case Scheme::kDapple:
+    case Scheme::kOneF1B:
+      return build_single_direction_inference(scheme, cfg);
+    case Scheme::kGems:
+    case Scheme::kPipeDream:
+    case Scheme::kPipeDream2BW:
+      break;
+  }
+  CHIMERA_CHECK_MSG(false,
+                    "no forward-only serving lowering for "
+                        << scheme_name(scheme)
+                        << " (GEMS serves as Chimera f=1; the PipeDream "
+                           "variants collapse onto the GPipe shape)");
+}
+
+}  // namespace chimera

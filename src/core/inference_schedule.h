@@ -1,0 +1,39 @@
+// Forward-only inference schedules: the serving-time counterpart of
+// build_schedule().
+//
+// At inference there is no backward pass, no activation stash and no
+// gradient sync — a schedule is just pipelined forward streams. Chimera's
+// bidirectional pairing (paper §3) carries over directly: the same D
+// workers host f down and f up pipelines, and each pipeline transports an
+// *independent* request stream, so the geometry that balanced training
+// memory now balances serving compute. Worker w runs down-stage w together
+// with up-stage D−1−w; since the per-stage forward costs are imbalanced
+// (the LM head on the last stage costs several transformer layers at GPT
+// vocabulary sizes — see core/partition.h), single-direction serving is
+// clocked by its head worker while the others idle, whereas the
+// bidirectional pairing gives every worker ≈ the same share of head plus
+// block compute. DESIGN.md §5 walks through the argument.
+//
+// The schedule lowers through the ordinary ExecutionPlan and is executed by
+// rt::ServingEngine; the analyzer's replay prices it exactly like any
+// training schedule (forward costs only).
+#pragma once
+
+#include "core/schedule.h"
+
+namespace chimera {
+
+/// Builds the forward-only serving schedule of `scheme`:
+///  - kChimera: `cfg.pipes_f` down/up pipeline pairs, micro-batch slots
+///    assigned to pipes round-robin (so any dispatched prefix of a
+///    serving round is spread across both directions);
+///  - kGPipe / kDapple / kOneF1B: the single-direction forward pipeline
+///    (all three collapse onto the same shape once backwards are gone).
+/// `cfg.num_micro` is the number of micro-batch slots per serving round;
+/// `cfg.scale` is ignored (scale methods reshape backwards). GEMS and the
+/// PipeDream variants have no distinct forward-only shape and are rejected.
+/// The result has forward_only = true and passes validate().
+PipelineSchedule build_inference_schedule(Scheme scheme,
+                                          const ScheduleConfig& cfg);
+
+}  // namespace chimera

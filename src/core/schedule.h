@@ -97,6 +97,12 @@ struct PipelineSchedule {
   int num_micro = 0;  ///< N
   int num_pipes = 1;  ///< 2f for Chimera, 2 for GEMS, 1 otherwise
   bool synchronous = true;
+  /// Inference serving: the schedule contains forward ops only — no
+  /// backward, no collectives, and (because nothing ever consumes them) no
+  /// activation-stash events when lowered to an ExecutionPlan. Built by
+  /// build_inference_schedule (core/inference_schedule.h); validate()
+  /// checks the forward-only invariants instead of the training ones.
+  bool forward_only = false;
 
   /// worker_ops[w] is the ordered op list of worker w (size == depth).
   std::vector<std::vector<Op>> worker_ops;

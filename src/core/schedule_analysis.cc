@@ -117,6 +117,7 @@ std::vector<int> max_inflight_micros(const PipelineSchedule& s) {
   // (core/execution_plan.cc) derives the same accounting from the plan's
   // stash acquire/release events.
   std::vector<int> high(s.depth, 0);
+  if (s.forward_only) return high;  // serving stashes nothing (plan overload agrees)
   for (int w = 0; w < s.depth; ++w) {
     int live = 0;
     for (const Op& op : s.worker_ops[w]) {
@@ -217,18 +218,28 @@ void validate(const PipelineSchedule& s) {
     }
   }
 
+  // Forward-only (serving) schedules: every op must be a forward compute op
+  // — no backwards, no collectives.
+  if (s.forward_only)
+    for (const auto& ops : s.worker_ops)
+      for (const Op& op : ops)
+        CHIMERA_CHECK_MSG(op.kind == OpKind::kForward,
+                          "forward-only schedule contains a non-forward op");
+
   // Building the plan verifies uniqueness of (pipe, stage, micro[, half])
   // and resolves every dependency (missing producers throw here).
   ExecutionPlan plan(s);
   const OpIndex& index = plan.index();
 
-  // Completeness: every micro-batch passes every stage once forward and once
-  // backward (with consistent halves), on its assigned pipe.
+  // Completeness: every micro-batch passes every stage once forward and (in
+  // training schedules) once backward (with consistent halves), on its
+  // assigned pipe.
   for (int m = 0; m < s.num_micro; ++m) {
     const int p = s.pipe_of_micro[m];
     for (int st = 0; st < s.depth; ++st) {
       CHIMERA_CHECK_MSG(index.forward(p, st, m).valid(),
                         "micro " << m << " missing forward at stage " << st);
+      if (s.forward_only) continue;
       const OpRef b0 = index.backward(p, st, m, 0);
       CHIMERA_CHECK_MSG(b0.valid(),
                         "micro " << m << " missing backward at stage " << st);

@@ -68,7 +68,7 @@ StageModule::StageModule(const SmallModelConfig& cfg, int stage, int depth)
                   plan_even(cfg.spec(), depth).range(stage)) {}
 
 Tensor StageModule::run_forward(const MicroBatch& mb, const Tensor& input,
-                                Stash& st) const {
+                                Stash& st, bool capture_head_input) const {
   Tensor x;
   if (is_first()) {
     const int rows = mb.batch * mb.seq;
@@ -86,8 +86,9 @@ Tensor StageModule::run_forward(const MicroBatch& mb, const Tensor& input,
   st.blocks.resize(blocks_.size());
   for (std::size_t l = 0; l < blocks_.size(); ++l)
     x = blocks_[l]->forward(x, st.blocks[l]);
-  // The last stage consumes x locally in backward (head + loss); stash it.
-  if (is_last()) st.head_input = x;
+  // The last stage consumes x locally in backward (head + loss); stash it —
+  // unless this is the forward-only infer path, which applies the head now.
+  if (is_last() && capture_head_input) st.head_input = x;
   return x;
 }
 
@@ -112,6 +113,23 @@ Tensor StageModule::forward(const MicroBatch& mb, const Tensor& input, long key)
     return out;
   }
   return run_forward(mb, input, st);
+}
+
+Tensor StageModule::infer(const MicroBatch& mb, const Tensor& input) {
+  Stash scratch = acquire_stash();
+  Tensor x = run_forward(mb, input, scratch, /*capture_head_input=*/false);
+  Tensor out;
+  if (is_last()) {
+    // Logits-only head: the final LayerNorm + LM head run into the
+    // persistent head workspace, but unlike the training path there is no
+    // cross-entropy and no dlogits — the logits themselves are the result.
+    final_ln_->forward_into(x, head_ws_.ln, head_ws_.normed);
+    out = head_->forward(head_ws_.normed, head_ws_.head);
+  } else {
+    out = std::move(x);
+  }
+  stash_pool_.push_back(std::move(scratch));
+  return out;
 }
 
 Tensor StageModule::backward(const MicroBatch& mb, const Tensor& grad_out,

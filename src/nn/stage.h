@@ -71,6 +71,17 @@ class StageModule {
   /// locally by backward).
   Tensor forward(const MicroBatch& mb, const Tensor& input, long key);
 
+  /// Forward-only serving path (rt::ServingEngine): runs the stage without
+  /// touching the keyed activation stash or any gradient state. Non-last
+  /// stages return the boundary activation exactly as forward() would; the
+  /// last stage additionally applies the final LayerNorm + LM head and
+  /// returns the logits [B·s, vocab] — no loss, no dlogits (the training
+  /// head path stays inside backward()). Activations are bitwise identical
+  /// to forward()'s: same kernels, same shapes, same accumulation order;
+  /// scratch contexts recycle through the stage's stash pool, so steady-
+  /// state serving allocates nothing.
+  Tensor infer(const MicroBatch& mb, const Tensor& input);
+
   /// Runs the stage backward for one micro-batch, consuming stash `key`.
   /// On the last stage `grad_out` is ignored: the gradient originates from
   /// the cross-entropy loss, scaled by `loss_scale`. Returns the gradient
@@ -112,7 +123,11 @@ class StageModule {
     Tensor normed, logits, dlogits;
   };
 
-  Tensor run_forward(const MicroBatch& mb, const Tensor& input, Stash& st) const;
+  /// `capture_head_input = false` (the infer path) skips the last stage's
+  /// deep copy of the boundary activation into the stash — it exists only
+  /// for backward's head + loss computation.
+  Tensor run_forward(const MicroBatch& mb, const Tensor& input, Stash& st,
+                     bool capture_head_input = true) const;
   Stash acquire_stash();
 
   SmallModelConfig cfg_;

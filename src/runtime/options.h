@@ -1,6 +1,10 @@
 // Runtime configuration shared by the trainer facade and the execution
-// units it is composed of (WorkerExecutor, GradSyncEngine, WeightStore).
+// units it is composed of (WorkerExecutor, GradSyncEngine, WeightStore),
+// plus the serving engine's ServeOptions. docs/OPTIONS.md is the reference
+// table for every field and which combinations compose.
 #pragma once
+
+#include <functional>
 
 #include "comm/compression.h"
 #include "comm/world.h"
@@ -60,6 +64,32 @@ struct TrainerOptions {
 /// Result of one training iteration.
 struct IterationResult {
   double loss = 0.0;  ///< mean loss over the mini-batch
+};
+
+/// Configuration of the forward-only inference engine (rt::ServingEngine),
+/// threaded exactly like TrainerOptions is through the trainer. See
+/// docs/OPTIONS.md for the full reference and DESIGN.md §5 for the
+/// batcher's deadline/padding contract.
+struct ServeOptions {
+  /// B: requests the micro-batcher coalesces into one micro-batch slot.
+  /// Dispatched tail batches are padded to this many rows; the padded rows'
+  /// logits are computed and discarded.
+  int max_batch = 4;
+  /// A partial batch is dispatched once its oldest request has waited this
+  /// long (µs). 0 = never hold a request back waiting for company.
+  long batch_deadline_us = 0;
+  /// How transformer layers split into the D stages — the same planners
+  /// the trainer uses (kBalancedMemory falls back to the flat profile:
+  /// forward-only execution stashes nothing).
+  PartitionPolicy partition = PartitionPolicy::kEven;
+  /// Intra-op kernel helper threads; see TrainerOptions::intra_op (serving
+  /// sizes −1 as max(0, hardware_concurrency − D)).
+  int intra_op = -1;
+  /// Test hook: microsecond clock used for batch-deadline decisions and the
+  /// enqueue→logits latency stamps. Null = monotonic wall clock. The
+  /// background serving loop sleeps in real time regardless — a fake clock
+  /// is for deterministic batcher/latency tests via serve_pending().
+  std::function<long()> clock;
 };
 
 }  // namespace chimera::rt

@@ -1,0 +1,339 @@
+#include "runtime/serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "tensor/compute_pool.h"
+
+namespace chimera::rt {
+
+Round form_round(std::deque<PendingRequest>& queue, const BatchPolicy& policy,
+                 int num_slots, long now_us) {
+  CHIMERA_CHECK(policy.max_batch >= 1 && num_slots >= 1);
+  Round round;
+  const int B = policy.max_batch;
+  while (static_cast<int>(round.slots.size()) < num_slots && !queue.empty()) {
+    if (static_cast<int>(queue.size()) < B &&
+        !policy.should_flush(static_cast<int>(queue.size()),
+                             queue.front().enqueue_us, now_us))
+      break;  // partial tail still inside its deadline — leave it queued
+    std::vector<PendingRequest> slot;
+    for (int r = 0; r < B && !queue.empty(); ++r) {
+      slot.push_back(std::move(queue.front()));
+      queue.pop_front();
+    }
+    round.slots.push_back(std::move(slot));
+  }
+  return round;
+}
+
+long ServingStats::percentile_us(double p) const {
+  if (latencies_us.empty()) return 0;
+  std::vector<long> sorted = latencies_us;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest value with at least p% of samples ≤ it —
+  // p99 of a 64-sample set is the maximum, not the 62nd sample.
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t i = static_cast<std::size_t>(
+      std::min<double>(std::max(rank - 1.0, 0.0), sorted.size() - 1.0));
+  return sorted[i];
+}
+
+ServingEngine::ServingEngine(const nn::SmallModelConfig& model, Scheme scheme,
+                             const ScheduleConfig& sched_cfg,
+                             const ServeOptions& opts)
+    : model_(model), opts_(opts), epoch_(std::chrono::steady_clock::now()) {
+  CHIMERA_CHECK_MSG(opts.max_batch >= 1, "max_batch must be positive");
+  CHIMERA_CHECK_MSG(opts.batch_deadline_us >= 0, "deadline must be >= 0");
+  schedule_ = build_inference_schedule(scheme, sched_cfg);
+  plan_ = std::make_unique<ExecutionPlan>(schedule_);
+
+  const int D = schedule_.depth;
+  // Forward-only execution stashes nothing, so kBalancedMemory gets the
+  // flat profile (no schedule): it degenerates to balancing weight bytes.
+  partition_ = std::make_unique<Partition>(
+      plan_partition(model_.spec(), D, opts.partition));
+  CHIMERA_CHECK_MSG(partition_->depth() == D &&
+                        partition_->range(0).begin == 0 &&
+                        partition_->range(D - 1).end == model_.layers,
+                    "serving partition does not cover the model's "
+                        << model_.layers << " layers across " << D
+                        << " stages");
+
+  world_ = std::make_unique<comm::World>(D);
+  comms_.resize(D);
+  units_.resize(D);
+  for (int w = 0; w < D; ++w) {
+    comms_[w] = std::make_unique<comm::Communicator>(*world_, w);
+    for (auto [pipe, stage] : schedule_.hosted_stages(w))
+      units_[w].push_back(std::unique_ptr<StageUnit>(new StageUnit{
+          pipe, stage,
+          nn::StageModule(model_, stage, D, partition_->range(stage))}));
+  }
+  round_inputs_.resize(schedule_.num_micro);
+  round_logits_.resize(schedule_.num_micro);
+
+  // Same sizing rule as the trainer (DESIGN.md §2 item 17): D pipeline
+  // workers plus intra-op helpers never oversubscribe the host.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  ComputePool::instance().set_helpers(
+      opts_.intra_op >= 0 ? opts_.intra_op : std::max(0, hw - D));
+  pool_ = std::make_unique<WorkerPool>(D);
+}
+
+ServingEngine::~ServingEngine() {
+  if (!driver_running_) return;
+  // Unlike an explicit stop(), destruction must not rethrow a stored
+  // driver error — throwing out of a destructor std::terminates.
+  try {
+    stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ServingEngine: dropping serving-loop error during "
+                         "destruction: %s\n", e.what());
+  } catch (...) {
+    std::fprintf(stderr, "ServingEngine: dropping serving-loop error during "
+                         "destruction\n");
+  }
+}
+
+long ServingEngine::now_us() const {
+  if (opts_.clock) return opts_.clock();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+ServingEngine::StageUnit& ServingEngine::find_unit(int worker, int pipe,
+                                                   int stage) {
+  for (auto& u : units_[worker])
+    if (u->pipe == pipe && u->stage == stage) return *u;
+  CHIMERA_CHECK_MSG(false, "stage not hosted: worker " << worker << " pipe "
+                                                       << pipe << " stage "
+                                                       << stage);
+}
+
+std::uint64_t ServingEngine::submit(std::vector<int> tokens) {
+  CHIMERA_CHECK_MSG(static_cast<int>(tokens.size()) == model_.seq,
+                    "request has " << tokens.size() << " tokens, model.seq is "
+                                   << model_.seq);
+  // Reject malformed requests here, where only the caller is affected — a
+  // bad token id reaching a rank thread mid-round would take the whole
+  // engine (and every co-batched request) down with it.
+  for (int t : tokens)
+    CHIMERA_CHECK_MSG(t >= 0 && t < model_.vocab,
+                      "request token " << t << " outside vocab of "
+                                       << model_.vocab);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Fail fast once the serving loop has died — accepting requests a dead
+  // loop will never serve would turn the engine into a silent black hole.
+  if (driver_error_) std::rethrow_exception(driver_error_);
+  // Admission control: the intake side is bounded like the output side. A
+  // producer sustained above round throughput gets an error it can back
+  // off on, not unbounded queue growth and unbounded latency.
+  CHIMERA_CHECK_MSG(queue_.size() < kMaxQueuedRequests,
+                    "request queue full (" << queue_.size()
+                                           << ") — back off and retry");
+  const std::uint64_t id = next_id_++;
+  queue_.push_back(PendingRequest{id, std::move(tokens), now_us()});
+  cv_.notify_all();
+  return id;
+}
+
+void ServingEngine::run_worker(int w) {
+  const int D = schedule_.depth;
+  for (const PlannedOp& pop : plan_->worker_plan(w)) {
+    const MicroUnit& u = pop.units.front();
+    // Slots beyond the round's dispatched count carry no requests: skip
+    // their ops entirely. Micro-batch slots never interact (each has its
+    // own dependency chain and tags), and every worker computes the same
+    // cutoff, so sends and recvs stay matched.
+    if (u.micro >= round_active_slots_) continue;
+    StageUnit& unit = find_unit(w, pop.op.pipe, pop.op.stage);
+    Tensor x;
+    if (u.recv_from >= 0) x = comms_[w]->recv(u.recv_from, u.recv_tag);
+    Tensor y = unit.module.infer(round_inputs_[u.micro], x);
+    if (u.send_to >= 0)
+      comms_[w]->send(u.send_to, u.send_tag, std::move(y));
+    else if (pop.op.stage == D - 1)
+      round_logits_[u.micro] = std::move(y);
+  }
+}
+
+std::vector<ServeResult> ServingEngine::execute_round(Round round) {
+  const int N = schedule_.num_micro;
+  const int B = opts_.max_batch;
+  const int seq = model_.seq;
+  const int active = static_cast<int>(round.slots.size());
+  CHIMERA_CHECK(active >= 1 && active <= N);
+
+  // Materialize the dispatched slots' padded micro-batches (tail rows pad
+  // with token 0); the workers skip the remaining slots' ops outright, so
+  // a lightly-loaded round costs only what it carries.
+  for (int m = 0; m < active; ++m) {
+    nn::MicroBatch& mb = round_inputs_[m];
+    mb.batch = B;
+    mb.seq = seq;
+    mb.tokens.assign(static_cast<std::size_t>(B) * seq, 0);
+    mb.targets.clear();  // infer() never reads targets
+    for (std::size_t r = 0; r < round.slots[m].size(); ++r)
+      std::copy(round.slots[m][r].tokens.begin(),
+                round.slots[m][r].tokens.end(),
+                mb.tokens.begin() + static_cast<std::ptrdiff_t>(r) * seq);
+  }
+
+  round_active_slots_ = active;
+  pool_->run([this](int rank) { run_worker(rank); });
+  const long done = now_us();
+
+  std::vector<ServeResult> results;
+  for (std::size_t m = 0; m < round.slots.size(); ++m) {
+    const Tensor& logits = round_logits_[m];
+    CHIMERA_CHECK(logits.rows() == B * seq && logits.cols() == model_.vocab);
+    for (std::size_t r = 0; r < round.slots[m].size(); ++r) {
+      ServeResult res;
+      res.id = round.slots[m][r].id;
+      res.enqueue_us = round.slots[m][r].enqueue_us;
+      res.done_us = done;
+      res.logits.reshape(seq, model_.vocab);
+      std::copy(logits.data() + r * static_cast<std::size_t>(seq) * model_.vocab,
+                logits.data() + (r + 1) * static_cast<std::size_t>(seq) * model_.vocab,
+                res.logits.data());
+      results.push_back(std::move(res));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.rounds += 1;
+    stats_.requests += round.requests();
+    stats_.padded_rows += static_cast<long>(active) * B - round.requests();
+    // Bounded reservoir: long-running loops keep the most recent samples
+    // instead of growing without limit.
+    for (const ServeResult& r : results) {
+      if (stats_.latencies_us.size() < ServingStats::kMaxLatencySamples) {
+        stats_.latencies_us.push_back(r.latency_us());
+      } else {
+        stats_.latencies_us[latency_cursor_ %
+                            ServingStats::kMaxLatencySamples] = r.latency_us();
+      }
+      ++latency_cursor_;
+    }
+  }
+  return results;
+}
+
+std::vector<ServeResult> ServingEngine::serve_pending() {
+  CHIMERA_CHECK_MSG(!driver_running_,
+                    "serve_pending() while the background loop is running");
+  std::vector<ServeResult> out;
+  const BatchPolicy drain{opts_.max_batch, 0};  // a drain never waits
+  for (;;) {
+    Round round;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+      round = form_round(queue_, drain, schedule_.num_micro, now_us());
+    }
+    std::vector<ServeResult> served = execute_round(std::move(round));
+    for (auto& r : served) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void ServingEngine::start() {
+  CHIMERA_CHECK_MSG(!driver_running_, "serving loop already running");
+  stopping_ = false;
+  driver_running_ = true;
+  driver_ = std::thread([this] { driver_main(); });
+}
+
+void ServingEngine::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  if (driver_.joinable()) driver_.join();
+  driver_running_ = false;
+  if (driver_error_) {
+    std::exception_ptr e = driver_error_;
+    driver_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ServingEngine::driver_main() {
+  try {
+    driver_loop();
+  } catch (...) {
+    // Surface the failure on stop() instead of std::terminate-ing the
+    // process from a detached context (the training path likewise rethrows
+    // rank exceptions on the caller).
+    std::lock_guard<std::mutex> lock(mutex_);
+    driver_error_ = std::current_exception();
+  }
+}
+
+void ServingEngine::driver_loop() {
+  const BatchPolicy policy{opts_.max_batch, opts_.batch_deadline_us};
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Hold until the flush rule fires: a full batch is always dispatchable,
+    // a partial one waits out the *remainder* of the oldest request's
+    // deadline; stop() flushes immediately. The deadline sleep is real time
+    // — a fake opts_.clock only steers flush *decisions* and stamps.
+    if (!stopping_ &&
+        !policy.should_flush(static_cast<int>(queue_.size()),
+                             queue_.front().enqueue_us, now_us())) {
+      const long waited = now_us() - queue_.front().enqueue_us;
+      const long remaining =
+          std::max<long>(0, opts_.batch_deadline_us - waited);
+      cv_.wait_for(lock, std::chrono::microseconds(remaining), [&] {
+        return stopping_ ||
+               static_cast<int>(queue_.size()) >= policy.max_batch;
+      });
+      if (queue_.empty()) continue;
+    }
+    const BatchPolicy now_policy =
+        stopping_ ? BatchPolicy{opts_.max_batch, 0} : policy;
+    Round round = form_round(queue_, now_policy, schedule_.num_micro, now_us());
+    if (round.slots.empty()) continue;  // deadline not yet reached
+    lock.unlock();
+    std::vector<ServeResult> served = execute_round(std::move(round));
+    lock.lock();
+    for (auto& r : served) {
+      completed_.push_back(std::move(r));
+      if (completed_.size() > ServingStats::kMaxCompletedResults) {
+        completed_.pop_front();
+        ++stats_.dropped_results;
+      }
+    }
+  }
+}
+
+std::vector<ServeResult> ServingEngine::take_completed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Surface a dead serving loop to the poller instead of returning empty
+  // results forever (stop() clears the error after rethrowing it).
+  if (driver_error_ && completed_.empty())
+    std::rethrow_exception(driver_error_);
+  std::vector<ServeResult> out;
+  out.reserve(completed_.size());
+  for (auto& r : completed_) out.push_back(std::move(r));
+  completed_.clear();
+  return out;
+}
+
+ServingStats ServingEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace chimera::rt

@@ -1,0 +1,231 @@
+// Pipelined inference serving over bidirectional pipelines — the first
+// non-training workload on the execution stack (ROADMAP: "serves heavy
+// traffic"). The engine reuses the training machinery end to end:
+//
+//   core/inference_schedule — forward-only schedule: f down + f up
+//                             independent request streams for Chimera, the
+//                             plain forward pipeline for GPipe/DAPPLE/1F1B
+//   core/execution_plan     — the same lowering the trainer executes:
+//                             per-op deps, p2p endpoints + tags (no stash
+//                             events — nothing ever consumes a stash)
+//   runtime/worker_pool     — the same persistent rank threads; one serving
+//                             round = one pool dispatch over the plan
+//   nn::StageModule::infer  — logits-only head path (no loss, no dlogits)
+//
+// Request flow: submit() enqueues token sequences on a thread-safe FIFO;
+// the micro-batcher (form_round) coalesces up to max_batch requests per
+// micro-batch slot — padding the dispatched tail batch — and a round
+// executes the plan's num_micro slots across the pipes. Each request is
+// stamped at enqueue and again when its round's logits land, so the engine
+// reports true enqueue→logits latency. serve_pending() drains the queue
+// synchronously; start()/stop() run the steady-state loop on a driver
+// thread, dispatching a round whenever a full round is pending or the
+// oldest request has waited out the batch deadline.
+//
+// Why the bidirectional geometry wins at serving: per-stage forward costs
+// are imbalanced (the LM head ≈ several transformer layers at GPT
+// vocabulary sizes), so a single-direction pipeline is clocked by its head
+// worker while the rest idle. Chimera's pairing runs down-stage w and
+// up-stage D−1−w on the same worker — head-heavy and embedding-light
+// stages land together and every worker carries ≈ the same load, at the
+// same per-worker weights footprint training Chimera already held (2f
+// stage replicas, zero activation stash). DESIGN.md §5.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "comm/world.h"
+#include "core/execution_plan.h"
+#include "core/inference_schedule.h"
+#include "nn/stage.h"
+#include "runtime/options.h"
+#include "runtime/worker_pool.h"
+
+namespace chimera::rt {
+
+/// One request waiting in the queue. `tokens` has exactly model.seq ids.
+struct PendingRequest {
+  std::uint64_t id = 0;
+  std::vector<int> tokens;
+  long enqueue_us = 0;
+};
+
+/// One served request: per-position next-token logits plus the
+/// enqueue→logits latency stamps.
+struct ServeResult {
+  std::uint64_t id = 0;
+  Tensor logits;  ///< [seq, vocab]
+  long enqueue_us = 0;
+  long done_us = 0;
+  long latency_us() const { return done_us - enqueue_us; }
+};
+
+/// The micro-batcher's flush rule (DESIGN.md §5), pure so it is
+/// unit-testable under a fake clock: a full batch is always dispatchable; a
+/// partial batch is dispatched once its oldest request has waited
+/// deadline_us (0 = immediately).
+struct BatchPolicy {
+  int max_batch = 1;
+  long deadline_us = 0;
+
+  bool should_flush(int pending, long oldest_enqueue_us, long now_us) const {
+    if (pending <= 0) return false;
+    if (pending >= max_batch) return true;
+    return now_us - oldest_enqueue_us >= deadline_us;
+  }
+};
+
+/// Batches formed for one serving round: slots[i] holds the requests
+/// coalesced into micro-batch slot i (≤ max_batch each). Slots beyond
+/// slots.size() run as pure padding when the round executes.
+struct Round {
+  std::vector<std::vector<PendingRequest>> slots;
+  int requests() const {
+    int n = 0;
+    for (const auto& s : slots) n += static_cast<int>(s.size());
+    return n;
+  }
+};
+
+/// Deterministic round formation — the micro-batcher. Takes requests off
+/// the front of `queue` in FIFO order into up to `num_slots` slots of
+/// `policy.max_batch`; a trailing partial batch is taken only if
+/// policy.should_flush allows it at `now_us`. Pure given (queue, now): the
+/// fake-clock unit of tests/serving_test.cc.
+Round form_round(std::deque<PendingRequest>& queue, const BatchPolicy& policy,
+                 int num_slots, long now_us);
+
+/// Cumulative accounting of one engine.
+struct ServingStats {
+  /// Latency reservoir bound: long-running loops keep the most recent
+  /// samples (overwritten ring-style) instead of growing without limit.
+  static constexpr std::size_t kMaxLatencySamples = 1 << 16;
+  /// Background-loop back-pressure: results not drained by
+  /// take_completed() are retained up to this many; beyond it the oldest
+  /// are dropped (counted in dropped_results) — a stalled consumer must
+  /// not OOM the engine (each result holds a seq×vocab logits tensor).
+  static constexpr std::size_t kMaxCompletedResults = 4096;
+
+  long requests = 0;         ///< completed requests
+  long rounds = 0;           ///< pool dispatches
+  long padded_rows = 0;      ///< padding request-rows computed and discarded
+  long dropped_results = 0;  ///< results evicted before take_completed()
+  /// Enqueue→logits samples, at most kMaxLatencySamples most-recent.
+  std::vector<long> latencies_us;
+
+  /// Nearest-rank percentile of the recorded latencies (p in [0, 100]).
+  long percentile_us(double p) const;
+};
+
+class ServingEngine {
+ public:
+  /// Builds the forward-only schedule of `scheme` (`sched_cfg.num_micro`
+  /// micro-batch slots per round, `pipes_f` Chimera pairs), plans the layer
+  /// partition, and hosts the stage modules on persistent rank threads.
+  /// Weights are the model's seeded initialization — identical across
+  /// replicas of a stage, exactly as a deployment would broadcast them.
+  ServingEngine(const nn::SmallModelConfig& model, Scheme scheme,
+                const ScheduleConfig& sched_cfg, const ServeOptions& opts);
+  ~ServingEngine();
+
+  const PipelineSchedule& schedule() const { return schedule_; }
+  const ExecutionPlan& plan() const { return *plan_; }
+  const Partition& partition() const { return *partition_; }
+
+  /// Thread-safe: enqueues one request. `tokens.size()` must equal
+  /// model.seq (the batcher pads the *batch* dimension, not the sequence)
+  /// and every token must be inside the model's vocabulary. Throws when
+  /// the queue holds kMaxQueuedRequests (admission control — back off and
+  /// retry) or when the background loop has died of an error (the stored
+  /// exception is rethrown). Returns the request id results are keyed by.
+  std::uint64_t submit(std::vector<int> tokens);
+
+  /// Intake bound enforced by submit(); pairs with
+  /// ServingStats::kMaxCompletedResults on the output side.
+  static constexpr std::size_t kMaxQueuedRequests = 1 << 16;
+
+  /// Synchronously serves everything queued at call time (and whatever
+  /// arrives while rounds run): forms rounds ignoring the batch deadline —
+  /// a drain never holds a request back — and executes them on the worker
+  /// pool until the queue is empty. Returns the results this call
+  /// completed. Must not be called while the background loop is running.
+  std::vector<ServeResult> serve_pending();
+
+  /// Steady-state serving loop on a driver thread: a round is dispatched
+  /// as soon as a full batch (max_batch requests) is pending or the oldest
+  /// request has waited out opts.batch_deadline_us. Results accumulate for
+  /// take_completed().
+  void start();
+  /// Drains the queue, then stops and joins the driver thread. If a round
+  /// failed inside the loop (a rank threw), the first exception is
+  /// rethrown here — the serving counterpart of WorkerPool::run's
+  /// rethrow-on-caller contract.
+  void stop();
+
+  /// Removes and returns all results completed by the background loop.
+  /// The engine retains at most ServingStats::kMaxCompletedResults
+  /// undrained results (oldest dropped first, counted in
+  /// stats().dropped_results) — poll faster than that under sustained
+  /// load.
+  std::vector<ServeResult> take_completed();
+
+  ServingStats stats() const;
+
+ private:
+  struct StageUnit {
+    int pipe;
+    int stage;
+    nn::StageModule module;
+  };
+
+  long now_us() const;
+  StageUnit& find_unit(int worker, int pipe, int stage);
+  std::vector<ServeResult> execute_round(Round round);
+  void run_worker(int worker);
+  void driver_main();
+  void driver_loop();
+
+  nn::SmallModelConfig model_;
+  ServeOptions opts_;
+  PipelineSchedule schedule_;
+  std::unique_ptr<Partition> partition_;
+  std::unique_ptr<ExecutionPlan> plan_;
+  std::unique_ptr<comm::World> world_;
+  std::vector<std::unique_ptr<comm::Communicator>> comms_;  ///< per rank
+  std::vector<std::vector<std::unique_ptr<StageUnit>>> units_;  ///< [worker]
+
+  /// Round state shared with the rank threads during one pool dispatch; the
+  /// dispatch barrier orders every access. Slots ≥ round_active_slots_
+  /// carry no requests and their ops are skipped wholesale.
+  std::vector<nn::MicroBatch> round_inputs_;  ///< [slot], padded to max_batch
+  std::vector<Tensor> round_logits_;          ///< [slot], written by last stages
+  int round_active_slots_ = 0;
+
+  mutable std::mutex mutex_;  ///< guards queue_/completed_/stats_/next_id_
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  std::deque<ServeResult> completed_;  ///< bounded; see kMaxCompletedResults
+  ServingStats stats_;
+  std::uint64_t next_id_ = 1;
+  std::size_t latency_cursor_ = 0;  ///< ring cursor once the reservoir fills
+  bool stopping_ = false;
+  /// Atomic so the serve_pending()/start() mutual-exclusion CHECK is a
+  /// reliable fail-fast even when callers misuse the API across threads.
+  std::atomic<bool> driver_running_{false};
+  std::exception_ptr driver_error_;  ///< set by driver_main, rethrown by stop()
+  std::thread driver_;
+  std::chrono::steady_clock::time_point epoch_;
+  /// Last member: its destructor parks and joins the rank threads while the
+  /// state above is still alive (same contract as PipelineTrainer).
+  std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace chimera::rt
