@@ -64,6 +64,8 @@ struct LegResult {
   double p99_ms = 0.0;
   double predicted_makespan = 0.0;  ///< replay units (per-stage FLOPs)
   long rounds = 0;
+  long padded_rows = 0;      ///< batcher waste: padding rows computed
+  long max_queue_depth = 0;  ///< intake high-water mark
 };
 
 LegResult measure(const nn::SmallModelConfig& model, Scheme scheme, int f,
@@ -88,6 +90,7 @@ LegResult measure(const nn::SmallModelConfig& model, Scheme scheme, int f,
   for (int r = 0; r < bc.slots * bc.batch; ++r)
     engine.submit(make_tokens(model, rng));
   (void)engine.serve_pending();
+  const rt::ServingStats warm = engine.stats();
 
   const auto t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < bc.requests; ++r) engine.submit(make_tokens(model, rng));
@@ -99,12 +102,16 @@ LegResult measure(const nn::SmallModelConfig& model, Scheme scheme, int f,
   rt::ServingStats timed;
   for (const rt::ServeResult& r : results)
     timed.latencies_us.push_back(r.latency_us());
-  const long rounds = engine.stats().rounds - 1;  // minus warm-up
+  const rt::ServingStats stats = engine.stats();
+  const long rounds = stats.rounds - warm.rounds;
   out.req_per_s = results.size() / secs;
   out.round_s = secs / std::max<long>(1, rounds);
   out.p50_ms = timed.percentile_us(50.0) / 1000.0;
   out.p99_ms = timed.percentile_us(99.0) / 1000.0;
   out.rounds = rounds;
+  // Timed-phase delta: warm-up padding would overstate batcher waste.
+  out.padded_rows = stats.padded_rows - warm.padded_rows;
+  out.max_queue_depth = stats.max_queue_depth;  // lifetime high-water
   return out;
 }
 
@@ -189,7 +196,9 @@ int main(int argc, char** argv) {
               {"p99_ms", r.p99_ms},
               {"predicted_speedup_vs_gpipe", pred_speedup},
               {"wall_speedup_vs_gpipe", wall_speedup},
-              {"rounds", static_cast<double>(r.rounds)}});
+              {"rounds", static_cast<double>(r.rounds)},
+              {"padded_rows", static_cast<double>(r.padded_rows)},
+              {"max_queue_depth", static_cast<double>(r.max_queue_depth)}});
   }
   table.print();
 

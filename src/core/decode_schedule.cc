@@ -1,0 +1,19 @@
+#include "core/decode_schedule.h"
+
+#include "core/inference_schedule.h"
+
+namespace chimera {
+
+PipelineSchedule build_decode_schedule(Scheme scheme,
+                                       const ScheduleConfig& cfg) {
+  // A decode step has exactly the forward-only geometry of a serving round
+  // (per-pipe FIFO wavefront order, round-robin slot→pipe assignment, the
+  // same scheme lowerings and rejections); what changes is the semantics —
+  // each micro slot is a persistent decode stream, marked by the `decode`
+  // flag so the ExecutionPlan lowering emits cache-slot events.
+  PipelineSchedule s = build_inference_schedule(scheme, cfg);
+  s.decode = true;
+  return s;
+}
+
+}  // namespace chimera

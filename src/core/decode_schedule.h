@@ -1,0 +1,37 @@
+// Steady-state autoregressive-decode schedules: the per-step counterpart of
+// build_inference_schedule().
+//
+// A decode step is a forward pass of seq-1 micro-batches — one current token
+// per decoding session — so per-step compute is tiny and pipeline
+// utilization is everything (the regime the ROADMAP's "heavy traffic" north
+// star lives in). Chimera keeps f down + f up *independent decode streams*
+// over the training stage→worker geometry: while one direction's step
+// drains through the pipeline, the other direction's stages on the same
+// workers stay busy, exactly the §3 pairing transposed to generation.
+// GPipe/DAPPLE/1F1B collapse onto the single-direction forward pipeline and
+// pay the drain between steps.
+//
+// The schedule lowers through the ordinary ExecutionPlan; because it is a
+// decode schedule, the lowering emits cache-slot acquire/release events on
+// each stream's head and tail stages (core/execution_plan.h) — the decode
+// analogue of the training stash events: rt::DecodeEngine admits new
+// sessions into free KV-cache slots where a stream acquires and samples /
+// retires where it releases. DESIGN.md §6.
+#pragma once
+
+#include "core/schedule.h"
+
+namespace chimera {
+
+/// Builds the steady-state decode-step schedule of `scheme`:
+///  - kChimera: `cfg.pipes_f` down/up pairs, micro slots (decode streams)
+///    assigned to pipes round-robin;
+///  - kGPipe / kDapple / kOneF1B: the single-direction forward pipeline.
+/// `cfg.num_micro` is the number of decode streams per step; each stream
+/// batches up to DecodeOptions::max_batch concurrent sessions. GEMS and the
+/// PipeDream variants are rejected exactly as in build_inference_schedule.
+/// The result has decode = forward_only = true and passes validate().
+PipelineSchedule build_decode_schedule(Scheme scheme,
+                                       const ScheduleConfig& cfg);
+
+}  // namespace chimera

@@ -50,6 +50,11 @@ ExecutionPlan::ExecutionPlan(const PipelineSchedule& s)
               // One stash per micro-batch — except in forward-only serving
               // plans, where no backward will ever consume (or release) it.
               u.acquires_stash = !s.forward_only && h == 0;
+              // Decode streams instead carry KV-cache state: the step's
+              // slot-binding window opens at the stream's head stage
+              // (admission) and closes at its tail (sampling/retirement).
+              u.acquires_cache_slot = s.decode && op.stage == 0;
+              u.releases_cache_slot = s.decode && op.stage == D - 1;
               p.units.push_back(u);
             }
           }
@@ -176,6 +181,38 @@ ReplayResult replay(const ExecutionPlan& plan, const ReplayCosts& costs) {
   }
   for (int w = 0; w < D; ++w) r.bubble[w] = r.compute_makespan - r.busy[w];
   return r;
+}
+
+std::vector<int> max_live_cache_bindings(const ExecutionPlan& plan) {
+  const PipelineSchedule& s = plan.schedule();
+  std::vector<int> bindings(s.depth, 0);
+  if (!s.decode) return bindings;
+  // Event sanity: every decode stream opens its slot-binding window exactly
+  // once, at its head stage, and closes it exactly once, at its tail.
+  for (int m = 0; m < s.num_micro; ++m) {
+    const int p = s.pipe_of_micro[m];
+    for (int st = 0; st < s.depth; ++st) {
+      const PlannedOp& pop = plan.planned(plan.index().forward(p, st, m));
+      CHIMERA_CHECK(pop.units.size() == 1);
+      const MicroUnit& u = pop.units.front();
+      CHIMERA_CHECK_MSG(
+          u.acquires_cache_slot == (st == 0) &&
+              u.releases_cache_slot == (st == s.depth - 1),
+          "decode stream " << m << " has malformed cache-slot events at stage "
+                           << st);
+    }
+  }
+  // Capacity: every stage replica a worker hosts carries the KV state of
+  // all of its pipe's streams — multiply by the engine's per-stream session
+  // batch for the worker's cache-slot count.
+  std::vector<int> streams_on_pipe(s.num_pipes, 0);
+  for (int m = 0; m < s.num_micro; ++m) ++streams_on_pipe[s.pipe_of_micro[m]];
+  for (int w = 0; w < s.depth; ++w)
+    for (auto [pipe, stage] : s.hosted_stages(w)) {
+      (void)stage;
+      bindings[w] += streams_on_pipe[pipe];
+    }
+  return bindings;
 }
 
 std::vector<int> max_inflight_micros(const ExecutionPlan& plan) {

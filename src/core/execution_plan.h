@@ -40,6 +40,14 @@ struct MicroUnit {
   std::int64_t send_tag = 0;
   bool acquires_stash = false;  ///< first forward half: stash grows by one micro
   bool releases_stash = false;  ///< last backward half: stash shrinks by one
+  /// Decode schedules only (PipelineSchedule::decode) — the KV-cache
+  /// analogue of the stash events. The head stage of a decode stream is
+  /// where session→cache-slot bindings become live (rt::DecodeEngine admits
+  /// queued requests into free slots there, and embeds their tokens); the
+  /// tail stage is where they can end (logits land, tokens are sampled,
+  /// finished sessions retire and free their slots for the next step).
+  bool acquires_cache_slot = false;  ///< stage 0 of a decode stream's step
+  bool releases_cache_slot = false;  ///< last stage of a decode stream's step
 };
 
 /// One schedule op with its precomputed dependencies and transfer units.
@@ -92,5 +100,14 @@ ReplayResult replay(const ExecutionPlan& plan, const ReplayCosts& costs);
 /// Per-worker high-water mark of stashed forward activations, in
 /// micro-batches, derived from the plan's stash acquire/release events.
 std::vector<int> max_inflight_micros(const ExecutionPlan& plan);
+
+/// Per-worker count of decode-stream slot bindings the worker's hosted
+/// stage replicas can carry (each replica caches the KV state of every
+/// stream of its pipe) — the decode analogue of max_inflight_micros, and
+/// what rt::DecodeEngine multiplies by its session batch to size each
+/// worker's KV arenas. Verifies the plan's cache-slot events on the way
+/// (every stream acquires exactly once at its head stage and releases
+/// exactly once at its tail; throws otherwise). Zero for non-decode plans.
+std::vector<int> max_live_cache_bindings(const ExecutionPlan& plan);
 
 }  // namespace chimera

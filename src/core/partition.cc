@@ -56,6 +56,18 @@ Partition::Partition(const ModelSpec& model, std::vector<StageRange> ranges)
   }
 }
 
+double Partition::stage_decode_flops(int stage, int B, int ctx) const {
+  const double h = model_.hidden;
+  const double per_layer = 24.0 * h * h + 4.0 * static_cast<double>(ctx) * h;
+  double f = ranges_.at(stage).size() * per_layer;
+  if (stage == 0) f += 2.0 * h;  // embedding lookup + position add
+  if (stage == depth() - 1) {
+    f += 2.0 * h * model_.vocab;              // LM-head GEMM, one position
+    if (model_.bert_heads) f += 2.0 * h * h;  // MLM transform
+  }
+  return f * B;
+}
+
 double Partition::max_stage_fwd_flops(int B) const {
   double m = 0.0;
   for (double f : fwd_flops_unit_) m = std::max(m, f * B);

@@ -79,6 +79,17 @@ class Partition {
   double max_stage_fwd_flops(int B) const;
   std::int64_t max_stage_params() const;
 
+  /// Forward FLOPs of one autoregressive *decode step* on `stage`: B
+  /// sessions, one current token each, attending over `ctx` cached
+  /// positions (the seq→1 specialization of stage_fwd_flops: per layer
+  /// 24·B·h² for the GEMMs plus 4·B·ctx·h for KV-cache attention; stage 0
+  /// adds the embedding lookup, the last stage the 2·B·h·V head GEMM —
+  /// which no longer amortizes over s positions, so at GPT vocabulary
+  /// proportions the head dominates the decode clock even harder than the
+  /// prefill clock). Feeds the decode plan's dependency-exact replay
+  /// (bench/decode_throughput.cc).
+  double stage_decode_flops(int stage, int B, int ctx) const;
+
   const ModelSpec& model() const { return model_; }
 
   /// "0-15 | 16-31 | ..." — layer ranges for logs and figure legends.

@@ -103,6 +103,14 @@ struct PipelineSchedule {
   /// build_inference_schedule (core/inference_schedule.h); validate()
   /// checks the forward-only invariants instead of the training ones.
   bool forward_only = false;
+  /// Autoregressive decode: this is the steady-state *step* schedule of
+  /// rt::DecodeEngine — each micro slot is one seq-1 decode stream whose
+  /// sessions carry KV-cache state across steps. Implies forward_only; the
+  /// ExecutionPlan lowering additionally emits cache-slot acquire/release
+  /// events (the decode analogue of stash events: admission binds sessions
+  /// at the pipe head, retirement frees slots at the tail). Built by
+  /// build_decode_schedule (core/decode_schedule.h).
+  bool decode = false;
 
   /// worker_ops[w] is the ordered op list of worker w (size == depth).
   std::vector<std::vector<Op>> worker_ops;

@@ -226,6 +226,18 @@ void validate(const PipelineSchedule& s) {
         CHIMERA_CHECK_MSG(op.kind == OpKind::kForward,
                           "forward-only schedule contains a non-forward op");
 
+  // Decode-step schedules are forward-only with unfused seq-1 streams (one
+  // current token per session; chunking belongs to training's §3.5 scale
+  // methods). Their cache-slot events are verified by
+  // max_live_cache_bindings below.
+  if (s.decode) {
+    CHIMERA_CHECK_MSG(s.forward_only, "decode schedules are forward-only");
+    for (const auto& ops : s.worker_ops)
+      for (const Op& op : ops)
+        CHIMERA_CHECK_MSG(op.chunk == 1 && op.half_count == 1,
+                          "decode streams cannot be chunked or halved");
+  }
+
   // Building the plan verifies uniqueness of (pipe, stage, micro[, half])
   // and resolves every dependency (missing producers throw here).
   ExecutionPlan plan(s);
@@ -268,6 +280,7 @@ void validate(const PipelineSchedule& s) {
   }
   replay(plan, ReplayCosts{});       // throws on deadlock
   max_inflight_micros(plan);         // throws on stash leaks
+  max_live_cache_bindings(plan);     // throws on malformed cache-slot events
 }
 
 }  // namespace chimera

@@ -1,0 +1,36 @@
+#include "nn/kv_cache.h"
+
+namespace chimera::nn {
+
+KvCache::KvCache(int layers, int slots, int max_seq, int hidden)
+    : layers_(layers),
+      slots_(slots),
+      max_seq_(max_seq),
+      hidden_(hidden),
+      free_(slots),
+      live_(static_cast<std::size_t>(slots), 0) {
+  CHIMERA_CHECK_MSG(layers >= 0 && slots >= 1 && max_seq >= 1 && hidden >= 1,
+                    "KvCache(" << layers << ", " << slots << ", " << max_seq
+                               << ", " << hidden << ")");
+  const std::size_t n = static_cast<std::size_t>(layers) * slots * max_seq *
+                        static_cast<std::size_t>(hidden);
+  k_.assign(n, 0.0f);
+  v_.assign(n, 0.0f);
+}
+
+void KvCache::claim(int slot) {
+  CHIMERA_CHECK(slot >= 0 && slot < slots_);
+  CHIMERA_CHECK_MSG(!live_[slot], "cache slot " << slot << " already live");
+  live_[slot] = 1;
+  --free_;
+  ++total_claims_;
+}
+
+void KvCache::release(int slot) {
+  CHIMERA_CHECK(slot >= 0 && slot < slots_);
+  CHIMERA_CHECK_MSG(live_[slot], "releasing free cache slot " << slot);
+  live_[slot] = 0;
+  ++free_;
+}
+
+}  // namespace chimera::nn

@@ -1,0 +1,90 @@
+// Per-session, per-layer key/value cache for autoregressive decoding — the
+// first cross-round state the runtime manages (DESIGN.md §6).
+//
+// During decode, attention at position t needs the K/V projections of every
+// earlier position of the *same sequence*; recomputing them would turn each
+// decode step into a full prefix forward. The cache stores them instead: one
+// slot per concurrently-decoding session, one [max_seq, hidden] K and V
+// matrix per transformer layer of the owning stage.
+//
+// The cache is a slot arena: all storage is allocated once at construction
+// (num_slots · num_layers · 2 · max_seq · hidden floats), so decode memory
+// is bounded by the engine's max-session capacity and never grows at
+// runtime. claim()/release() manage a free list — the serving analogue of
+// the training stash acquire/release events (core/execution_plan.h) — and a
+// released slot's storage is immediately reusable by the next admission;
+// nothing is zeroed on release because prefill overwrites every row it will
+// read. Positions (how many rows of a slot are live) are owned by the
+// engine's session table: every stage replica of a pipe sees the same
+// admission/retirement sequence, so per-slot lengths are global session
+// state, not per-cache state.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/check.h"
+
+namespace chimera::nn {
+
+class KvCache {
+ public:
+  /// `layers` transformer layers (the owning stage's count), `slots`
+  /// concurrent sessions, rows `max_seq` of width `hidden` per slot/layer.
+  KvCache(int layers, int slots, int max_seq, int hidden);
+
+  int layers() const { return layers_; }
+  int slots() const { return slots_; }
+  int max_seq() const { return max_seq_; }
+  int hidden() const { return hidden_; }
+
+  // ---- slot arena --------------------------------------------------------
+
+  /// Marks `slot` in use. The caller names the slot (the engine's
+  /// session→slot mapping is deterministic and shared by every stage replica
+  /// of a pipe); claiming a slot that is already live throws.
+  void claim(int slot);
+  /// Returns `slot` to the free list. Releasing a free slot throws.
+  void release(int slot);
+  bool is_free(int slot) const { return !live_.at(slot); }
+  int free_slots() const { return free_; }
+  /// Lifetime claim count (monotonic) — lets tests assert slot *reuse*: more
+  /// claims than slots proves retirement recycled capacity.
+  long total_claims() const { return total_claims_; }
+
+  // ---- row storage -------------------------------------------------------
+
+  /// K row of (layer, slot) at position `pos`: `hidden` floats.
+  float* k_row(int layer, int slot, int pos) {
+    return k_.data() + offset(layer, slot, pos);
+  }
+  const float* k_row(int layer, int slot, int pos) const {
+    return k_.data() + offset(layer, slot, pos);
+  }
+  float* v_row(int layer, int slot, int pos) {
+    return v_.data() + offset(layer, slot, pos);
+  }
+  const float* v_row(int layer, int slot, int pos) const {
+    return v_.data() + offset(layer, slot, pos);
+  }
+
+  /// Total bytes of K/V storage held (reported through engine stats).
+  std::size_t bytes() const { return (k_.size() + v_.size()) * sizeof(float); }
+
+ private:
+  std::size_t offset(int layer, int slot, int pos) const {
+    CHIMERA_CHECK(layer >= 0 && layer < layers_ && slot >= 0 &&
+                  slot < slots_ && pos >= 0 && pos < max_seq_);
+    return ((static_cast<std::size_t>(layer) * slots_ + slot) * max_seq_ +
+            pos) *
+           hidden_;
+  }
+
+  int layers_, slots_, max_seq_, hidden_;
+  int free_ = 0;
+  long total_claims_ = 0;
+  std::vector<char> live_;
+  std::vector<float> k_, v_;  ///< [layer][slot][max_seq][hidden]
+};
+
+}  // namespace chimera::nn

@@ -107,11 +107,13 @@ void scatter_head_add(Tensor& dqkv, int b, int which, int h, int seq, int dk,
 
 }  // namespace
 
-Tensor MultiHeadAttention::forward(const Tensor& x, Ctx& ctx) const {
+Tensor MultiHeadAttention::forward(const Tensor& x, Ctx& ctx, int seq) const {
+  const int S = seq > 0 ? seq : seq_;
   const int rows = x.rows();
-  CHIMERA_CHECK_MSG(rows % seq_ == 0, "rows must be a multiple of seq");
-  const int batch = rows / seq_;
+  CHIMERA_CHECK_MSG(rows % S == 0, "rows must be a multiple of seq");
+  const int batch = rows / S;
   ctx.batch = batch;
+  ctx.seq = S;
   qkv_.forward_into(x, ctx.qkv_ctx, ctx.qkv);
   // Keep the per-head prob tensors alive across micro-batches/iterations:
   // re-assignment below reuses their storage (zero-realloc hot path).
@@ -121,64 +123,119 @@ Tensor MultiHeadAttention::forward(const Tensor& x, Ctx& ctx) const {
   Tensor merged;
   merged.reshape(rows, hidden_);  // fully written by the head-merge loops
   const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
-  Tensor q(seq_, dk_), k(seq_, dk_), v(seq_, dk_);
-  Tensor scores(seq_, seq_), probs(seq_, seq_), context(seq_, dk_);
+  Tensor q(S, dk_), k(S, dk_), v(S, dk_);
+  Tensor scores(S, S), probs(S, S), context(S, dk_);
   for (int b = 0; b < batch; ++b) {
     for (int h = 0; h < heads_; ++h) {
-      gather_head(ctx.qkv, b, 0, h, seq_, dk_, hidden_, q);
-      gather_head(ctx.qkv, b, 1, h, seq_, dk_, hidden_, k);
-      gather_head(ctx.qkv, b, 2, h, seq_, dk_, hidden_, v);
+      gather_head(ctx.qkv, b, 0, h, S, dk_, hidden_, q);
+      gather_head(ctx.qkv, b, 1, h, S, dk_, hidden_, k);
+      gather_head(ctx.qkv, b, 2, h, S, dk_, hidden_, v);
       gemm_nt(q, k, scores);  // [s, s]
       scores.scale(scale);
       if (causal_) {
-        for (int i = 0; i < seq_; ++i)
-          for (int j = i + 1; j < seq_; ++j) scores.at(i, j) = -1e9f;
+        for (int i = 0; i < S; ++i)
+          for (int j = i + 1; j < S; ++j) scores.at(i, j) = -1e9f;
       }
       softmax_rows(scores, probs);
       ctx.probs[static_cast<std::size_t>(b) * heads_ + h] = probs;
       gemm(probs, v, context);
-      for (int t = 0; t < seq_; ++t)
+      for (int t = 0; t < S; ++t)
         for (int i = 0; i < dk_; ++i)
-          merged.at(b * seq_ + t, h * dk_ + i) = context.at(t, i);
+          merged.at(b * S + t, h * dk_ + i) = context.at(t, i);
     }
   }
   return proj_.forward(merged, ctx.proj_ctx);
 }
 
+Tensor MultiHeadAttention::decode_step(const Tensor& x,
+                                       const std::vector<int>& slots,
+                                       const std::vector<int>& positions,
+                                       KvCache& cache, int layer,
+                                       DecodeWs& ws) const {
+  const int rows = x.rows();
+  CHIMERA_CHECK(static_cast<int>(slots.size()) == rows &&
+                static_cast<int>(positions.size()) == rows &&
+                x.cols() == hidden_);
+  CHIMERA_CHECK_MSG(causal_, "decode requires a causal model");
+  qkv_.forward_into(x, ws.qkv_ctx, ws.qkv);  // [R, 3h]; per-row ≡ forward()
+
+  // Append every row's K/V before attending: position p attends to itself.
+  for (int r = 0; r < rows; ++r) {
+    const float* qkv_row = ws.qkv.data() + static_cast<std::size_t>(r) * 3 * hidden_;
+    std::copy(qkv_row + hidden_, qkv_row + 2 * hidden_,
+              cache.k_row(layer, slots[r], positions[r]));
+    std::copy(qkv_row + 2 * hidden_, qkv_row + 3 * hidden_,
+              cache.v_row(layer, slots[r], positions[r]));
+  }
+
+  ws.merged.reshape(rows, hidden_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
+  for (int r = 0; r < rows; ++r) {
+    const int ctx_len = positions[r] + 1;
+    const float* qkv_row = ws.qkv.data() + static_cast<std::size_t>(r) * 3 * hidden_;
+    for (int h = 0; h < heads_; ++h) {
+      ws.q.reshape(1, dk_);
+      std::copy(qkv_row + h * dk_, qkv_row + (h + 1) * dk_, ws.q.data());
+      ws.k.reshape(ctx_len, dk_);
+      ws.v.reshape(ctx_len, dk_);
+      for (int j = 0; j < ctx_len; ++j) {
+        const float* kr = cache.k_row(layer, slots[r], j) + h * dk_;
+        const float* vr = cache.v_row(layer, slots[r], j) + h * dk_;
+        std::copy(kr, kr + dk_, ws.k.data() + static_cast<std::size_t>(j) * dk_);
+        std::copy(vr, vr + dk_, ws.v.data() + static_cast<std::size_t>(j) * dk_);
+      }
+      // Same kernel sequence as forward(): gemm_nt → scale → softmax → gemm.
+      // The masked tail forward() carries beyond ctx_len contributes exact
+      // zeros to its sums, so the shorter row here is bitwise identical.
+      ws.scores.reshape(1, ctx_len);
+      gemm_nt(ws.q, ws.k, ws.scores);
+      ws.scores.scale(scale);
+      ws.probs.reshape(1, ctx_len);
+      softmax_rows(ws.scores, ws.probs);
+      ws.ctx.reshape(1, dk_);
+      gemm(ws.probs, ws.v, ws.ctx);
+      std::copy(ws.ctx.data(), ws.ctx.data() + dk_,
+                ws.merged.data() + static_cast<std::size_t>(r) * hidden_ + h * dk_);
+    }
+  }
+  return proj_.forward(ws.merged, ws.proj_ctx);
+}
+
 Tensor MultiHeadAttention::backward(const Tensor& dy, const Ctx& ctx) {
   const int batch = ctx.batch;
+  const int S = ctx.seq > 0 ? ctx.seq : seq_;
   Tensor dmerged = proj_.backward(dy, ctx.proj_ctx);
 
   Tensor dqkv(ctx.qkv.rows(), ctx.qkv.cols());
   dqkv.zero();
   const float scale = 1.0f / std::sqrt(static_cast<float>(dk_));
-  Tensor q(seq_, dk_), k(seq_, dk_), v(seq_, dk_);
-  Tensor dctx(seq_, dk_), dprobs(seq_, seq_), dscores(seq_, seq_);
-  Tensor dq(seq_, dk_), dk_grad(seq_, dk_), dv(seq_, dk_);
+  Tensor q(S, dk_), k(S, dk_), v(S, dk_);
+  Tensor dctx(S, dk_), dprobs(S, S), dscores(S, S);
+  Tensor dq(S, dk_), dk_grad(S, dk_), dv(S, dk_);
   for (int b = 0; b < batch; ++b) {
     for (int h = 0; h < heads_; ++h) {
-      gather_head(ctx.qkv, b, 0, h, seq_, dk_, hidden_, q);
-      gather_head(ctx.qkv, b, 1, h, seq_, dk_, hidden_, k);
-      gather_head(ctx.qkv, b, 2, h, seq_, dk_, hidden_, v);
+      gather_head(ctx.qkv, b, 0, h, S, dk_, hidden_, q);
+      gather_head(ctx.qkv, b, 1, h, S, dk_, hidden_, k);
+      gather_head(ctx.qkv, b, 2, h, S, dk_, hidden_, v);
       const Tensor& probs = ctx.probs[static_cast<std::size_t>(b) * heads_ + h];
-      for (int t = 0; t < seq_; ++t)
+      for (int t = 0; t < S; ++t)
         for (int i = 0; i < dk_; ++i)
-          dctx.at(t, i) = dmerged.at(b * seq_ + t, h * dk_ + i);
+          dctx.at(t, i) = dmerged.at(b * S + t, h * dk_ + i);
       gemm_nt(dctx, v, dprobs);   // dP = dC·Vᵀ
       gemm_tn(probs, dctx, dv);   // dV = Pᵀ·dC
       // Softmax backward: ds = P ⊙ (dP − rowsum(dP ⊙ P)).
-      for (int i = 0; i < seq_; ++i) {
+      for (int i = 0; i < S; ++i) {
         float dot = 0.0f;
-        for (int j = 0; j < seq_; ++j) dot += dprobs.at(i, j) * probs.at(i, j);
-        for (int j = 0; j < seq_; ++j)
+        for (int j = 0; j < S; ++j) dot += dprobs.at(i, j) * probs.at(i, j);
+        for (int j = 0; j < S; ++j)
           dscores.at(i, j) = probs.at(i, j) * (dprobs.at(i, j) - dot);
       }
       dscores.scale(scale);
       gemm(dscores, k, dq);        // dQ = dS·K
       gemm_tn(dscores, q, dk_grad);  // dK = dSᵀ·Q
-      scatter_head_add(dqkv, b, 0, h, seq_, dk_, hidden_, dq);
-      scatter_head_add(dqkv, b, 1, h, seq_, dk_, hidden_, dk_grad);
-      scatter_head_add(dqkv, b, 2, h, seq_, dk_, hidden_, dv);
+      scatter_head_add(dqkv, b, 0, h, S, dk_, hidden_, dq);
+      scatter_head_add(dqkv, b, 1, h, S, dk_, hidden_, dk_grad);
+      scatter_head_add(dqkv, b, 2, h, S, dk_, hidden_, dv);
     }
   }
   return qkv_.backward(dqkv, ctx.qkv_ctx);
@@ -194,14 +251,32 @@ TransformerBlock::TransformerBlock(std::string name, int hidden, int heads,
       fc_(name + ".fc", hidden, 4 * hidden, rng, 0.02f),
       proj_(name + ".mlp_proj", 4 * hidden, hidden, rng, 0.02f) {}
 
-Tensor TransformerBlock::forward(const Tensor& x, Ctx& ctx) const {
-  Tensor a = attn_.forward(ln1_.forward(x, ctx.ln1), ctx.attn);
+Tensor TransformerBlock::forward(const Tensor& x, Ctx& ctx, int seq) const {
+  Tensor a = attn_.forward(ln1_.forward(x, ctx.ln1), ctx.attn, seq);
   a.add(x);  // residual 1
   Tensor h = fc_.forward(ln2_.forward(a, ctx.ln2), ctx.fc_ctx);
   ctx.gelu_in = h;
   Tensor g(h.rows(), h.cols());
   gelu_forward(h, g);
   Tensor y = proj_.forward(g, ctx.proj_ctx);
+  y.add(a);  // residual 2
+  return y;
+}
+
+Tensor TransformerBlock::decode_step(const Tensor& x,
+                                     const std::vector<int>& slots,
+                                     const std::vector<int>& positions,
+                                     KvCache& cache, int layer,
+                                     DecodeWs& ws) const {
+  // Same sublayer/residual sequence as forward(); every non-attention piece
+  // is row-wise, so [R, h] decode rows get the full-forward arithmetic.
+  Tensor a = attn_.decode_step(ln1_.forward(x, ws.ln1), slots, positions,
+                               cache, layer, ws.attn);
+  a.add(x);  // residual 1
+  Tensor h = fc_.forward(ln2_.forward(a, ws.ln2), ws.fc_ctx);
+  Tensor g(h.rows(), h.cols());
+  gelu_forward(h, g);
+  Tensor y = proj_.forward(g, ws.proj_ctx);
   y.add(a);  // residual 2
   return y;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/kv_cache.h"
 #include "tensor/kernels.h"
 #include "tensor/tensor.h"
 
@@ -94,10 +95,41 @@ class MultiHeadAttention {
     Tensor qkv;                 ///< [B·s, 3h]
     std::vector<Tensor> probs;  ///< per (batch, head) softmax matrices [s, s]
     int batch = 0;
+    int seq = 0;  ///< sequence length of this activation (≤ construction seq)
   };
 
-  Tensor forward(const Tensor& x, Ctx& ctx) const;
+  /// Scratch of the incremental decode path: per-head K/V gathers and the
+  /// per-row score/prob/context rows, all re-shaped in place so steady-state
+  /// decoding allocates nothing.
+  struct DecodeWs {
+    Linear::Ctx qkv_ctx, proj_ctx;
+    Tensor qkv;     ///< [R, 3h]
+    Tensor q;       ///< [1, dk]
+    Tensor k, v;    ///< [ctx_len, dk] per-head gathers from the cache
+    Tensor scores;  ///< [1, ctx_len]
+    Tensor probs;   ///< [1, ctx_len]
+    Tensor ctx;     ///< [1, dk]
+    Tensor merged;  ///< [R, h]
+  };
+
+  /// `seq` overrides the construction-time sequence length for this call
+  /// (variable-length prefill; −1 = the construction length). Rows must be a
+  /// multiple of the effective length.
+  Tensor forward(const Tensor& x, Ctx& ctx, int seq = -1) const;
   Tensor backward(const Tensor& dy, const Ctx& ctx);
+
+  /// One incremental decode step: `x` is [R, h], one row per decoding
+  /// session. Row r belongs to cache slot `slots[r]` whose prefix holds
+  /// `positions[r]` cached tokens; the row's K/V projections are appended at
+  /// that position in `cache` layer `layer`, then the row attends over
+  /// positions 0..positions[r]. Bitwise contract (DESIGN.md §6): the result
+  /// row equals row positions[r] of forward() over the full prefix — same
+  /// kernels, same accumulation orders; the causal mask's −1e9 entries
+  /// underflow to exact zero probability in forward(), so the shorter decode
+  /// softmax/context sums see identical partial-sum sequences.
+  Tensor decode_step(const Tensor& x, const std::vector<int>& slots,
+                     const std::vector<int>& positions, KvCache& cache,
+                     int layer, DecodeWs& ws) const;
 
   void collect(std::vector<Param*>& out) {
     qkv_.collect(out);
@@ -128,8 +160,25 @@ class TransformerBlock {
     Tensor gelu_in;
   };
 
-  Tensor forward(const Tensor& x, Ctx& ctx) const;
+  /// Decode scratch: the attention workspace plus throwaway contexts for the
+  /// row-wise sublayers (their saved inputs are never consumed — decode has
+  /// no backward — but reusing the Ctx structs recycles their storage).
+  struct DecodeWs {
+    LayerNorm::Ctx ln1, ln2;
+    MultiHeadAttention::DecodeWs attn;
+    Linear::Ctx fc_ctx, proj_ctx;
+  };
+
+  /// `seq` as in MultiHeadAttention::forward (−1 = construction length).
+  Tensor forward(const Tensor& x, Ctx& ctx, int seq = -1) const;
   Tensor backward(const Tensor& dy, const Ctx& ctx);
+
+  /// One incremental decode step over [R, h] (see
+  /// MultiHeadAttention::decode_step); LayerNorm / MLP / residuals are
+  /// row-wise and run exactly the forward() kernels.
+  Tensor decode_step(const Tensor& x, const std::vector<int>& slots,
+                     const std::vector<int>& positions, KvCache& cache,
+                     int layer, DecodeWs& ws) const;
 
   void collect(std::vector<Param*>& out);
   void collect(std::vector<const Param*>& out) const;

@@ -85,11 +85,16 @@ Tensor StageModule::run_forward(const MicroBatch& mb, const Tensor& input,
   }
   st.blocks.resize(blocks_.size());
   for (std::size_t l = 0; l < blocks_.size(); ++l)
-    x = blocks_[l]->forward(x, st.blocks[l]);
+    x = blocks_[l]->forward(x, st.blocks[l], mb.seq);
   // The last stage consumes x locally in backward (head + loss); stash it —
   // unless this is the forward-only infer path, which applies the head now.
   if (is_last() && capture_head_input) st.head_input = x;
   return x;
+}
+
+Tensor StageModule::apply_head(const Tensor& x) {
+  final_ln_->forward_into(x, head_ws_.ln, head_ws_.normed);
+  return head_->forward(head_ws_.normed, head_ws_.head);
 }
 
 StageModule::Stash StageModule::acquire_stash() {
@@ -118,18 +123,66 @@ Tensor StageModule::forward(const MicroBatch& mb, const Tensor& input, long key)
 Tensor StageModule::infer(const MicroBatch& mb, const Tensor& input) {
   Stash scratch = acquire_stash();
   Tensor x = run_forward(mb, input, scratch, /*capture_head_input=*/false);
-  Tensor out;
-  if (is_last()) {
-    // Logits-only head: the final LayerNorm + LM head run into the
-    // persistent head workspace, but unlike the training path there is no
-    // cross-entropy and no dlogits — the logits themselves are the result.
-    final_ln_->forward_into(x, head_ws_.ln, head_ws_.normed);
-    out = head_->forward(head_ws_.normed, head_ws_.head);
-  } else {
-    out = std::move(x);
-  }
+  // Logits-only head: unlike the training path there is no cross-entropy
+  // and no dlogits — the logits themselves are the result.
+  Tensor out = is_last() ? apply_head(x) : std::move(x);
   stash_pool_.push_back(std::move(scratch));
   return out;
+}
+
+Tensor StageModule::prefill(const MicroBatch& mb, const Tensor& input,
+                            KvCache& cache, int slot) {
+  CHIMERA_CHECK_MSG(mb.batch == 1, "prefill runs one session per pass");
+  CHIMERA_CHECK(mb.seq >= 1 && mb.seq <= cfg_.seq);
+  CHIMERA_CHECK(cache.layers() == static_cast<int>(blocks_.size()) &&
+                mb.seq <= cache.max_seq());
+  Stash scratch = acquire_stash();
+  Tensor x = run_forward(mb, input, scratch, /*capture_head_input=*/false);
+  // Populate the cache from the existing forward: the fused qkv activation
+  // each attention context saved holds every position's K/V projections.
+  const int h = cfg_.hidden;
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    const Tensor& qkv = scratch.blocks[l].attn.qkv;  // [seq, 3h]
+    for (int t = 0; t < mb.seq; ++t) {
+      const float* row = qkv.data() + static_cast<std::size_t>(t) * 3 * h;
+      std::copy(row + h, row + 2 * h,
+                cache.k_row(static_cast<int>(l), slot, t));
+      std::copy(row + 2 * h, row + 3 * h,
+                cache.v_row(static_cast<int>(l), slot, t));
+    }
+  }
+  Tensor out = is_last() ? apply_head(x) : std::move(x);
+  stash_pool_.push_back(std::move(scratch));
+  return out;
+}
+
+Tensor StageModule::decode_step(const std::vector<int>& tokens,
+                                const std::vector<int>& slots,
+                                const std::vector<int>& positions,
+                                const Tensor& input, KvCache& cache) {
+  const int rows = static_cast<int>(slots.size());
+  CHIMERA_CHECK(rows >= 1 && static_cast<int>(positions.size()) == rows);
+  CHIMERA_CHECK(cache.layers() == static_cast<int>(blocks_.size()));
+  Tensor x;
+  if (is_first()) {
+    CHIMERA_CHECK(static_cast<int>(tokens.size()) == rows);
+    x = Tensor(rows, cfg_.hidden);
+    for (int r = 0; r < rows; ++r) {
+      const int tok = tokens[r];
+      const int pos = positions[r];
+      CHIMERA_CHECK(tok >= 0 && tok < cfg_.vocab);
+      CHIMERA_CHECK(pos >= 0 && pos < cfg_.seq);
+      for (int c = 0; c < cfg_.hidden; ++c)
+        x.at(r, c) = wte_->value.at(tok, c) + wpe_->value.at(pos, c);
+    }
+  } else {
+    x = input;
+  }
+  for (std::size_t l = 0; l < blocks_.size(); ++l)
+    x = blocks_[l]->decode_step(x, slots, positions, cache,
+                                static_cast<int>(l), decode_ws_);
+  if (is_last()) return apply_head(x);
+  return x;
 }
 
 Tensor StageModule::backward(const MicroBatch& mb, const Tensor& grad_out,

@@ -79,8 +79,32 @@ class StageModule {
   /// head path stays inside backward()). Activations are bitwise identical
   /// to forward()'s: same kernels, same shapes, same accumulation order;
   /// scratch contexts recycle through the stage's stash pool, so steady-
-  /// state serving allocates nothing.
+  /// state serving allocates nothing. `mb.seq` may be any length up to
+  /// cfg.seq (variable-length prefix forwards).
   Tensor infer(const MicroBatch& mb, const Tensor& input);
+
+  /// Decode prefill (rt::DecodeEngine): runs the ordinary forward over one
+  /// session's prompt (mb.batch must be 1, mb.seq = prompt length ≤
+  /// cfg.seq) and populates `cache` slot `slot` with every layer's K/V
+  /// projections — lifted straight out of the attention contexts the
+  /// existing forward already computes, so cached rows are bitwise the
+  /// full-forward projections. Returns what infer() returns (the last stage:
+  /// [seq, vocab] logits, whose final row seeds the first sampled token).
+  Tensor prefill(const MicroBatch& mb, const Tensor& input, KvCache& cache,
+                 int slot);
+
+  /// One incremental decode step over `rows = slots.size()` concurrent
+  /// sessions: row r carries token `tokens[r]` at position `positions[r]` of
+  /// cache slot `slots[r]` (stage 0 embeds the tokens; later stages take the
+  /// previous stage's [rows, hidden] boundary activation). Each layer
+  /// appends the row's K/V at its position and attends over the cached
+  /// prefix. The last stage returns [rows, vocab] logits; each row is
+  /// bitwise equal to the final-position logits of a full re-forward over
+  /// that session's token prefix (DESIGN.md §6, tests/decode_test.cc).
+  Tensor decode_step(const std::vector<int>& tokens,
+                     const std::vector<int>& slots,
+                     const std::vector<int>& positions, const Tensor& input,
+                     KvCache& cache);
 
   /// Runs the stage backward for one micro-batch, consuming stash `key`.
   /// On the last stage `grad_out` is ignored: the gradient originates from
@@ -128,6 +152,11 @@ class StageModule {
   /// for backward's head + loss computation.
   Tensor run_forward(const MicroBatch& mb, const Tensor& input, Stash& st,
                      bool capture_head_input = true) const;
+  /// Last stage only: the logits-only head path (final LayerNorm + LM head
+  /// through the persistent workspace) shared by infer/prefill/decode_step
+  /// — one definition, so the bitwise step-vs-reforward contract cannot
+  /// drift between the three.
+  Tensor apply_head(const Tensor& x);
   Stash acquire_stash();
 
   SmallModelConfig cfg_;
@@ -147,6 +176,9 @@ class StageModule {
   /// shape the forward/backward path constructs no fresh buffers.
   std::vector<Stash> stash_pool_;
   HeadWorkspace head_ws_;  ///< last stage only
+  /// Decode scratch shared by every block (same hidden size throughout);
+  /// tensors re-shape in place, so steady-state decoding allocates nothing.
+  TransformerBlock::DecodeWs decode_ws_;
 };
 
 }  // namespace chimera::nn

@@ -1,0 +1,445 @@
+#include "runtime/decode.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "tensor/compute_pool.h"
+
+namespace chimera::rt {
+
+DecodeEngine::DecodeEngine(const nn::SmallModelConfig& model, Scheme scheme,
+                           const ScheduleConfig& sched_cfg,
+                           const DecodeOptions& opts)
+    : model_(model), opts_(opts), epoch_(std::chrono::steady_clock::now()) {
+  CHIMERA_CHECK_MSG(opts.max_batch >= 1, "max_batch must be positive");
+  CHIMERA_CHECK_MSG(opts.max_new_tokens >= 1, "max_new_tokens must be >= 1");
+  CHIMERA_CHECK_MSG(opts.top_k >= 1, "top_k must be >= 1");
+  CHIMERA_CHECK_MSG(opts.eos_token >= -1 && opts.eos_token < model.vocab,
+                    "eos_token outside the vocabulary");
+  CHIMERA_CHECK_MSG(model.causal, "decoding requires a causal LM");
+  schedule_ = build_decode_schedule(scheme, sched_cfg);
+  plan_ = std::make_unique<ExecutionPlan>(schedule_);
+
+  const int D = schedule_.depth;
+  const int N = schedule_.num_micro;
+  partition_ = std::make_unique<Partition>(
+      plan_partition(model_.spec(), D, opts.partition));
+  CHIMERA_CHECK_MSG(partition_->depth() == D &&
+                        partition_->range(0).begin == 0 &&
+                        partition_->range(D - 1).end == model_.layers,
+                    "decode partition does not cover the model's "
+                        << model_.layers << " layers across " << D
+                        << " stages");
+
+  // Stream geometry: micro slot m is the stream_pos_[m]-th stream of its
+  // pipe; its sessions' cache slots are stream_pos_[m]·max_batch + lane in
+  // every stage replica of that pipe.
+  std::vector<int> streams_on_pipe(schedule_.num_pipes, 0);
+  stream_pos_.resize(N);
+  for (int m = 0; m < N; ++m)
+    stream_pos_[m] = streams_on_pipe[schedule_.pipe_of_micro[m]]++;
+
+  world_ = std::make_unique<comm::World>(D);
+  comms_.resize(D);
+  units_.resize(D);
+  pipe_units_.resize(schedule_.num_pipes);
+  for (int w = 0; w < D; ++w) {
+    comms_[w] = std::make_unique<comm::Communicator>(*world_, w);
+    for (auto [pipe, stage] : schedule_.hosted_stages(w)) {
+      // A streamless pipe (N < num_pipes) still hosts replicas; give its
+      // caches one never-claimed slot so construction stays uniform.
+      const int slots = std::max(1, streams_on_pipe[pipe] * opts_.max_batch);
+      units_[w].push_back(std::unique_ptr<StageUnit>(new StageUnit{
+          pipe, stage,
+          nn::StageModule(model_, stage, D, partition_->range(stage)),
+          nn::KvCache(partition_->range(stage).size(), slots, model_.seq,
+                      model_.hidden)}));
+      cache_bytes_ += units_[w].back()->cache.bytes();
+    }
+  }
+  for (int w = 0; w < D; ++w)
+    for (auto& u : units_[w]) pipe_units_[u->pipe].push_back(u.get());
+  for (auto& pu : pipe_units_) {
+    std::sort(pu.begin(), pu.end(),
+              [](const StageUnit* a, const StageUnit* b) {
+                return a->stage < b->stage;
+              });
+    CHIMERA_CHECK(static_cast<int>(pu.size()) == D);
+  }
+
+  // The plan's cache-slot events must agree with the arena sizing: each
+  // worker's binding capacity is exactly the streams its replicas cache.
+  const std::vector<int> bindings = max_live_cache_bindings(*plan_);
+  for (int w = 0; w < D; ++w) {
+    int streams = 0;
+    for (const auto& u : units_[w]) streams += streams_on_pipe[u->pipe];
+    CHIMERA_CHECK_MSG(streams == bindings[w],
+                      "plan cache events disagree with cache sizing on "
+                      "worker " << w);
+  }
+
+  capacity_ = N * opts_.max_batch;
+  lanes_.assign(N, std::vector<std::uint64_t>(opts_.max_batch, 0));
+  slot_active_.assign(N, 0);
+  round_prefill_.resize(N);
+  prefill_logits_.resize(N);
+  rd_tokens_.resize(N);
+  rd_slots_.resize(N);
+  rd_positions_.resize(N);
+  round_logits_.resize(N);
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  ComputePool::instance().set_helpers(
+      opts_.intra_op >= 0 ? opts_.intra_op : std::max(0, hw - D));
+  pool_ = std::make_unique<WorkerPool>(D);
+}
+
+long DecodeEngine::now_us() const {
+  if (opts_.clock) return opts_.clock();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+DecodeEngine::StageUnit& DecodeEngine::find_unit(int worker, int pipe,
+                                                 int stage) {
+  for (auto& u : units_[worker])
+    if (u->pipe == pipe && u->stage == stage) return *u;
+  CHIMERA_CHECK_MSG(false, "stage not hosted: worker " << worker << " pipe "
+                                                       << pipe << " stage "
+                                                       << stage);
+}
+
+std::uint64_t DecodeEngine::submit(std::vector<int> prompt,
+                                   int max_new_tokens) {
+  // Same recoverable validation as serving, with variable lengths: any
+  // prompt up to the model's context window (runtime/request.h).
+  validate_tokens(prompt, 1, model_.seq, model_.vocab);
+  if (max_new_tokens < 0)
+    throw RequestError("max_new_tokens must be >= 0 (0 = engine default)");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.size() >= kMaxQueuedRequests)
+    throw RequestError("decode queue full (" + std::to_string(queue_.size()) +
+                       ") — back off and retry");
+  const std::uint64_t id = next_id_++;
+  const int cap = max_new_tokens > 0 ? max_new_tokens : opts_.max_new_tokens;
+  queue_.push_back(PendingDecode{id, std::move(prompt), cap, now_us()});
+  stats_.max_queue_depth =
+      std::max(stats_.max_queue_depth, static_cast<long>(queue_.size()));
+  return id;
+}
+
+void DecodeEngine::run_worker(int w) {
+  for (const PlannedOp& pop : plan_->worker_plan(w)) {
+    const MicroUnit& u = pop.units.front();
+    // Streams without work this round are skipped wholesale: every worker
+    // computes the same predicate from the shared round state, so sends and
+    // recvs stay matched (same contract as the serving engine).
+    if (!slot_active_[u.micro]) continue;
+    StageUnit& unit = find_unit(w, pop.op.pipe, pop.op.stage);
+    if (round_is_prefill_) {
+      // One batch-1 pass per admitted session, in admission order. Several
+      // jobs flow through one plan op, so each job offsets the op's p2p
+      // tags into its own high-bit band — multimap recv order for equal
+      // tags is implementation-defined, and crossing two sessions' prompts
+      // would hand each the other's logits.
+      auto& jobs = round_prefill_[u.micro];
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const std::int64_t jtag = static_cast<std::int64_t>(i) << 40;
+        Tensor x;
+        if (u.recv_from >= 0)
+          x = comms_[w]->recv(u.recv_from, u.recv_tag + jtag);
+        Tensor y = unit.module.prefill(jobs[i].mb, x, unit.cache,
+                                       jobs[i].slot);
+        if (u.send_to >= 0)
+          comms_[w]->send(u.send_to, u.send_tag + jtag, std::move(y));
+        else if (u.releases_cache_slot)
+          prefill_logits_[u.micro][i] = std::move(y);
+      }
+    } else {
+      Tensor x;
+      if (u.recv_from >= 0) x = comms_[w]->recv(u.recv_from, u.recv_tag);
+      Tensor y = unit.module.decode_step(rd_tokens_[u.micro],
+                                         rd_slots_[u.micro],
+                                         rd_positions_[u.micro], x,
+                                         unit.cache);
+      if (u.send_to >= 0)
+        comms_[w]->send(u.send_to, u.send_tag, std::move(y));
+      else if (u.releases_cache_slot)
+        round_logits_[u.micro] = std::move(y);
+    }
+  }
+}
+
+int DecodeEngine::sample_token(const float* row, Rng& rng) {
+  const int V = model_.vocab;
+  if (opts_.sampling == SamplingKind::kGreedy) {
+    int best = 0;
+    for (int v = 1; v < V; ++v)
+      if (row[v] > row[best]) best = v;
+    return best;
+  }
+  const int k = std::min(opts_.top_k, V);
+  // Deterministic candidate order: logit descending, id ascending on ties.
+  // Scratch buffers are engine members (the zero-realloc hot path); the
+  // iota refill is needed because partial_sort permutes them.
+  topk_idx_.resize(static_cast<std::size_t>(V));
+  std::iota(topk_idx_.begin(), topk_idx_.end(), 0);
+  std::partial_sort(topk_idx_.begin(), topk_idx_.begin() + k,
+                    topk_idx_.end(), [&](int a, int b) {
+                      if (row[a] != row[b]) return row[a] > row[b];
+                      return a < b;
+                    });
+  // Softmax over the k candidates in double precision — sampling is not
+  // part of the bitwise logits contract, only of the rng-determinism one.
+  const double mx = row[topk_idx_[0]];
+  topk_weight_.resize(static_cast<std::size_t>(k));
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) {
+    topk_weight_[i] = std::exp(static_cast<double>(row[topk_idx_[i]]) - mx);
+    sum += topk_weight_[i];
+  }
+  const double u = rng.next_double() * sum;
+  double cum = 0.0;
+  for (int i = 0; i < k; ++i) {
+    cum += topk_weight_[i];
+    if (u < cum) return topk_idx_[i];
+  }
+  return topk_idx_[k - 1];
+}
+
+void DecodeEngine::push_sample(std::vector<long>& reservoir,
+                               std::size_t& cursor, long sample) {
+  if (reservoir.size() < DecodeStats::kMaxLatencySamples)
+    reservoir.push_back(sample);
+  else
+    reservoir[cursor % DecodeStats::kMaxLatencySamples] = sample;
+  ++cursor;
+}
+
+bool DecodeEngine::emit_token(Session& s, int token, long now,
+                              const float* logits_row,
+                              std::vector<TokenEvent>& events) {
+  s.generated.push_back(token);
+  const int index = static_cast<int>(s.generated.size()) - 1;
+  if (index == 0) {
+    s.first_token_us = now;
+    push_sample(stats_.ttft_us, ttft_cursor_, now - s.enqueue_us);
+  } else {
+    push_sample(stats_.inter_token_us, inter_cursor_, now - s.last_token_us);
+  }
+  s.last_token_us = now;
+  ++stats_.tokens;
+  const bool done = token == opts_.eos_token ||
+                    static_cast<int>(s.generated.size()) >= s.max_new;
+  TokenEvent ev;
+  ev.id = s.id;
+  ev.token = token;
+  ev.index = index;
+  ev.is_last = done;
+  ev.time_us = now;
+  if (opts_.capture_logits) {
+    ev.logits.reshape(1, model_.vocab);
+    std::copy(logits_row, logits_row + model_.vocab, ev.logits.data());
+  }
+  events.push_back(std::move(ev));
+  if (done) {
+    // Retire immediately: the slot is free for the next step's admission —
+    // no round barrier between unrelated requests.
+    for (StageUnit* u : pipe_units_[s.pipe]) u->cache.release(s.slot);
+    lanes_[s.micro][s.lane] = 0;
+    ++stats_.retired;
+    DecodeResult res;
+    res.id = s.id;
+    res.prompt = std::move(s.prompt);
+    res.tokens = std::move(s.generated);
+    res.enqueue_us = s.enqueue_us;
+    res.first_token_us = s.first_token_us;
+    res.done_us = now;
+    completed_.push_back(std::move(res));
+    if (completed_.size() > kMaxCompletedResults) {
+      completed_.pop_front();
+      ++stats_.dropped_results;
+    }
+  }
+  return done;
+}
+
+int DecodeEngine::step() {
+  CHIMERA_CHECK_MSG(!in_step_.exchange(true), "step() is not reentrant");
+  // A rank exception (rethrown by WorkerPool::run), a shape CHECK or a
+  // throwing on_token callback must not leave the reentrancy latch set —
+  // the next step() would fail with a misleading diagnostic forever.
+  struct StepGuard {
+    std::atomic<bool>& flag;
+    ~StepGuard() { flag = false; }
+  } guard{in_step_};
+  const int N = schedule_.num_micro;
+  const int B = opts_.max_batch;
+  std::vector<TokenEvent> events;
+  int emitted = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.steps;
+
+  // ---- admission: refill free lanes from the queue (FIFO) ----------------
+  // Lane-major order: fill lane 0 of every stream before lane 1 of any, so
+  // a light load spreads across the streams — and therefore across both
+  // pipe directions of the Chimera pairing — instead of packing one pipe
+  // full while its partner idles (stream-major filling would degenerate
+  // low-occupancy decoding to a single-direction pipeline).
+  bool any_prefill = false;
+  for (int m = 0; m < N; ++m) round_prefill_[m].clear();
+  for (int l = 0; l < B && !queue_.empty(); ++l) {
+    for (int m = 0; m < N && !queue_.empty(); ++m) {
+      if (lanes_[m][l] != 0) continue;
+      PendingDecode req = std::move(queue_.front());
+      queue_.pop_front();
+      Session s;
+      s.id = req.id;
+      s.prompt = std::move(req.prompt);
+      const int L = static_cast<int>(s.prompt.size());
+      // Cap generation so every decoded position stays inside the learned
+      // embeddings: the prefill's final position seeds token 1 "for free",
+      // hence the +1.
+      s.max_new = std::min(req.max_new, model_.seq - L + 1);
+      s.micro = m;
+      s.lane = l;
+      s.pipe = schedule_.pipe_of_micro[m];
+      s.slot = stream_pos_[m] * B + l;
+      s.enqueue_us = req.enqueue_us;
+      s.rng = Rng(opts_.sample_seed).split(s.id);
+      for (StageUnit* u : pipe_units_[s.pipe]) u->cache.claim(s.slot);
+      lanes_[m][l] = s.id;
+      PrefillJob job;
+      job.sid = s.id;
+      job.slot = s.slot;
+      job.mb.batch = 1;
+      job.mb.seq = L;
+      job.mb.tokens = s.prompt;
+      round_prefill_[m].push_back(std::move(job));
+      sessions_.emplace(s.id, std::move(s));
+      ++stats_.admitted;
+      any_prefill = true;
+    }
+  }
+
+  // ---- prefill round: populate caches, seed each session's first token ---
+  if (any_prefill) {
+    for (int m = 0; m < N; ++m) {
+      slot_active_[m] = round_prefill_[m].empty() ? 0 : 1;
+      prefill_logits_[m].assign(round_prefill_[m].size(), Tensor());
+    }
+    round_is_prefill_ = true;
+    lock.unlock();
+    pool_->run([this](int rank) { run_worker(rank); });
+    lock.lock();
+    ++stats_.prefill_rounds;
+    const long now = now_us();
+    for (int m = 0; m < N; ++m) {
+      for (std::size_t i = 0; i < round_prefill_[m].size(); ++i) {
+        const PrefillJob& job = round_prefill_[m][i];
+        Session& s = sessions_.at(job.sid);
+        const Tensor& logits = prefill_logits_[m][i];  // [prompt, vocab]
+        CHIMERA_CHECK(logits.rows() == job.mb.seq &&
+                      logits.cols() == model_.vocab);
+        const float* row = logits.data() +
+                           static_cast<std::size_t>(job.mb.seq - 1) *
+                               model_.vocab;
+        const int tok = sample_token(row, s.rng);
+        ++emitted;
+        if (emit_token(s, tok, now, row, events)) sessions_.erase(job.sid);
+      }
+    }
+  }
+
+  // ---- decode round: one current token per active session ----------------
+  bool any_decode = false;
+  for (int m = 0; m < N; ++m) {
+    rd_tokens_[m].clear();
+    rd_slots_[m].clear();
+    rd_positions_[m].clear();
+    int active = 0;
+    for (int l = 0; l < B; ++l) {
+      const std::uint64_t sid = lanes_[m][l];
+      if (sid == 0) continue;
+      const Session& s = sessions_.at(sid);
+      rd_tokens_[m].push_back(s.generated.back());
+      rd_slots_[m].push_back(s.slot);
+      rd_positions_[m].push_back(static_cast<int>(s.prompt.size()) +
+                                 static_cast<int>(s.generated.size()) - 1);
+      ++active;
+    }
+    slot_active_[m] = active > 0 ? 1 : 0;
+    if (active > 0) {
+      any_decode = true;
+      stats_.occupied_lane_steps += active;
+      stats_.idle_lane_steps += B - active;
+    }
+  }
+  if (any_decode) {
+    round_is_prefill_ = false;
+    lock.unlock();
+    pool_->run([this](int rank) { run_worker(rank); });
+    lock.lock();
+    ++stats_.decode_rounds;
+    const long now = now_us();
+    for (int m = 0; m < N; ++m) {
+      if (!slot_active_[m]) continue;
+      const Tensor& logits = round_logits_[m];  // [active rows, vocab]
+      CHIMERA_CHECK(logits.rows() ==
+                        static_cast<int>(rd_tokens_[m].size()) &&
+                    logits.cols() == model_.vocab);
+      // Row r is the r-th occupied lane in ascending lane order; lanes_ was
+      // only mutated by this thread since the round was built.
+      int r = 0;
+      for (int l = 0; l < B; ++l) {
+        const std::uint64_t sid = lanes_[m][l];
+        if (sid == 0) continue;
+        Session& s = sessions_.at(sid);
+        const float* row =
+            logits.data() + static_cast<std::size_t>(r) * model_.vocab;
+        const int tok = sample_token(row, s.rng);
+        ++emitted;
+        if (emit_token(s, tok, now, row, events)) sessions_.erase(sid);
+        ++r;
+      }
+    }
+  }
+  lock.unlock();
+
+  // Stream outside the lock, in sampling order, so a callback may submit()
+  // follow-up requests without deadlocking.
+  if (on_token_)
+    for (const TokenEvent& ev : events) on_token_(ev);
+  return emitted;
+}
+
+bool DecodeEngine::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.empty() && sessions_.empty();
+}
+
+std::vector<DecodeResult> DecodeEngine::run_until_drained() {
+  while (!idle()) step();
+  return take_completed();
+}
+
+std::vector<DecodeResult> DecodeEngine::take_completed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<DecodeResult> out;
+  out.reserve(completed_.size());
+  for (auto& r : completed_) out.push_back(std::move(r));
+  completed_.clear();
+  return out;
+}
+
+DecodeStats DecodeEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DecodeStats out = stats_;
+  out.queue_depth = static_cast<long>(queue_.size());
+  return out;
+}
+
+}  // namespace chimera::rt

@@ -1,0 +1,247 @@
+// Autoregressive generation over bidirectional pipelines — the first
+// workload with cross-round state (DESIGN.md §6).
+//
+// PR 4's ServingEngine serves one-shot full-sequence logits; generation is
+// the opposite regime: repeated seq-1 decode steps whose per-step compute is
+// tiny, so pipeline utilization is everything. The engine reuses the stack
+// end to end:
+//
+//   core/decode_schedule  — the steady-state step schedule: Chimera keeps
+//                           f down + f up *independent decode streams*;
+//                           GPipe/DAPPLE/1F1B collapse to single-direction
+//   core/execution_plan   — the same lowering, now with cache-slot
+//                           acquire/release events bracketing each stream's
+//                           step (admission at the head, retirement at the
+//                           tail) — the decode analogue of stash events
+//   nn/kv_cache           — per-session, per-layer K/V state, slot-arena
+//                           backed so memory is bounded by session capacity
+//   nn::StageModule       — prefill() populates a slot from the existing
+//                           forward; decode_step() appends + attends
+//   runtime/worker_pool   — every round is one dispatch on the persistent
+//                           rank threads
+//
+// Continuous batching: a session table admits queued requests into free
+// cache slots *mid-flight* — finished sequences (EOS or max_new_tokens)
+// retire the moment their last token is sampled and their slots refill at
+// the next step's admission; there is no round barrier between unrelated
+// requests. Each step runs (1) a prefill round for newly admitted sessions
+// (one batch-1 forward over the prompt, populating the KV cache and seeding
+// the first sampled token) and (2) one decode round carrying every active
+// session's current token at its position.
+//
+// Determinism contract (tests/decode_test.cc): each decode step's logits
+// row is bitwise equal to the final-position logits of a full re-forward
+// over that session's token prefix, for every scheme — the kernels'
+// fixed accumulation orders make the incremental path exact, so the whole
+// subsystem is testable without golden files. Sampling is deterministic
+// too: greedy, or top-k driven by a per-session support/rng stream.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/world.h"
+#include "core/decode_schedule.h"
+#include "core/execution_plan.h"
+#include "nn/kv_cache.h"
+#include "nn/stage.h"
+#include "runtime/latency.h"
+#include "runtime/options.h"
+#include "runtime/request.h"
+#include "runtime/worker_pool.h"
+
+namespace chimera::rt {
+
+/// One generated token, streamed to the on_token callback the moment it is
+/// sampled (time-to-first-token is observable per request, not per batch).
+struct TokenEvent {
+  std::uint64_t id = 0;  ///< request id
+  int token = 0;
+  int index = 0;         ///< 0-based position within the generated sequence
+  bool is_last = false;  ///< the session retired with this token
+  long time_us = 0;
+  /// The [1, vocab] logits the token was sampled from — only populated
+  /// under DecodeOptions::capture_logits (the parity-test hook).
+  Tensor logits;
+};
+
+/// One finished request: the generated sequence plus its latency stamps.
+struct DecodeResult {
+  std::uint64_t id = 0;
+  std::vector<int> prompt;
+  std::vector<int> tokens;  ///< generated (includes the EOS token if hit)
+  long enqueue_us = 0;
+  long first_token_us = 0;
+  long done_us = 0;
+  long ttft_us() const { return first_token_us - enqueue_us; }
+};
+
+/// Cumulative accounting of one decode engine.
+struct DecodeStats {
+  static constexpr std::size_t kMaxLatencySamples = 1 << 16;
+
+  long steps = 0;           ///< scheduler ticks
+  long prefill_rounds = 0;  ///< pool dispatches populating new sessions
+  long decode_rounds = 0;   ///< pool dispatches advancing active sessions
+  long tokens = 0;          ///< generated tokens
+  long admitted = 0;        ///< sessions admitted into cache slots
+  long retired = 0;         ///< sessions completed (slots freed)
+  /// Batcher efficiency (the decode analogue of ServingStats::padded_rows):
+  /// lane-steps a dispatched decode stream ran below its max_batch width —
+  /// capacity the continuous batcher could not fill from the queue.
+  long idle_lane_steps = 0;
+  long occupied_lane_steps = 0;  ///< lane-steps actually carrying a session
+  long queue_depth = 0;          ///< waiting requests when stats() was taken
+  long max_queue_depth = 0;      ///< intake high-water mark
+  long dropped_results = 0;      ///< results evicted before take_completed()
+  /// Bounded most-recent reservoirs (ring overwrite past kMaxLatencySamples).
+  std::vector<long> ttft_us;         ///< enqueue→first-token per session
+  std::vector<long> inter_token_us;  ///< successive token stamps per session
+};
+
+class DecodeEngine {
+ public:
+  /// Builds the steady-state decode schedule of `scheme`
+  /// (`sched_cfg.num_micro` decode streams, `pipes_f` Chimera pairs), plans
+  /// the partition, sizes one KvCache per hosted stage replica
+  /// (streams-on-pipe × max_batch slots, model.seq rows) and hosts the
+  /// modules on persistent rank threads.
+  DecodeEngine(const nn::SmallModelConfig& model, Scheme scheme,
+               const ScheduleConfig& sched_cfg, const DecodeOptions& opts);
+
+  const PipelineSchedule& schedule() const { return schedule_; }
+  const ExecutionPlan& plan() const { return *plan_; }
+  const Partition& partition() const { return *partition_; }
+
+  /// Concurrent-session capacity: decode streams × max_batch.
+  int session_capacity() const { return capacity_; }
+  /// Total KV-cache bytes reserved across every stage replica.
+  std::size_t cache_bytes() const { return cache_bytes_; }
+
+  /// Per-token stream callback, fired outside the engine lock in sampling
+  /// order. Not thread-safe against a concurrent step() — set it before
+  /// generating.
+  void set_on_token(std::function<void(const TokenEvent&)> cb) {
+    on_token_ = std::move(cb);
+  }
+
+  /// Thread-safe: enqueues one generation request. The prompt may be any
+  /// length in [1, model.seq] with in-vocabulary ids — violations throw
+  /// the recoverable RequestError (same validation as serving, variable
+  /// lengths; runtime/request.h). `max_new_tokens` 0 uses the engine
+  /// default; either way generation is capped so positions stay inside the
+  /// learned embeddings. Returns the request id.
+  std::uint64_t submit(std::vector<int> prompt, int max_new_tokens = 0);
+
+  static constexpr std::size_t kMaxQueuedRequests = 1 << 16;
+  static constexpr std::size_t kMaxCompletedResults = 1 << 16;
+
+  /// One scheduler tick: retire-and-refill admission, a prefill round for
+  /// sessions admitted this step, one decode round for every active
+  /// session. Returns the number of tokens emitted. Not reentrant; drive it
+  /// from one thread (submit() may race freely).
+  int step();
+
+  /// True when no request is queued and no session is in flight.
+  bool idle() const;
+
+  /// Steps until idle, then returns every completed result (the synchronous
+  /// drain — the decode counterpart of ServingEngine::serve_pending).
+  std::vector<DecodeResult> run_until_drained();
+
+  /// Removes and returns accumulated results (bounded by
+  /// kMaxCompletedResults; oldest dropped first into dropped_results).
+  std::vector<DecodeResult> take_completed();
+
+  DecodeStats stats() const;
+
+ private:
+  struct StageUnit {
+    int pipe;
+    int stage;
+    nn::StageModule module;
+    nn::KvCache cache;
+  };
+  struct PendingDecode {
+    std::uint64_t id = 0;
+    std::vector<int> prompt;
+    int max_new = 0;
+    long enqueue_us = 0;
+  };
+  struct Session {
+    std::uint64_t id = 0;
+    std::vector<int> prompt;
+    std::vector<int> generated;
+    int max_new = 0;  ///< effective cap (position-limited)
+    int micro = 0, lane = 0, pipe = 0, slot = 0;
+    long enqueue_us = 0, first_token_us = 0, last_token_us = 0;
+    Rng rng;  ///< per-session sampling stream
+  };
+  struct PrefillJob {
+    std::uint64_t sid = 0;
+    int slot = 0;
+    nn::MicroBatch mb;
+  };
+
+  long now_us() const;
+  StageUnit& find_unit(int worker, int pipe, int stage);
+  void run_worker(int w);
+  int sample_token(const float* row, Rng& rng);
+  /// Emits one sampled token for `s`: stamps, reservoirs, TokenEvent, and
+  /// either retires the session (slots released, result queued) or keeps it
+  /// active. Caller holds the lock. Returns true if the session retired.
+  bool emit_token(Session& s, int token, long now, const float* logits_row,
+                  std::vector<TokenEvent>& events);
+  void push_sample(std::vector<long>& reservoir, std::size_t& cursor,
+                   long sample);
+
+  nn::SmallModelConfig model_;
+  DecodeOptions opts_;
+  PipelineSchedule schedule_;
+  std::unique_ptr<Partition> partition_;
+  std::unique_ptr<ExecutionPlan> plan_;
+  std::unique_ptr<comm::World> world_;
+  std::vector<std::unique_ptr<comm::Communicator>> comms_;      ///< per rank
+  std::vector<std::vector<std::unique_ptr<StageUnit>>> units_;  ///< [worker]
+  std::vector<std::vector<StageUnit*>> pipe_units_;  ///< [pipe], stage order
+  std::vector<int> stream_pos_;   ///< [micro] position within its pipe
+  int capacity_ = 0;
+  std::size_t cache_bytes_ = 0;
+
+  /// Round state shared with the rank threads during one pool dispatch; the
+  /// dispatch barrier orders every access. Streams with slot_active_[m]
+  /// false are skipped wholesale by every worker.
+  std::vector<char> slot_active_;                    ///< [micro]
+  bool round_is_prefill_ = false;
+  std::vector<std::vector<PrefillJob>> round_prefill_;  ///< [micro]
+  std::vector<std::vector<Tensor>> prefill_logits_;     ///< [micro][job]
+  std::vector<std::vector<int>> rd_tokens_, rd_slots_, rd_positions_;
+  std::vector<Tensor> round_logits_;  ///< [micro], written by tail stages
+
+  mutable std::mutex mutex_;  ///< guards queue_/sessions_/completed_/stats_
+  std::deque<PendingDecode> queue_;
+  std::map<std::uint64_t, Session> sessions_;
+  std::vector<std::vector<std::uint64_t>> lanes_;  ///< [micro][lane]: 0 = free
+  std::deque<DecodeResult> completed_;
+  DecodeStats stats_;
+  std::uint64_t next_id_ = 1;
+  std::size_t ttft_cursor_ = 0, inter_cursor_ = 0;
+  /// Top-k sampling scratch (candidate ids + softmax weights), hoisted out
+  /// of the per-token hot loop; only touched under the step lock.
+  std::vector<int> topk_idx_;
+  std::vector<double> topk_weight_;
+  std::atomic<bool> in_step_{false};
+  std::function<void(const TokenEvent&)> on_token_;
+  std::chrono::steady_clock::time_point epoch_;
+  /// Last member: parks and joins the rank threads while state is alive.
+  std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace chimera::rt

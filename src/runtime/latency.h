@@ -1,0 +1,23 @@
+// Shared latency-sample statistics for the serving and decode engines.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace chimera::rt {
+
+/// Nearest-rank percentile of a sample set (p in [0, 100]): the smallest
+/// value with at least p% of samples ≤ it — p99 of a 64-sample set is the
+/// maximum, not the 62nd sample. Returns 0 when empty.
+inline long percentile_us(const std::vector<long>& samples, double p) {
+  if (samples.empty()) return 0;
+  std::vector<long> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t i = static_cast<std::size_t>(
+      std::min<double>(std::max(rank - 1.0, 0.0), sorted.size() - 1.0));
+  return sorted[i];
+}
+
+}  // namespace chimera::rt

@@ -92,4 +92,43 @@ struct ServeOptions {
   std::function<long()> clock;
 };
 
+/// How rt::DecodeEngine samples the next token from a session's logits.
+/// Both are deterministic: kGreedy is the argmax (ties to the lowest id);
+/// kTopK softmaxes the k highest logits and draws from a per-session
+/// support/rng stream split off sample_seed — the same request always
+/// generates the same text.
+enum class SamplingKind { kGreedy, kTopK };
+
+/// Configuration of the autoregressive decode engine (rt::DecodeEngine),
+/// threaded exactly like ServeOptions. See docs/OPTIONS.md for the
+/// reference table and DESIGN.md §6 for the scheduling/cache contract.
+struct DecodeOptions {
+  /// Sessions decoded concurrently per decode stream (micro slot): the
+  /// continuous-batching width. Total session capacity = num_micro streams
+  /// × max_batch; KV-cache memory is bounded by it (nn/kv_cache.h).
+  int max_batch = 4;
+  /// Default generation cap per request; submit() can override per request.
+  /// Always additionally capped so prompt + generated ≤ model.seq + 1
+  /// tokens emitted (position limits of the learned embeddings).
+  int max_new_tokens = 16;
+  /// Sampling a session's next token as this id retires the session
+  /// immediately (its slot refills next step). −1 = no EOS token.
+  int eos_token = -1;
+  SamplingKind sampling = SamplingKind::kGreedy;
+  int top_k = 4;                     ///< kTopK: candidates kept per step
+  std::uint64_t sample_seed = 1234;  ///< root of the per-session rng streams
+  /// Attach each token's full logits row to its TokenEvent — the
+  /// step-vs-reforward parity hook of tests/decode_test.cc. Off by default
+  /// (a [1, vocab] copy per generated token).
+  bool capture_logits = false;
+  /// Layer→stage planners, as in ServeOptions.
+  PartitionPolicy partition = PartitionPolicy::kEven;
+  /// Intra-op kernel helper threads; see TrainerOptions::intra_op.
+  int intra_op = -1;
+  /// Test hook: microsecond clock for enqueue/first-token/done stamps
+  /// (time-to-first-token and inter-token latency). Null = monotonic wall
+  /// clock.
+  std::function<long()> clock;
+};
+
 }  // namespace chimera::rt

@@ -30,15 +30,7 @@ Round form_round(std::deque<PendingRequest>& queue, const BatchPolicy& policy,
 }
 
 long ServingStats::percentile_us(double p) const {
-  if (latencies_us.empty()) return 0;
-  std::vector<long> sorted = latencies_us;
-  std::sort(sorted.begin(), sorted.end());
-  // Nearest-rank: the smallest value with at least p% of samples ≤ it —
-  // p99 of a 64-sample set is the maximum, not the 62nd sample.
-  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
-  const std::size_t i = static_cast<std::size_t>(
-      std::min<double>(std::max(rank - 1.0, 0.0), sorted.size() - 1.0));
-  return sorted[i];
+  return rt::percentile_us(latencies_us, p);
 }
 
 ServingEngine::ServingEngine(const nn::SmallModelConfig& model, Scheme scheme,
@@ -115,16 +107,11 @@ ServingEngine::StageUnit& ServingEngine::find_unit(int worker, int pipe,
 }
 
 std::uint64_t ServingEngine::submit(std::vector<int> tokens) {
-  CHIMERA_CHECK_MSG(static_cast<int>(tokens.size()) == model_.seq,
-                    "request has " << tokens.size() << " tokens, model.seq is "
-                                   << model_.seq);
   // Reject malformed requests here, where only the caller is affected — a
   // bad token id reaching a rank thread mid-round would take the whole
-  // engine (and every co-batched request) down with it.
-  for (int t : tokens)
-    CHIMERA_CHECK_MSG(t >= 0 && t < model_.vocab,
-                      "request token " << t << " outside vocab of "
-                                       << model_.vocab);
+  // engine (and every co-batched request) down with it. RequestError is
+  // recoverable by design: catch, fix the request, keep submitting.
+  validate_tokens(tokens, model_.seq, model_.seq, model_.vocab);
   std::lock_guard<std::mutex> lock(mutex_);
   // Fail fast once the serving loop has died — accepting requests a dead
   // loop will never serve would turn the engine into a silent black hole.
@@ -132,11 +119,14 @@ std::uint64_t ServingEngine::submit(std::vector<int> tokens) {
   // Admission control: the intake side is bounded like the output side. A
   // producer sustained above round throughput gets an error it can back
   // off on, not unbounded queue growth and unbounded latency.
-  CHIMERA_CHECK_MSG(queue_.size() < kMaxQueuedRequests,
-                    "request queue full (" << queue_.size()
-                                           << ") — back off and retry");
+  if (queue_.size() >= kMaxQueuedRequests)
+    throw RequestError("request queue full (" +
+                       std::to_string(queue_.size()) +
+                       ") — back off and retry");
   const std::uint64_t id = next_id_++;
   queue_.push_back(PendingRequest{id, std::move(tokens), now_us()});
+  stats_.max_queue_depth =
+      std::max(stats_.max_queue_depth, static_cast<long>(queue_.size()));
   cv_.notify_all();
   return id;
 }
@@ -333,7 +323,9 @@ std::vector<ServeResult> ServingEngine::take_completed() {
 
 ServingStats ServingEngine::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  ServingStats out = stats_;
+  out.queue_depth = static_cast<long>(queue_.size());
+  return out;
 }
 
 }  // namespace chimera::rt

@@ -46,7 +46,9 @@
 #include "core/execution_plan.h"
 #include "core/inference_schedule.h"
 #include "nn/stage.h"
+#include "runtime/latency.h"
 #include "runtime/options.h"
+#include "runtime/request.h"
 #include "runtime/worker_pool.h"
 
 namespace chimera::rt {
@@ -118,6 +120,12 @@ struct ServingStats {
   long rounds = 0;           ///< pool dispatches
   long padded_rows = 0;      ///< padding request-rows computed and discarded
   long dropped_results = 0;  ///< results evicted before take_completed()
+  /// Batcher-efficiency counters (emitted into BENCH_*.json): requests
+  /// waiting at the moment stats() was taken, and the high-water mark over
+  /// the engine's lifetime — a max_queue_depth near kMaxQueuedRequests
+  /// means producers outrun round throughput.
+  long queue_depth = 0;
+  long max_queue_depth = 0;
   /// Enqueue→logits samples, at most kMaxLatencySamples most-recent.
   std::vector<long> latencies_us;
 
@@ -142,10 +150,13 @@ class ServingEngine {
 
   /// Thread-safe: enqueues one request. `tokens.size()` must equal
   /// model.seq (the batcher pads the *batch* dimension, not the sequence)
-  /// and every token must be inside the model's vocabulary. Throws when
-  /// the queue holds kMaxQueuedRequests (admission control — back off and
-  /// retry) or when the background loop has died of an error (the stored
-  /// exception is rethrown). Returns the request id results are keyed by.
+  /// and every token must be inside the model's vocabulary — violations
+  /// throw RequestError (runtime/request.h), which is recoverable: the
+  /// engine and every other request are unaffected. RequestError is also
+  /// thrown when the queue holds kMaxQueuedRequests (admission control —
+  /// back off and retry). A background loop that died of an internal error
+  /// rethrows its stored exception instead. Returns the request id results
+  /// are keyed by.
   std::uint64_t submit(std::vector<int> tokens);
 
   /// Intake bound enforced by submit(); pairs with
