@@ -66,10 +66,11 @@ struct LegResult {
 };
 
 LegResult measure(const nn::SmallModelConfig& model, Scheme scheme, int f,
-                  const BenchConfig& bc) {
+                  KernelPolicy kernel, const BenchConfig& bc) {
   rt::DecodeOptions opts;
   opts.max_batch = bc.batch;
   opts.max_new_tokens = bc.max_new;
+  opts.kernel = kernel;
   rt::DecodeEngine engine(
       model, scheme,
       ScheduleConfig{bc.depth, bc.streams, f, ScaleMethod::kDirect}, opts);
@@ -193,7 +194,13 @@ int main(int argc, char** argv) {
   double base_pred = 0.0, base_wall = 0.0;
   double chimera2f_pred = 0.0, chimera2f_wall = 0.0;
   for (const Leg& leg : legs) {
-    const LegResult r = measure(model, leg.scheme, leg.f, bc);
+    // Each leg runs at the engine default (kAuto — the fast kernel tier on
+    // AVX2 hosts) plus once pinned to the scalar reference, so the JSON
+    // records the end-to-end tokens/s gain of the kernel tier. With
+    // CHIMERA_KERNEL_TIER set both runs share the pinned tier (ratio ≈ 1).
+    const LegResult r = measure(model, leg.scheme, leg.f, KernelPolicy::kAuto, bc);
+    const LegResult rs =
+        measure(model, leg.scheme, leg.f, KernelPolicy::kScalarReference, bc);
     if (leg.scheme == Scheme::kGPipe) {
       base_pred = r.predicted_step;
       base_wall = r.tokens_per_s;
@@ -218,6 +225,8 @@ int main(int argc, char** argv) {
               {"inter_token_p99_ms", r.inter_p99_ms},
               {"predicted_speedup_vs_gpipe", pred_speedup},
               {"wall_speedup_vs_gpipe", wall_speedup},
+              {"scalar_tokens_per_s", rs.tokens_per_s},
+              {"kernel_speedup", r.tokens_per_s / rs.tokens_per_s},
               {"idle_lane_steps", static_cast<double>(r.idle_lane_steps)},
               {"occupied_lane_steps",
                static_cast<double>(r.occupied_lane_steps)},

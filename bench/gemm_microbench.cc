@@ -1,0 +1,166 @@
+// Single-core GFLOP/s of the GEMM variants, per kernel tier — the perf
+// trajectory of the vectorized fast tier (DESIGN.md §2 item 18).
+//
+// Shapes are the ones the GPT-2-like default of bench_runtime_throughput
+// actually executes (rows = B·seq = 64, hidden 192, mlp 768, vocab 768,
+// per-head dk 24), so the reported speedups are the kernel-level view of
+// the end-to-end iters/s gains. Helpers are pinned to 0: this measures the
+// microkernels, not the pool. While measuring, the bench also checks the
+// tier contract — gemm/gemm_tn bitwise equal across tiers, gemm_nt within
+// tolerance — and exits nonzero on a violation, so the CI smoke run guards
+// the contract alongside the numbers.
+//
+//   $ ./bench_gemm_microbench [--json BENCH_gemm_micro.json] [--small]
+//
+// With CHIMERA_KERNEL_TIER pinned only the pinned tier is measured (no
+// speedup column); unpinned runs measure both tiers per shape.
+#include "bench_common.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/compute_pool.h"
+#include "tensor/kernels.h"
+
+using namespace chimera;
+using namespace chimera::bench;
+
+namespace {
+
+enum class Variant { kNN, kTN, kNT };
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kNN: return "gemm";
+    case Variant::kTN: return "gemm_tn";
+    case Variant::kNT: return "gemm_nt";
+  }
+  return "?";
+}
+
+struct Shape {
+  Variant variant;
+  int m, k, n;
+  const char* site;  ///< which model GEMM this shape is
+};
+
+/// The GPT-2 bench shapes (bench_runtime_throughput defaults).
+const Shape kShapes[] = {
+    {Variant::kNN, 64, 192, 576, "qkv fwd"},
+    {Variant::kNN, 64, 192, 768, "mlp fc fwd"},
+    {Variant::kNN, 64, 768, 192, "mlp proj fwd"},
+    {Variant::kNN, 64, 192, 768, "head fwd"},
+    {Variant::kNT, 64, 24, 64, "attn scores"},
+    {Variant::kNN, 64, 64, 24, "attn ctx"},
+    {Variant::kTN, 64, 192, 768, "mlp fc dW"},
+    {Variant::kNT, 64, 768, 192, "mlp fc dX"},
+};
+
+void run(const Shape& s, const Tensor& a, const Tensor& b, Tensor& c) {
+  switch (s.variant) {
+    case Variant::kNN: gemm(a, b, c); break;
+    case Variant::kTN: gemm_tn(a, b, c); break;
+    case Variant::kNT: gemm_nt(a, b, c); break;
+  }
+}
+
+/// GFLOP/s over enough repetitions to make timer noise irrelevant.
+double measure(const Shape& s, const Tensor& a, const Tensor& b, Tensor& c,
+               double target_ms) {
+  const double flop = 2.0 * s.m * s.k * s.n;
+  run(s, a, b, c);  // warm (and populate c for the parity check)
+  long reps = 4;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (long r = 0; r < reps; ++r) run(s, a, b, c);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (secs * 1e3 >= target_ms || reps > (1L << 24))
+      return flop * reps / secs / 1e9;
+    reps *= 4;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv, "gemm_micro");
+  double target_ms = 200.0;
+  for (int i = 1; i < argc; ++i)
+    if (!std::strcmp(argv[i], "--small")) target_ms = 20.0;
+
+  ComputePool::instance().set_helpers(0);  // single-core kernel numbers
+
+  print_banner("GEMM microkernel GFLOP/s per tier (single core)");
+  std::printf("host AVX2+FMA: %s   CHIMERA_KERNEL_TIER: %s\n\n",
+              active_kernel_tier() == KernelTier::kFast ? "in use" : "not in use",
+              std::getenv("CHIMERA_KERNEL_TIER") ? std::getenv("CHIMERA_KERNEL_TIER")
+                                                 : "(unset)");
+
+  // Which tiers can this process actually dispatch? (env pin wins)
+  std::vector<KernelTier> tiers;
+  for (KernelPolicy p : {KernelPolicy::kScalarReference, KernelPolicy::kFast}) {
+    set_kernel_policy(p);
+    const KernelTier t = active_kernel_tier();
+    if (tiers.empty() || tiers.back() != t) tiers.push_back(t);
+  }
+
+  TextTable table({"variant", "shape", "site", "tier", "GFLOP/s", "speedup"});
+  bool contract_broken = false;
+  Rng rng(31);
+  for (const Shape& s : kShapes) {
+    Tensor a = s.variant == Variant::kTN ? Tensor(s.k, s.m) : Tensor(s.m, s.k);
+    Tensor b = s.variant == Variant::kNT ? Tensor(s.n, s.k) : Tensor(s.k, s.n);
+    a.randn(rng, 1.0f);
+    b.randn(rng, 1.0f);
+    const std::string shape = std::to_string(s.m) + "x" + std::to_string(s.k) +
+                              "x" + std::to_string(s.n);
+    double scalar_gflops = 0.0;
+    Tensor scalar_c;
+    for (KernelTier tier : tiers) {
+      set_kernel_policy(tier == KernelTier::kScalar
+                            ? KernelPolicy::kScalarReference
+                            : KernelPolicy::kFast);
+      Tensor c(s.m, s.n);
+      const double gflops = measure(s, a, b, c, target_ms);
+      const bool is_fast = tier == KernelTier::kFast;
+      if (!is_fast) {
+        scalar_gflops = gflops;
+        scalar_c = c;
+      } else if (scalar_gflops > 0.0) {
+        // Tier contract check on the measured outputs.
+        for (std::size_t i = 0; i < c.numel(); ++i) {
+          const bool ok = s.variant == Variant::kNT
+                              ? std::fabs(c[i] - scalar_c[i]) <= 1e-5f * s.k
+                              : c[i] == scalar_c[i];
+          if (!ok) {
+            std::fprintf(stderr,
+                         "FAIL: %s %s element %zu: fast %.9g vs scalar %.9g\n",
+                         variant_name(s.variant), shape.c_str(), i, c[i],
+                         scalar_c[i]);
+            contract_broken = true;
+            break;
+          }
+        }
+      }
+      const double speedup =
+          is_fast && scalar_gflops > 0.0 ? gflops / scalar_gflops : 0.0;
+      char sp[16];
+      std::snprintf(sp, sizeof sp, speedup > 0 ? "%.2fx" : "-", speedup);
+      table.add_row(variant_name(s.variant), shape, s.site,
+                    is_fast ? "fast" : "scalar", gflops, sp);
+      std::vector<std::pair<std::string, double>> extra = {
+          {"gflops", gflops}};
+      if (speedup > 0) extra.emplace_back("speedup_vs_scalar", speedup);
+      json.add(std::string(variant_name(s.variant)) + " " + s.site,
+               shape + " tier=" + (is_fast ? "fast" : "scalar"),
+               /*throughput=*/0.0, 0.0, extra);
+    }
+  }
+  table.print();
+  return contract_broken ? 1 : 0;
+}

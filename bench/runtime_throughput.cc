@@ -4,11 +4,13 @@
 // Unlike the fig/table benches (which replay the *analytic* models or the
 // event simulator), this binary trains a real nn::SmallModelConfig through
 // PipelineTrainer and clocks iterations per second: persistent worker pool,
-// intra-op kernel sharding and the zero-realloc hot path all show up here
-// or not at all. Each configuration is measured twice — once pinned to the
-// serial kernel path (intra_op = 0) and once with the auto-sized helper
-// pool — and reports the speedup; the kernels' fixed split points keep the
-// two runs bitwise identical (DESIGN.md §2 item 17), so the speedup is pure
+// intra-op kernel sharding, the vectorized kernel tier and the zero-realloc
+// hot path all show up here or not at all. Each configuration is measured
+// three times — pooled at the scalar reference tier, then serial
+// (intra_op = 0) and pooled at the default kAuto tier — and reports both
+// the pool speedup and the kernel-tier speedup; serial and pooled share a
+// tier and the kernels' fixed split points keep those two runs bitwise
+// identical (DESIGN.md §2 items 17–18), so the pool speedup is pure
 // execution, not arithmetic drift.
 //
 //   $ ./bench_runtime_throughput [--json BENCH_runtime_throughput.json]
@@ -57,13 +59,15 @@ nn::MicroBatch make_batch(const nn::SmallModelConfig& cfg, int samples) {
   return mb;
 }
 
-/// Iterations/s of one trainer configuration at the given intra-op setting.
+/// Iterations/s of one trainer configuration at the given intra-op and
+/// kernel-tier settings.
 double measure(const nn::SmallModelConfig& model, Scheme scheme,
                const ScheduleConfig& sc, bool recompute, int intra_op,
-               const BenchConfig& bc, double* loss_out) {
+               KernelPolicy kernel, const BenchConfig& bc, double* loss_out) {
   rt::TrainerOptions opts;
   opts.recompute = recompute;
   opts.intra_op = intra_op;
+  opts.kernel = kernel;
   rt::PipelineTrainer t(model, scheme, sc, opts);
   const nn::MicroBatch batch = make_batch(model, bc.micro * sc.num_micro);
   for (int i = 0; i < bc.warmup; ++i) t.train_iteration(batch);
@@ -120,8 +124,8 @@ int main(int argc, char** argv) {
               bc.hidden, bc.layers, bc.seq, bc.vocab, bc.micro,
               std::thread::hardware_concurrency());
 
-  TextTable table({"scheme", "config", "serial it/s", "pooled it/s",
-                   "speedup", "seq/s", "loss"});
+  TextTable table({"scheme", "config", "scalar it/s", "serial it/s",
+                   "pooled it/s", "pool x", "kernel x", "seq/s", "loss"});
   bool determinism_broken = false;
   struct Case {
     Scheme scheme;
@@ -136,12 +140,21 @@ int main(int argc, char** argv) {
   for (const Case& c : cases) {
     for (bool recompute : {false, true}) {
       const ScheduleConfig sc{c.depth, c.num_micro, 1, ScaleMethod::kDirect};
-      double loss_serial = 0.0, loss_pooled = 0.0;
+      // Three legs: pooled at the scalar reference tier, then serial and
+      // pooled at the engine default (kAuto — the fast tier on AVX2 hosts;
+      // with CHIMERA_KERNEL_TIER pinned all three share one tier and the
+      // kernel speedup reads 1×). Serial vs pooled run the same tier, so
+      // their losses must stay bitwise equal.
+      double loss_scalar = 0.0, loss_serial = 0.0, loss_pooled = 0.0;
+      const double scalar =
+          measure(model, c.scheme, sc, recompute, /*intra_op=*/-1,
+                  KernelPolicy::kScalarReference, bc, &loss_scalar);
       const double serial =
-          measure(model, c.scheme, sc, recompute, /*intra_op=*/0, bc,
-                  &loss_serial);
-      const double pooled = measure(model, c.scheme, sc, recompute,
-                                    /*intra_op=*/-1, bc, &loss_pooled);
+          measure(model, c.scheme, sc, recompute, /*intra_op=*/0,
+                  KernelPolicy::kAuto, bc, &loss_serial);
+      const double pooled =
+          measure(model, c.scheme, sc, recompute, /*intra_op=*/-1,
+                  KernelPolicy::kAuto, bc, &loss_pooled);
       if (loss_serial != loss_pooled) {
         std::fprintf(stderr,
                      "FAIL: pooled loss %.17g != serial loss %.17g "
@@ -155,14 +168,17 @@ int main(int argc, char** argv) {
       const std::string config = "D=" + std::to_string(c.depth) +
                                  ", N=" + std::to_string(c.num_micro) +
                                  ", B=" + std::to_string(bc.micro);
-      char speedup[16];
-      std::snprintf(speedup, sizeof speedup, "%.2fx", pooled / serial);
-      table.add_row(name, config, serial, pooled, speedup, pooled * samples,
-                    loss_pooled);
+      char pool_x[16], kernel_x[16];
+      std::snprintf(pool_x, sizeof pool_x, "%.2fx", pooled / serial);
+      std::snprintf(kernel_x, sizeof kernel_x, "%.2fx", pooled / scalar);
+      table.add_row(name, config, scalar, serial, pooled, pool_x, kernel_x,
+                    pooled * samples, loss_pooled);
       json.add(name, config, pooled * samples, 1.0 / pooled,
                {{"iters_per_s", pooled},
                 {"serial_iters_per_s", serial},
+                {"scalar_iters_per_s", scalar},
                 {"speedup_vs_serial", pooled / serial},
+                {"kernel_speedup", pooled / scalar},
                 {"loss", loss_pooled}});
     }
   }

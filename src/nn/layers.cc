@@ -20,9 +20,16 @@ Tensor Linear::forward(const Tensor& x, Ctx& ctx) const {
 
 void Linear::forward_into(const Tensor& x, Ctx& ctx, Tensor& y) const {
   ctx.x = x;
-  y.reshape(x.rows(), w_.value.cols());  // gemm zeroes before accumulating
-  gemm(x, w_.value, y);
-  add_bias(y, b_.value);
+  y.reshape(x.rows(), w_.value.cols());  // gemm_bias overwrites in full
+  gemm_bias(x, w_.value, b_.value, y);
+}
+
+void Linear::forward_gelu_into(const Tensor& x, Ctx& ctx, Tensor& y,
+                               Tensor& g) const {
+  ctx.x = x;
+  y.reshape(x.rows(), w_.value.cols());
+  g.reshape(x.rows(), w_.value.cols());
+  gemm_bias_gelu(x, w_.value, b_.value, y, g);
 }
 
 Tensor Linear::backward(const Tensor& dy, const Ctx& ctx) {
@@ -254,10 +261,10 @@ TransformerBlock::TransformerBlock(std::string name, int hidden, int heads,
 Tensor TransformerBlock::forward(const Tensor& x, Ctx& ctx, int seq) const {
   Tensor a = attn_.forward(ln1_.forward(x, ctx.ln1), ctx.attn, seq);
   a.add(x);  // residual 1
-  Tensor h = fc_.forward(ln2_.forward(a, ctx.ln2), ctx.fc_ctx);
-  ctx.gelu_in = h;
-  Tensor g(h.rows(), h.cols());
-  gelu_forward(h, g);
+  // Fused fc→GELU writes the pre-activation straight into the stash — same
+  // arithmetic as fc_.forward + gelu_forward, one fewer tensor copy.
+  Tensor g;
+  fc_.forward_gelu_into(ln2_.forward(a, ctx.ln2), ctx.fc_ctx, ctx.gelu_in, g);
   Tensor y = proj_.forward(g, ctx.proj_ctx);
   y.add(a);  // residual 2
   return y;
@@ -273,10 +280,9 @@ Tensor TransformerBlock::decode_step(const Tensor& x,
   Tensor a = attn_.decode_step(ln1_.forward(x, ws.ln1), slots, positions,
                                cache, layer, ws.attn);
   a.add(x);  // residual 1
-  Tensor h = fc_.forward(ln2_.forward(a, ws.ln2), ws.fc_ctx);
-  Tensor g(h.rows(), h.cols());
-  gelu_forward(h, g);
-  Tensor y = proj_.forward(g, ws.proj_ctx);
+  fc_.forward_gelu_into(ln2_.forward(a, ws.ln2), ws.fc_ctx, ws.gelu_in,
+                        ws.gelu_out);
+  Tensor y = proj_.forward(ws.gelu_out, ws.proj_ctx);
   y.add(a);  // residual 2
   return y;
 }

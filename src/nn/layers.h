@@ -39,6 +39,12 @@ class Linear {
   /// Like forward but writes into `y` (re-shaped in place) — callers with a
   /// persistent workspace avoid constructing the output.
   void forward_into(const Tensor& x, Ctx& ctx, Tensor& y) const;
+  /// Fused Linear→GELU forward of the MLP hot path: y = x·W + b and
+  /// g = gelu(y), both re-shaped in place. One gemm_bias_gelu call, so the
+  /// fast kernel tier applies bias and GELU as a cache-hot tile epilogue;
+  /// bitwise equal to forward_into + gelu_forward in every tier.
+  void forward_gelu_into(const Tensor& x, Ctx& ctx, Tensor& y,
+                         Tensor& g) const;
   Tensor backward(const Tensor& dy, const Ctx& ctx);
 
   void collect(std::vector<Param*>& out) {
@@ -167,6 +173,7 @@ class TransformerBlock {
     LayerNorm::Ctx ln1, ln2;
     MultiHeadAttention::DecodeWs attn;
     Linear::Ctx fc_ctx, proj_ctx;
+    Tensor gelu_in, gelu_out;  ///< fused MLP workspace, re-shaped in place
   };
 
   /// `seq` as in MultiHeadAttention::forward (−1 = construction length).

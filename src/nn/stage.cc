@@ -93,6 +93,8 @@ Tensor StageModule::run_forward(const MicroBatch& mb, const Tensor& input,
 }
 
 Tensor StageModule::apply_head(const Tensor& x) {
+  // head_->forward routes through gemm_bias: on the fast kernel tier the
+  // [rows, vocab] head projection applies its bias as a tile epilogue.
   final_ln_->forward_into(x, head_ws_.ln, head_ws_.normed);
   return head_->forward(head_ws_.normed, head_ws_.head);
 }

@@ -12,6 +12,7 @@
 #include "core/sync_placement.h"
 #include "optim/lr_schedule.h"
 #include "optim/optimizer.h"
+#include "tensor/kernels.h"
 
 namespace chimera::rt {
 
@@ -59,6 +60,13 @@ struct TrainerOptions {
   /// PipelineTrainer's setting wins — and the kernels' fixed split points
   /// make results bitwise identical at any setting (DESIGN.md §2 item 17).
   int intra_op = -1;
+  /// GEMM implementation tier (DESIGN.md §2 item 18). Process-wide like
+  /// intra_op — the most recently constructed engine wins — and overridable
+  /// by CHIMERA_KERNEL_TIER. kAuto picks the vectorized fast tier on
+  /// AVX2+FMA hosts; kScalarReference pins the bitwise reference that the
+  /// parity/grad-sync contracts are stated against (gemm/gemm_tn stay
+  /// bitwise identical across tiers; gemm_nt is tolerance-equal on kFast).
+  KernelPolicy kernel = KernelPolicy::kAuto;
 };
 
 /// Result of one training iteration.
@@ -85,6 +93,8 @@ struct ServeOptions {
   /// Intra-op kernel helper threads; see TrainerOptions::intra_op (serving
   /// sizes −1 as max(0, hardware_concurrency − D)).
   int intra_op = -1;
+  /// GEMM tier; see TrainerOptions::kernel.
+  KernelPolicy kernel = KernelPolicy::kAuto;
   /// Test hook: microsecond clock used for batch-deadline decisions and the
   /// enqueue→logits latency stamps. Null = monotonic wall clock. The
   /// background serving loop sleeps in real time regardless — a fake clock
@@ -125,6 +135,8 @@ struct DecodeOptions {
   PartitionPolicy partition = PartitionPolicy::kEven;
   /// Intra-op kernel helper threads; see TrainerOptions::intra_op.
   int intra_op = -1;
+  /// GEMM tier; see TrainerOptions::kernel.
+  KernelPolicy kernel = KernelPolicy::kAuto;
   /// Test hook: microsecond clock for enqueue/first-token/done stamps
   /// (time-to-first-token and inter-token latency). Null = monotonic wall
   /// clock.

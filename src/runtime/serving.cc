@@ -72,6 +72,7 @@ ServingEngine::ServingEngine(const nn::SmallModelConfig& model, Scheme scheme,
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   ComputePool::instance().set_helpers(
       opts_.intra_op >= 0 ? opts_.intra_op : std::max(0, hw - D));
+  set_kernel_policy(opts_.kernel);
   pool_ = std::make_unique<WorkerPool>(D);
 }
 

@@ -89,6 +89,7 @@ PipelineTrainer::PipelineTrainer(const nn::SmallModelConfig& model,
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   ComputePool::instance().set_helpers(
       opts.intra_op >= 0 ? opts.intra_op : std::max(0, hw - W * D));
+  set_kernel_policy(opts.kernel);
   reduce_bufs_.resize(D);
   pool_ = std::make_unique<WorkerPool>(W * D);
 }
@@ -197,7 +198,9 @@ SequentialTrainer::SequentialTrainer(const nn::SmallModelConfig& model,
     : model_(model), opts_(opts),
       module_(std::make_unique<nn::StageModule>(model, 0, 1)),
       opt_(std::make_unique<optim::Optimizer>(module_->params(),
-                                              opts.optimizer)) {}
+                                              opts.optimizer)) {
+  set_kernel_policy(opts.kernel);
+}
 
 SequentialTrainer::~SequentialTrainer() = default;
 

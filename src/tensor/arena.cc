@@ -23,7 +23,7 @@ enum class State { kUnused, kAlive, kDead };
 thread_local State t_state = State::kUnused;
 
 struct Arena {
-  std::array<std::vector<std::vector<float>>, kBuckets> buckets;
+  std::array<std::vector<FloatBuffer>, kBuckets> buckets;
   Arena() { t_state = State::kAlive; }
   ~Arena() { t_state = State::kDead; }
 };
@@ -35,25 +35,25 @@ Arena& arena() {
 
 }  // namespace
 
-std::vector<float> arena_acquire(std::size_t n) {
+FloatBuffer arena_acquire(std::size_t n) {
   if (n < kMinRecycled || t_state == State::kDead) {
-    std::vector<float> v;
+    FloatBuffer v;
     v.reserve(n);
     return v;
   }
   const int b = ceil_log2(n);
   Arena& a = arena();  // constructs (and marks alive) on first use
   if (b < kBuckets && !a.buckets[b].empty()) {
-    std::vector<float> v = std::move(a.buckets[b].back());
+    FloatBuffer v = std::move(a.buckets[b].back());
     a.buckets[b].pop_back();
     return v;
   }
-  std::vector<float> v;
+  FloatBuffer v;
   v.reserve(std::size_t(1) << b);  // full bucket width: refiles where acquired
   return v;
 }
 
-void arena_release(std::vector<float>&& v) {
+void arena_release(FloatBuffer&& v) {
   if (v.capacity() < kMinRecycled) return;  // freed by the vector itself
   if (t_state == State::kDead) return;      // thread exiting: plain free
   const int b = floor_log2(v.capacity());

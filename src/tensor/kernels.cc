@@ -1,10 +1,14 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "tensor/compute_pool.h"
+#include "tensor/kernels_simd.h"
 
 namespace chimera {
 namespace {
@@ -13,9 +17,60 @@ namespace {
 /// logical (row, col) of each operand to storage.
 constexpr int kBlock = 48;
 
+std::atomic<KernelPolicy> g_kernel_policy{KernelPolicy::kAuto};
+
+enum class EnvPin { kNone, kScalar, kFast };
+
+/// CHIMERA_KERNEL_TIER, read once at first kernel dispatch (tests and CI
+/// pin a tier for a whole process run; mutating the environment mid-run is
+/// not a supported way to switch tiers).
+EnvPin env_pin() {
+  static const EnvPin pin = [] {
+    const char* v = std::getenv("CHIMERA_KERNEL_TIER");
+    if (v == nullptr || *v == '\0') return EnvPin::kNone;
+    if (std::strcmp(v, "scalar") == 0) return EnvPin::kScalar;
+    if (std::strcmp(v, "fast") == 0) return EnvPin::kFast;
+    CHIMERA_CHECK(false && "CHIMERA_KERNEL_TIER must be 'scalar' or 'fast'");
+    return EnvPin::kNone;
+  }();
+  return pin;
+}
+
+/// Env pin ▸ policy ▸ CPU capability (kAuto). kFast forces the fast tier
+/// even without AVX2 — the portable mirror runs there.
+bool use_fast_tier() {
+  switch (env_pin()) {
+    case EnvPin::kScalar: return false;
+    case EnvPin::kFast: return true;
+    case EnvPin::kNone: break;
+  }
+  switch (g_kernel_policy.load(std::memory_order_relaxed)) {
+    case KernelPolicy::kScalarReference: return false;
+    case KernelPolicy::kFast: return true;
+    case KernelPolicy::kAuto: break;
+  }
+  return simd::cpu_supports_avx2_fma();
+}
+
 }  // namespace
 
+void set_kernel_policy(KernelPolicy policy) {
+  g_kernel_policy.store(policy, std::memory_order_relaxed);
+}
+
+KernelPolicy kernel_policy() {
+  return g_kernel_policy.load(std::memory_order_relaxed);
+}
+
+KernelTier active_kernel_tier() {
+  return use_fast_tier() ? KernelTier::kFast : KernelTier::kScalar;
+}
+
 void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  if (use_fast_tier()) {
+    simd::gemm_fast(a, b, c, accumulate);
+    return;
+  }
   const int m = a.rows(), k = a.cols(), n = b.cols();
   CHIMERA_CHECK(b.rows() == k && c.rows() == m && c.cols() == n);
   if (!accumulate) c.zero();
@@ -47,6 +102,10 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
 }
 
 void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  if (use_fast_tier()) {
+    simd::gemm_tn_fast(a, b, c, accumulate);
+    return;
+  }
   const int k = a.rows(), m = a.cols(), n = b.cols();
   CHIMERA_CHECK(b.rows() == k && c.rows() == m && c.cols() == n);
   if (!accumulate) c.zero();
@@ -73,27 +132,65 @@ void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
 }
 
 void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  if (use_fast_tier()) {
+    simd::gemm_nt_fast(a, b, c, accumulate);
+    return;
+  }
   const int m = a.rows(), k = a.cols(), n = b.rows();
   CHIMERA_CHECK(b.cols() == k && c.rows() == m && c.cols() == n);
   if (!accumulate) c.zero();
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  // Blocked like gemm/gemm_tn: kBlock×kBlock over (rows, l), so each B
+  // column block (n×kBlock values) is reused across the whole row block
+  // instead of streaming all of B once per output row. Per element the
+  // accumulation is a partial dot per l-block, blocks ascending, added into
+  // C in that fixed order — a pure function of the shapes, so pooled runs
+  // stay bitwise ≡ serial (and for k ≤ kBlock — every attention dk path —
+  // the single block reproduces the old full-dot order exactly).
   const int shards = plan_shards(m, static_cast<std::size_t>(k) * n);
   ComputePool::instance().parallel_for(shards, [&](int s) {
     const int r0 = shard_begin(m, shards, s);
     const int r1 = shard_begin(m, shards, s + 1);
-    for (int i = r0; i < r1; ++i) {
-      const float* arow = pa + static_cast<std::size_t>(i) * k;
-      float* crow = pc + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        const float* brow = pb + static_cast<std::size_t>(j) * k;
-        float acc = 0.0f;
-        for (int l = 0; l < k; ++l) acc += arow[l] * brow[l];
-        crow[j] += acc;
+    for (int i0 = r0; i0 < r1; i0 += kBlock) {
+      const int i1 = std::min(r1, i0 + kBlock);
+      for (int l0 = 0; l0 < k; l0 += kBlock) {
+        const int l1 = std::min(k, l0 + kBlock);
+        for (int i = i0; i < i1; ++i) {
+          const float* arow = pa + static_cast<std::size_t>(i) * k;
+          float* crow = pc + static_cast<std::size_t>(i) * n;
+          for (int j = 0; j < n; ++j) {
+            const float* brow = pb + static_cast<std::size_t>(j) * k;
+            float acc = 0.0f;
+            for (int l = l0; l < l1; ++l) acc += arow[l] * brow[l];
+            crow[j] += acc;
+          }
+        }
       }
     }
   });
+}
+
+void gemm_bias(const Tensor& x, const Tensor& w, const Tensor& bias,
+               Tensor& y) {
+  if (use_fast_tier()) {
+    simd::gemm_bias_act_fast(x, w, bias, y, nullptr);
+    return;
+  }
+  gemm(x, w, y);
+  add_bias(y, bias);
+}
+
+void gemm_bias_gelu(const Tensor& x, const Tensor& w, const Tensor& bias,
+                    Tensor& y, Tensor& g) {
+  if (use_fast_tier()) {
+    simd::gemm_bias_act_fast(x, w, bias, y, &g);
+    return;
+  }
+  gemm(x, w, y);
+  add_bias(y, bias);
+  gelu_forward(y, g);
 }
 
 void add_bias(Tensor& y, const Tensor& bias) {
@@ -135,10 +232,7 @@ void gelu_forward(const Tensor& x, Tensor& y) {
     const std::size_t i0 = static_cast<std::size_t>(shard_begin(units, shards, s)) * 256;
     const std::size_t i1 =
         std::min(n, static_cast<std::size_t>(shard_begin(units, shards, s + 1)) * 256);
-    for (std::size_t i = i0; i < i1; ++i) {
-      const float v = x[i];
-      y[i] = 0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
-    }
+    for (std::size_t i = i0; i < i1; ++i) y[i] = detail::gelu_eval(x[i]);
   });
 }
 

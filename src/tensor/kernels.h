@@ -6,18 +6,73 @@
 // and identical to the serial path at any thread count — which the
 // gradient-equivalence tests (pipeline vs sequential SGD) and the runtime
 // parity tests rely on (DESIGN.md §2 item 17).
+//
+// The GEMM variants have two tiers (DESIGN.md §2 item 18): the scalar
+// reference (the bitwise anchor every parity/grad-sync/decode contract
+// pins) and a vectorized, cache-blocked fast tier (tensor/kernels_simd.cc:
+// AVX2 microkernels with packed B panels, plus a portable mirror). Tier
+// selection is the process-wide KernelPolicy below, overridable by the
+// CHIMERA_KERNEL_TIER environment variable. gemm / gemm_tn stay bitwise
+// identical across tiers (the fast tier keeps the per-element serial
+// reduction order and pairs multiply with add — no FMA contraction);
+// gemm_nt's fast tier uses a lane-parallel reduction tree and is only
+// tolerance-equal to the reference (see DESIGN.md §2 item 18 for why).
 #pragma once
+
+#include <cmath>
 
 #include "tensor/tensor.h"
 
 namespace chimera {
 
+/// Which GEMM implementation tier the process uses (DESIGN.md §2 item 18).
+/// kScalarReference is the bitwise anchor; kFast is the vectorized blocked
+/// tier; kAuto resolves to kFast on AVX2+FMA hosts and to the reference
+/// elsewhere. The CHIMERA_KERNEL_TIER environment variable ("scalar" or
+/// "fast", read once at first kernel dispatch) overrides the policy — the
+/// test/CI hook for pinning either tier without code changes.
+enum class KernelPolicy { kScalarReference, kFast, kAuto };
+
+/// The resolved tier a dispatch actually takes.
+enum class KernelTier { kScalar, kFast };
+
+/// Sets the process-wide kernel policy (threaded through TrainerOptions /
+/// ServeOptions / DecodeOptions exactly like `intra_op`; the most recently
+/// constructed engine wins). Safe to call concurrently; kernels read it
+/// once per call.
+void set_kernel_policy(KernelPolicy policy);
+KernelPolicy kernel_policy();
+
+/// Resolves env override ▸ policy ▸ CPU capability to the tier the next
+/// kernel call will execute.
+KernelTier active_kernel_tier();
+
 /// C = A·B (+ C if accumulate). A: [m,k], B: [k,n], C: [m,n].
+/// Bitwise identical across kernel tiers.
 void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
 /// C = Aᵀ·B. A: [k,m], B: [k,n], C: [m,n].
+/// Bitwise identical across kernel tiers.
 void gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
 /// C = A·Bᵀ. A: [m,k], B: [n,k], C: [m,n].
+/// Fast tier is tolerance-equal only: the dot-product inner loop reduces
+/// over the contraction dimension itself, which vectorization necessarily
+/// reassociates (DESIGN.md §2 item 18).
 void gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+
+/// Y = X·W + bias — Linear's forward with the bias folded into the GEMM
+/// epilogue. Bitwise equal to gemm(x, w, y); add_bias(y, bias) in both
+/// tiers (the epilogue performs the same single add per element, after the
+/// element's accumulation completes).
+void gemm_bias(const Tensor& x, const Tensor& w, const Tensor& bias, Tensor& y);
+
+/// Y = X·W + bias and G = gelu(Y) — the fused Linear→GELU forward of the
+/// transformer MLP hot path. Bitwise equal to the unfused
+/// gemm + add_bias + gelu_forward sequence in both tiers: the epilogue
+/// applies the identical bias add and the identical scalar GELU expression
+/// to each element while the output tile is cache-hot; fusion changes
+/// memory traffic, never arithmetic.
+void gemm_bias_gelu(const Tensor& x, const Tensor& w, const Tensor& bias,
+                    Tensor& y, Tensor& g);
 
 /// y[r,:] += bias for every row.
 void add_bias(Tensor& y, const Tensor& bias);
@@ -44,5 +99,18 @@ void softmax_rows(const Tensor& x, Tensor& y);
 /// Returns the loss; dlogits = (softmax − onehot)/rows · loss_scale.
 float cross_entropy(const Tensor& logits, const std::vector<int>& targets,
                     Tensor& dlogits, float loss_scale = 1.0f);
+
+namespace detail {
+
+/// The GELU (tanh approximation) both tiers apply elementwise. One shared
+/// inline definition, always compiled in plain (non-target-attributed)
+/// code, so gelu_forward and the fused fast-tier epilogue produce bitwise
+/// identical transforms of identical inputs.
+inline float gelu_eval(float v) {
+  constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+  return 0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
+}
+
+}  // namespace detail
 
 }  // namespace chimera

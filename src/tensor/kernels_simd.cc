@@ -1,0 +1,373 @@
+// Fast GEMM tier: cache-blocked, register-tiled microkernels with packed B
+// panels (DESIGN.md §2 item 18).
+//
+// Layout. Every variant packs B once per op into 16-column panels
+// (zero-padded to the panel width, 64-byte aligned via the arena's
+// allocator) on the calling thread, then shards output rows onto the
+// ComputePool with the same shape-only split points the scalar tier uses.
+// Inside a shard, gemm/gemm_tn walk panel-major over 6×16 register tiles;
+// gemm_nt walks 48-row blocks with 4-column dot groups so the four B rows
+// of a group stay L1-resident across the block.
+//
+// Two implementations share that structure: AVX2+FMA microkernels behind
+// __attribute__((target)) with __builtin_cpu_supports dispatch, and a
+// portable mirror with the same blocking and the same per-element
+// accumulation orders (plain C++ the autovectorizer may or may not
+// vectorize — either way the arithmetic per element is fixed).
+//
+// Determinism. gemm/gemm_tn tiles broadcast one A element against 16 B
+// lanes and pair every multiply with a separate add (vmulps + vaddps), so
+// each output element performs the exact serial ascending-l reduction of
+// the scalar reference — bitwise identical on every host, which is why
+// this file must be compiled with -ffp-contract=off (gcc otherwise
+// contracts mul+add — intrinsic or not — into one differently-rounded FMA
+// inside an fma-target function; CMakeLists pins the flag). gemm_nt
+// reduces a dot product across lanes: 8 strided partials, a fixed combine
+// tree, explicit FMA intrinsics in the vector body, and a scalar tail —
+// tolerance-equal to the reference, but a pure function of k and the data,
+// so results never depend on the row count or the shard split.
+#include "tensor/kernels_simd.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "tensor/arena.h"
+#include "tensor/compute_pool.h"
+#include "tensor/kernels.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CHIMERA_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define CHIMERA_SIMD_X86 0
+#endif
+
+namespace chimera::simd {
+namespace {
+
+constexpr int kNR = 16;       ///< panel width: two 8-float vectors
+constexpr int kMR = 6;        ///< register-tile rows (12 acc regs + 4 live)
+constexpr int kNtBlock = 48;  ///< gemm_nt row block (matches scalar kBlock)
+constexpr int kNtGroup = 4;   ///< gemm_nt dot-product columns per pass
+
+/// Per-thread packing workspace, grow-only so the steady state neither
+/// allocates nor memsets (packing overwrites every element, including the
+/// zero padding). Seeded from the arena so warm parked buffers get reused.
+float* pack_workspace(std::size_t n) {
+  static thread_local detail::FloatBuffer buf;
+  if (buf.size() < n) {
+    detail::arena_release(std::move(buf));
+    buf = detail::arena_acquire(n);
+    buf.resize(n);
+  }
+  return buf.data();
+}
+
+/// Packs B[k,n] (row-major) into ⌈n/16⌉ column panels: panel p holds
+/// columns [16p, 16p+16) contiguously as k rows of 16 floats, the tail
+/// panel zero-padded. One pass over B, reused by every row tile of the op.
+void pack_b_panels(const float* pb, int k, int n, float* packed) {
+  const int panels = (n + kNR - 1) / kNR;
+  for (int p = 0; p < panels; ++p) {
+    const int j0 = p * kNR;
+    const int w = std::min(kNR, n - j0);
+    float* dst = packed + static_cast<std::size_t>(p) * k * kNR;
+    for (int l = 0; l < k; ++l) {
+      const float* src = pb + static_cast<std::size_t>(l) * n + j0;
+      for (int j = 0; j < w; ++j) dst[j] = src[j];
+      for (int j = w; j < kNR; ++j) dst[j] = 0.0f;
+      dst += kNR;
+    }
+  }
+}
+
+/// One MR×16 tile of C (+)= A·panel. `pa` points at the tile's first A
+/// element; element (r, l) of the tile's A slice lives at pa[r·ra + l·rl]
+/// (NN: ra=k, rl=1; TN: ra=1, rl=m — the strides absorb the transpose so
+/// both variants share every microkernel). `width` ∈ [1, 16] live columns.
+using TileFn = void (*)(const float* pa, std::size_t ra, std::size_t rl,
+                        int k, const float* panel, float* pc, std::size_t ldc,
+                        int width, bool accumulate);
+
+/// One row of C[j0..j0+JT) (+)= dot(A row, B rows j0..). `pb` points at B
+/// row j0; row j0+g lives at pb[g·ldb].
+using DotFn = void (*)(const float* arow, const float* pb, std::size_t ldb,
+                       int k, float* cdst, bool accumulate);
+
+// ---------------------------------------------------------------------------
+// Portable mirror. Same blocking, same per-element accumulation orders.
+// ---------------------------------------------------------------------------
+
+template <int MR>
+void tile_portable(const float* pa, std::size_t ra, std::size_t rl, int k,
+                   const float* panel, float* pc, std::size_t ldc, int width,
+                   bool accumulate) {
+  float acc[MR][kNR];
+  for (int r = 0; r < MR; ++r)
+    for (int j = 0; j < kNR; ++j)
+      acc[r][j] = (accumulate && j < width) ? pc[r * ldc + j] : 0.0f;
+  for (int l = 0; l < k; ++l) {
+    const float* brow = panel + static_cast<std::size_t>(l) * kNR;
+    for (int r = 0; r < MR; ++r) {
+      const float av = pa[r * ra + static_cast<std::size_t>(l) * rl];
+      for (int j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int r = 0; r < MR; ++r)
+    for (int j = 0; j < width; ++j) pc[r * ldc + j] = acc[r][j];
+}
+
+template <int JT>
+void dot_portable(const float* arow, const float* pb, std::size_t ldb, int k,
+                  float* cdst, bool accumulate) {
+  float lanes[JT][8] = {};
+  int l = 0;
+  for (; l + 8 <= k; l += 8)
+    for (int g = 0; g < JT; ++g) {
+      const float* brow = pb + g * ldb;
+      for (int t = 0; t < 8; ++t) lanes[g][t] += arow[l + t] * brow[l + t];
+    }
+  for (int g = 0; g < JT; ++g) {
+    // The exact combine tree of the AVX2 horizontal sum below.
+    float* p = lanes[g];
+    float sum = ((p[0] + p[4]) + (p[2] + p[6])) + ((p[1] + p[5]) + (p[3] + p[7]));
+    const float* brow = pb + g * ldb;
+    for (int t = l; t < k; ++t) sum += arow[t] * brow[t];
+    cdst[g] = (accumulate ? cdst[g] : 0.0f) + sum;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2(+FMA) microkernels. Compiled for the ISA via target attributes so
+// the rest of the binary stays baseline x86-64; only entered after
+// cpu_supports_avx2_fma().
+// ---------------------------------------------------------------------------
+#if CHIMERA_SIMD_X86
+
+#define CHIMERA_TARGET_AVX2 __attribute__((target("avx2,fma")))
+
+/// -1 (all bits) marks a live lane; lane_mask(w) keeps the first w of 8.
+alignas(32) constexpr int kMaskTable[kNR] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                             0,  0,  0,  0,  0,  0,  0,  0};
+
+CHIMERA_TARGET_AVX2
+inline __m256i lane_mask(int live) {
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMaskTable + 8 - live));
+}
+
+template <int MR>
+CHIMERA_TARGET_AVX2
+void tile_avx2(const float* pa, std::size_t ra, std::size_t rl, int k,
+               const float* panel, float* pc, std::size_t ldc, int width,
+               bool accumulate) {
+  // 2·MR accumulators (≤ 12 ymm) + two panel vectors + one broadcast stay
+  // within the 16 ymm registers for MR = 6.
+  __m256 acc[MR][2];
+  const bool full = width == kNR;
+  const __m256i m0 = full ? __m256i{} : lane_mask(std::min(width, 8));
+  const __m256i m1 = full ? __m256i{} : lane_mask(std::max(width - 8, 0));
+  for (int r = 0; r < MR; ++r) {
+    float* crow = pc + r * ldc;
+    if (!accumulate) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    } else if (full) {
+      acc[r][0] = _mm256_loadu_ps(crow);
+      acc[r][1] = _mm256_loadu_ps(crow + 8);
+    } else {
+      acc[r][0] = _mm256_maskload_ps(crow, m0);
+      acc[r][1] = _mm256_maskload_ps(crow + 8, m1);
+    }
+  }
+  for (int l = 0; l < k; ++l) {
+    // Panels are 64-byte aligned and 16 floats wide: aligned loads, no peel.
+    const __m256 b0 = _mm256_load_ps(panel);
+    const __m256 b1 = _mm256_load_ps(panel + 8);
+    panel += kNR;
+    const float* al = pa + static_cast<std::size_t>(l) * rl;
+    for (int r = 0; r < MR; ++r) {
+      const __m256 av = _mm256_broadcast_ss(al + r * ra);
+      // Separate multiply and add — never vfmadd — so each element keeps
+      // the scalar tier's rounding exactly (file built -ffp-contract=off).
+      acc[r][0] = _mm256_add_ps(acc[r][0], _mm256_mul_ps(av, b0));
+      acc[r][1] = _mm256_add_ps(acc[r][1], _mm256_mul_ps(av, b1));
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    float* crow = pc + r * ldc;
+    if (full) {
+      _mm256_storeu_ps(crow, acc[r][0]);
+      _mm256_storeu_ps(crow + 8, acc[r][1]);
+    } else {
+      _mm256_maskstore_ps(crow, m0, acc[r][0]);
+      _mm256_maskstore_ps(crow + 8, m1, acc[r][1]);
+    }
+  }
+}
+
+/// Fixed-tree horizontal sum: ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)) —
+/// dot_portable mirrors this order exactly.
+CHIMERA_TARGET_AVX2
+inline float hsum8(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+template <int JT>
+CHIMERA_TARGET_AVX2
+void dot_avx2(const float* arow, const float* pb, std::size_t ldb, int k,
+              float* cdst, bool accumulate) {
+  __m256 acc[JT];
+  for (int g = 0; g < JT; ++g) acc[g] = _mm256_setzero_ps();
+  int l = 0;
+  for (; l + 8 <= k; l += 8) {
+    const __m256 av = _mm256_loadu_ps(arow + l);
+    for (int g = 0; g < JT; ++g)
+      acc[g] = _mm256_fmadd_ps(av, _mm256_loadu_ps(pb + g * ldb + l), acc[g]);
+  }
+  for (int g = 0; g < JT; ++g) {
+    float sum = hsum8(acc[g]);
+    const float* brow = pb + g * ldb;
+    for (int t = l; t < k; ++t) sum += arow[t] * brow[t];
+    cdst[g] = (accumulate ? cdst[g] : 0.0f) + sum;
+  }
+}
+
+#endif  // CHIMERA_SIMD_X86
+
+/// mr/jt-indexed dispatch tables (index 0 unused).
+struct Tables {
+  TileFn tile[kMR + 1];
+  DotFn dot[kNtGroup + 1];
+};
+
+constexpr Tables kPortable = {
+    {nullptr, tile_portable<1>, tile_portable<2>, tile_portable<3>,
+     tile_portable<4>, tile_portable<5>, tile_portable<6>},
+    {nullptr, dot_portable<1>, dot_portable<2>, dot_portable<3>,
+     dot_portable<4>}};
+
+#if CHIMERA_SIMD_X86
+constexpr Tables kAvx2 = {
+    {nullptr, tile_avx2<1>, tile_avx2<2>, tile_avx2<3>, tile_avx2<4>,
+     tile_avx2<5>, tile_avx2<6>},
+    {nullptr, dot_avx2<1>, dot_avx2<2>, dot_avx2<3>, dot_avx2<4>}};
+#endif
+
+const Tables& tables() {
+#if CHIMERA_SIMD_X86
+  if (cpu_supports_avx2_fma()) return kAvx2;
+#endif
+  return kPortable;
+}
+
+/// Shared panel driver for gemm (ra=k, rl=1) and gemm_tn (ra=1, rl=m): pack
+/// B, shard output rows, then panel-major 6×16 tiles inside each shard so
+/// the active panel stays cache-hot across row tiles. When `bias`/`pg` are
+/// set, the fused epilogue runs on each finished tile — in this plain
+/// (non-target) function, with the shared detail::gelu_eval, so fusion is
+/// bitwise-identical to the unfused add_bias/gelu_forward passes.
+void gemm_panels(const float* pa, std::size_t ra, std::size_t rl, int m,
+                 int n, int k, const float* pb, float* pc, bool accumulate,
+                 const float* bias, float* pg) {
+  const int panels = (n + kNR - 1) / kNR;
+  float* packed =
+      pack_workspace(static_cast<std::size_t>(panels) * k * kNR);
+  pack_b_panels(pb, k, n, packed);
+  const Tables& t = tables();
+  const int shards = plan_shards(m, static_cast<std::size_t>(k) * n);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int r0 = shard_begin(m, shards, s);
+    const int r1 = shard_begin(m, shards, s + 1);
+    for (int p = 0; p < panels; ++p) {
+      const int j0 = p * kNR;
+      const int width = std::min(kNR, n - j0);
+      const float* panel = packed + static_cast<std::size_t>(p) * k * kNR;
+      for (int i = r0; i < r1; i += kMR) {
+        const int mr = std::min(kMR, r1 - i);
+        float* ctile = pc + static_cast<std::size_t>(i) * n + j0;
+        t.tile[mr](pa + i * ra, ra, rl, k, panel, ctile, n, width, accumulate);
+        if (bias || pg) {
+          for (int r = i; r < i + mr; ++r) {
+            float* yrow = pc + static_cast<std::size_t>(r) * n;
+            float* grow = pg ? pg + static_cast<std::size_t>(r) * n : nullptr;
+            for (int j = j0; j < j0 + width; ++j) {
+              if (bias) yrow[j] += bias[j];
+              if (grow) grow[j] = chimera::detail::gelu_eval(yrow[j]);
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+bool cpu_supports_avx2_fma() {
+#if CHIMERA_SIMD_X86
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+void gemm_fast(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  CHIMERA_CHECK(b.rows() == k && c.rows() == m && c.cols() == n);
+  gemm_panels(a.data(), k, 1, m, n, k, b.data(), c.data(), accumulate,
+              nullptr, nullptr);
+}
+
+void gemm_tn_fast(const Tensor& a, const Tensor& b, Tensor& c,
+                  bool accumulate) {
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  CHIMERA_CHECK(b.rows() == k && c.rows() == m && c.cols() == n);
+  gemm_panels(a.data(), 1, m, m, n, k, b.data(), c.data(), accumulate,
+              nullptr, nullptr);
+}
+
+void gemm_bias_act_fast(const Tensor& x, const Tensor& w, const Tensor& bias,
+                        Tensor& y, Tensor* g) {
+  const int m = x.rows(), k = x.cols(), n = w.cols();
+  CHIMERA_CHECK(w.rows() == k && y.rows() == m && y.cols() == n);
+  CHIMERA_CHECK(bias.rows() == 1 && bias.cols() == n);
+  if (g != nullptr) CHIMERA_CHECK(g->rows() == m && g->cols() == n);
+  gemm_panels(x.data(), k, 1, m, n, k, w.data(), y.data(), /*accumulate=*/false,
+              bias.data(), g != nullptr ? g->data() : nullptr);
+}
+
+void gemm_nt_fast(const Tensor& a, const Tensor& b, Tensor& c,
+                  bool accumulate) {
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  CHIMERA_CHECK(b.cols() == k && c.rows() == m && c.cols() == n);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  const Tables& t = tables();
+  // Row shards, then 48-row blocks × 4-column dot groups: the group's four
+  // B rows (4k floats) stay L1-resident across the whole block while A rows
+  // stream from L2. No packing — both operands are read row-contiguously.
+  const int shards = plan_shards(m, static_cast<std::size_t>(k) * n);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int r0 = shard_begin(m, shards, s);
+    const int r1 = shard_begin(m, shards, s + 1);
+    for (int i0 = r0; i0 < r1; i0 += kNtBlock) {
+      const int i1 = std::min(r1, i0 + kNtBlock);
+      for (int j0 = 0; j0 < n; j0 += kNtGroup) {
+        const int jt = std::min(kNtGroup, n - j0);
+        const float* bgroup = pb + static_cast<std::size_t>(j0) * k;
+        for (int i = i0; i < i1; ++i)
+          t.dot[jt](pa + static_cast<std::size_t>(i) * k, bgroup, k, k,
+                    pc + static_cast<std::size_t>(i) * n + j0, accumulate);
+      }
+    }
+  });
+}
+
+}  // namespace chimera::simd

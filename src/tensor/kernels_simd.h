@@ -1,0 +1,44 @@
+// Internal interface of the fast kernel tier (DESIGN.md §2 item 18):
+// cache-blocked, register-tiled GEMM microkernels with packed B panels and
+// fused epilogues, implemented in kernels_simd.cc as an AVX2+FMA path
+// selected by runtime CPU dispatch plus a portable mirror with the same
+// blocking and the same per-element accumulation orders. Only
+// tensor/kernels.cc (the tier dispatcher) includes this header; everyone
+// else goes through the public kernels.h entry points.
+//
+// Contract recap: gemm_fast / gemm_tn_fast keep each output element's
+// serial ascending reduction over the contraction dimension and pair every
+// multiply with a separate add (no FMA contraction), so they are bitwise
+// identical to the scalar reference on every host. gemm_nt_fast reduces a
+// dot product across lanes (8 strided partials, fixed combine tree, FMA
+// where available) — its result depends only on k and the data, never on
+// the row count or the shard split, which preserves the decode
+// step-vs-reforward contract, but it is only tolerance-equal to the
+// reference.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace chimera::simd {
+
+/// True when the running CPU has AVX2 and FMA (what KernelPolicy::kAuto
+/// keys on). The fast tier still works without them via the portable path.
+bool cpu_supports_avx2_fma();
+
+/// Fast-tier C = A·B (+ C if accumulate). Bitwise ≡ scalar reference.
+void gemm_fast(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate);
+/// Fast-tier C = Aᵀ·B (+ C). Bitwise ≡ scalar reference.
+void gemm_tn_fast(const Tensor& a, const Tensor& b, Tensor& c,
+                  bool accumulate);
+/// Fast-tier C = A·Bᵀ (+ C). Tolerance-equal to the reference (lane
+/// reduction tree); bitwise stable in the row count for fixed k.
+void gemm_nt_fast(const Tensor& a, const Tensor& b, Tensor& c,
+                  bool accumulate);
+
+/// Fast-tier fused Linear forward: y = x·w + bias, and (when g != nullptr)
+/// g = gelu(y). The epilogue runs on each just-computed output tile —
+/// identical arithmetic to add_bias + gelu_forward, fewer memory passes.
+void gemm_bias_act_fast(const Tensor& x, const Tensor& w, const Tensor& bias,
+                        Tensor& y, Tensor* g);
+
+}  // namespace chimera::simd

@@ -127,7 +127,7 @@ class Tensor {
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<float> v_;
+  detail::FloatBuffer v_;
 };
 
 }  // namespace chimera

@@ -1,0 +1,298 @@
+// The kernel-tier contract (DESIGN.md §2 item 18).
+//
+// gemm / gemm_tn must be BITWISE identical across tiers: the fast tier's
+// microkernels keep every output element's serial ascending reduction over
+// the contraction dimension and never contract mul+add into FMA. gemm_nt's
+// fast tier reduces dot products across vector lanes, so it is only
+// tolerance-equal to the reference — but each element is a pure function of
+// k and the data, so it must be bitwise stable in the row count (the decode
+// step-vs-reforward contract) and in the shard split.
+//
+// The tests verify against a test-local serial replica of the scalar
+// reference (same blocking, same accumulation orders), so they hold under
+// either CHIMERA_KERNEL_TIER pin: pinned runs check the pinned tier against
+// the replica; unpinned runs additionally flip tiers via the policy and
+// compare the tiers directly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "tensor/compute_pool.h"
+#include "tensor/kernels.h"
+#include "tensor/kernels_simd.h"
+
+namespace chimera {
+namespace {
+
+enum class EnvPin { kNone, kScalar, kFast };
+
+EnvPin env_pin() {
+  const char* v = std::getenv("CHIMERA_KERNEL_TIER");
+  if (v == nullptr || *v == '\0') return EnvPin::kNone;
+  return std::strcmp(v, "scalar") == 0 ? EnvPin::kScalar : EnvPin::kFast;
+}
+
+/// Policies whose dispatch the current environment lets us observe: with a
+/// pinned tier the policy is ignored, so one entry suffices; unpinned, both
+/// explicit tiers are reachable.
+std::vector<KernelPolicy> testable_policies() {
+  if (env_pin() != EnvPin::kNone) return {kernel_policy()};
+  return {KernelPolicy::kScalarReference, KernelPolicy::kFast};
+}
+
+/// RAII: tests restore the process policy they mutate.
+struct PolicyGuard {
+  KernelPolicy saved = kernel_policy();
+  ~PolicyGuard() { set_kernel_policy(saved); }
+};
+
+Tensor random_tensor(int r, int c, Rng& rng, float scale = 1.0f) {
+  Tensor t(r, c);
+  t.randn(rng, scale);
+  return t;
+}
+
+// Serial replicas of the scalar reference tier's per-element accumulation
+// orders (kernels.cc): ascending l for gemm/gemm_tn, ascending kBlock
+// partial dots for gemm_nt. Plain mul+add — like the reference, these are
+// compiled for baseline x86-64 where no FMA contraction exists.
+constexpr int kRefBlock = 48;
+
+void ref_gemm(const Tensor& a, const Tensor& b, Tensor& c, bool acc) {
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < b.cols(); ++j) {
+      float s = acc ? c.at(i, j) : 0.0f;
+      for (int l = 0; l < a.cols(); ++l) s += a.at(i, l) * b.at(l, j);
+      c.at(i, j) = s;
+    }
+}
+
+void ref_gemm_tn(const Tensor& a, const Tensor& b, Tensor& c, bool acc) {
+  for (int i = 0; i < a.cols(); ++i)
+    for (int j = 0; j < b.cols(); ++j) {
+      float s = acc ? c.at(i, j) : 0.0f;
+      for (int l = 0; l < a.rows(); ++l) s += a.at(l, i) * b.at(l, j);
+      c.at(i, j) = s;
+    }
+}
+
+void ref_gemm_nt(const Tensor& a, const Tensor& b, Tensor& c, bool acc) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < b.rows(); ++j) {
+      float s = acc ? c.at(i, j) : 0.0f;
+      for (int l0 = 0; l0 < k; l0 += kRefBlock) {
+        const int l1 = std::min(k, l0 + kRefBlock);
+        float p = 0.0f;
+        for (int l = l0; l < l1; ++l) p += a.at(i, l) * b.at(j, l);
+        s += p;
+      }
+      c.at(i, j) = s;
+    }
+}
+
+void expect_bitwise(const Tensor& got, const Tensor& want) {
+  ASSERT_EQ(got.numel(), want.numel());
+  for (std::size_t i = 0; i < got.numel(); ++i)
+    ASSERT_EQ(got[i], want[i]) << "element " << i;
+}
+
+/// Shapes deliberately off the 6×16 tile and 48 block grids (plus exact
+/// multiples and degenerate edges).
+const std::tuple<int, int, int> kShapes[] = {
+    {1, 1, 1},   {3, 5, 7},    {6, 16, 32},  {13, 48, 33},
+    {17, 31, 9}, {48, 64, 96}, {7, 129, 65}, {65, 7, 130}};
+
+TEST(KernelTier, DispatchRespectsEnvPinAndPolicy) {
+  PolicyGuard guard;
+  switch (env_pin()) {
+    case EnvPin::kScalar:
+      for (auto p : {KernelPolicy::kScalarReference, KernelPolicy::kFast,
+                     KernelPolicy::kAuto}) {
+        set_kernel_policy(p);
+        EXPECT_EQ(active_kernel_tier(), KernelTier::kScalar);
+      }
+      break;
+    case EnvPin::kFast:
+      for (auto p : {KernelPolicy::kScalarReference, KernelPolicy::kFast,
+                     KernelPolicy::kAuto}) {
+        set_kernel_policy(p);
+        EXPECT_EQ(active_kernel_tier(), KernelTier::kFast);
+      }
+      break;
+    case EnvPin::kNone:
+      set_kernel_policy(KernelPolicy::kScalarReference);
+      EXPECT_EQ(active_kernel_tier(), KernelTier::kScalar);
+      set_kernel_policy(KernelPolicy::kFast);
+      EXPECT_EQ(active_kernel_tier(), KernelTier::kFast);
+      // kAuto keys on the CPU: fast exactly on AVX2+FMA hosts.
+      set_kernel_policy(KernelPolicy::kAuto);
+      EXPECT_EQ(active_kernel_tier(), simd::cpu_supports_avx2_fma()
+                                          ? KernelTier::kFast
+                                          : KernelTier::kScalar);
+      break;
+  }
+}
+
+TEST(KernelTier, GemmBitwiseMatchesReferenceInEveryTier) {
+  PolicyGuard guard;
+  Rng rng(21);
+  for (auto [m, k, n] : kShapes) {
+    const Tensor a = random_tensor(m, k, rng);
+    const Tensor b = random_tensor(k, n, rng);
+    for (bool accumulate : {false, true}) {
+      Tensor want = random_tensor(m, n, rng, 0.5f);
+      Tensor seed = want;  // same starting contents for every tier
+      ref_gemm(a, b, want, accumulate);
+      for (KernelPolicy p : testable_policies()) {
+        SCOPED_TRACE(std::to_string(m) + "x" + std::to_string(k) + "x" +
+                     std::to_string(n) + (accumulate ? " acc" : "") +
+                     " policy=" + std::to_string(static_cast<int>(p)));
+        set_kernel_policy(p);
+        Tensor c = seed;
+        gemm(a, b, c, accumulate);
+        expect_bitwise(c, want);
+      }
+    }
+  }
+}
+
+TEST(KernelTier, GemmTnBitwiseMatchesReferenceInEveryTier) {
+  PolicyGuard guard;
+  Rng rng(22);
+  for (auto [m, k, n] : kShapes) {
+    const Tensor a = random_tensor(k, m, rng);  // stores Aᵀ
+    const Tensor b = random_tensor(k, n, rng);
+    for (bool accumulate : {false, true}) {
+      Tensor want = random_tensor(m, n, rng, 0.5f);
+      Tensor seed = want;
+      ref_gemm_tn(a, b, want, accumulate);
+      for (KernelPolicy p : testable_policies()) {
+        SCOPED_TRACE(std::to_string(m) + "x" + std::to_string(k) + "x" +
+                     std::to_string(n) + (accumulate ? " acc" : ""));
+        set_kernel_policy(p);
+        Tensor c = seed;
+        gemm_tn(a, b, c, accumulate);
+        expect_bitwise(c, want);
+      }
+    }
+  }
+}
+
+TEST(KernelTier, GemmNtToleranceAgainstReference) {
+  PolicyGuard guard;
+  Rng rng(23);
+  for (auto [m, k, n] : kShapes) {
+    const Tensor a = random_tensor(m, k, rng);
+    const Tensor b = random_tensor(n, k, rng);  // stores Bᵀ
+    for (bool accumulate : {false, true}) {
+      Tensor want = random_tensor(m, n, rng, 0.5f);
+      Tensor seed = want;
+      ref_gemm_nt(a, b, want, accumulate);
+      for (KernelPolicy p : testable_policies()) {
+        SCOPED_TRACE(std::to_string(m) + "x" + std::to_string(k) + "x" +
+                     std::to_string(n) + (accumulate ? " acc" : ""));
+        set_kernel_policy(p);
+        Tensor c = seed;
+        gemm_nt(a, b, c, accumulate);
+        if (active_kernel_tier() == KernelTier::kScalar) {
+          expect_bitwise(c, want);  // the reference tier has one exact order
+        } else {
+          for (std::size_t i = 0; i < c.numel(); ++i)
+            ASSERT_NEAR(c[i], want[i], 1e-5f * k) << "element " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelTier, GemmNtRowsAreBitwiseStableInRowCount) {
+  // The decode contract: a [1, k] query row must produce bitwise the same
+  // scores whether computed alone (decode_step) or as one row of the full
+  // [m, k] forward — in every tier, the per-element result depends only on
+  // k and the data, never on m or the shard split.
+  PolicyGuard guard;
+  Rng rng(24);
+  const int m = 37, k = 48, n = 29;
+  const Tensor a = random_tensor(m, k, rng);
+  const Tensor b = random_tensor(n, k, rng);
+  for (KernelPolicy p : testable_policies()) {
+    set_kernel_policy(p);
+    Tensor full(m, n);
+    gemm_nt(a, b, full, /*accumulate=*/false);
+    for (int i : {0, 5, 36}) {
+      Tensor arow(1, k);
+      for (int l = 0; l < k; ++l) arow.at(0, l) = a.at(i, l);
+      Tensor crow(1, n);
+      gemm_nt(arow, b, crow, /*accumulate=*/false);
+      for (int j = 0; j < n; ++j)
+        ASSERT_EQ(crow.at(0, j), full.at(i, j)) << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(KernelTier, FusedBiasGeluBitwiseMatchesUnfused) {
+  PolicyGuard guard;
+  Rng rng(25);
+  for (auto [m, k, n] : kShapes) {
+    const Tensor x = random_tensor(m, k, rng);
+    const Tensor w = random_tensor(k, n, rng);
+    const Tensor bias = random_tensor(1, n, rng, 0.5f);
+    for (KernelPolicy p : testable_policies()) {
+      SCOPED_TRACE(std::to_string(m) + "x" + std::to_string(k) + "x" +
+                   std::to_string(n));
+      set_kernel_policy(p);
+      Tensor want_y(m, n);
+      gemm(x, w, want_y);
+      add_bias(want_y, bias);
+      Tensor want_g(m, n);
+      gelu_forward(want_y, want_g);
+
+      Tensor y1(m, n);
+      gemm_bias(x, w, bias, y1);
+      expect_bitwise(y1, want_y);
+
+      Tensor y2(m, n), g2(m, n);
+      gemm_bias_gelu(x, w, bias, y2, g2);
+      expect_bitwise(y2, want_y);
+      expect_bitwise(g2, want_g);
+    }
+  }
+}
+
+TEST(KernelTier, PooledShardsBitwiseMatchSerialInEveryTier) {
+  // Shard-split independence of the fast tier (packed panels are built on
+  // the calling thread; helpers only consume them). Shapes large enough
+  // that plan_shards genuinely splits at the default grain.
+  PolicyGuard guard;
+  Rng rng(26);
+  const Tensor a = random_tensor(130, 70, rng);
+  const Tensor b = random_tensor(70, 90, rng);
+  const Tensor bt = random_tensor(90, 70, rng);
+  const Tensor at = random_tensor(70, 130, rng);
+  for (KernelPolicy p : testable_policies()) {
+    set_kernel_policy(p);
+    ComputePool::instance().set_helpers(0);
+    Tensor c1(130, 90), c2(130, 90), c3(130, 90);
+    gemm(a, b, c1);
+    gemm_tn(at, b, c2);
+    gemm_nt(a, bt, c3);
+    ComputePool::instance().set_helpers(4);
+    Tensor d1(130, 90), d2(130, 90), d3(130, 90);
+    gemm(a, b, d1);
+    gemm_tn(at, b, d2);
+    gemm_nt(a, bt, d3);
+    ComputePool::instance().set_helpers(0);
+    expect_bitwise(d1, c1);
+    expect_bitwise(d2, c2);
+    expect_bitwise(d3, c3);
+  }
+}
+
+}  // namespace
+}  // namespace chimera

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "tensor/kernels.h"
 
@@ -183,6 +184,25 @@ TEST(CrossEntropy, LossScaleScalesGradientOnly) {
   const float l2 = cross_entropy(logits, targets, d2, 0.25f);
   EXPECT_FLOAT_EQ(l1, l2);
   for (std::size_t i = 0; i < d1.numel(); ++i) EXPECT_NEAR(d2[i], 0.25f * d1[i], 1e-7f);
+}
+
+TEST(Tensor, StorageIs64ByteAligned) {
+  // The arena's AlignedAllocator guarantee: every tensor buffer (fresh or
+  // recycled, any shape) starts on a cache-line boundary, so the fast
+  // kernel tier's aligned loads/stores need no peel loops.
+  auto aligned = [](const Tensor& t) {
+    return reinterpret_cast<std::uintptr_t>(t.data()) % 64 == 0;
+  };
+  for (auto [r, c] : {std::pair{1, 1}, {3, 7}, {17, 48}, {64, 192}, {130, 513}}) {
+    Tensor t(r, c);
+    EXPECT_TRUE(aligned(t)) << r << "x" << c;
+  }
+  { Tensor parked(96, 96); }     // park a buffer on the freelist…
+  Tensor recycled(96, 96);       // …and take the recycled path
+  EXPECT_TRUE(aligned(recycled));
+  Tensor reshaped;
+  reshaped.reshape(33, 65);
+  EXPECT_TRUE(aligned(reshaped));
 }
 
 TEST(Tensor, AxpyAndScale) {
