@@ -15,15 +15,20 @@
 #include "core/perf_model.h"
 #include "sim/simulate.h"
 #include "support/table.h"
+#include "tensor/kernels.h"
 
 namespace chimera::bench {
 
 /// Machine-readable bench output. Every fig/ablation binary accepts
 /// `--json <path>` and mirrors its headline rows into a JSON array of
-///   {"bench": ..., "name": ..., "config": ..., "throughput": ...,
-///    "iteration_seconds": ..., <extra metrics>}
+///   {"bench": ..., "name": ..., "config": ..., "kernel_policy": ...,
+///    "kernel_tier": ..., "throughput": ..., "iteration_seconds": ...,
+///    <extra metrics>}
 /// records (convention: BENCH_<figure>.json), so the perf trajectory can be
-/// tracked by tooling instead of scraping tables.
+/// tracked by tooling instead of scraping tables. kernel_policy is the
+/// configured KernelPolicy (env pin included); kernel_tier is the tier it
+/// resolved to on this host — artifacts from different tiers are never
+/// compared as if they were the same machine state.
 class JsonReporter {
  public:
   JsonReporter(int argc, char** argv, std::string bench_name)
@@ -45,6 +50,10 @@ class JsonReporter {
     if (!enabled()) return;
     std::string r = "  {\"bench\": \"" + escape(bench_) + "\", \"name\": \"" +
                     escape(name) + "\", \"config\": \"" + escape(config) +
+                    "\", \"kernel_policy\": \"" +
+                    escape(kernel_policy_name(kernel_policy())) +
+                    "\", \"kernel_tier\": \"" +
+                    escape(kernel_tier_name(active_kernel_tier())) +
                     "\", \"throughput\": " + num(throughput) +
                     ", \"iteration_seconds\": " + num(iteration_seconds);
     for (const auto& [k, v] : extra)

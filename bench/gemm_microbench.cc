@@ -1,14 +1,17 @@
-// Single-core GFLOP/s of the GEMM variants, per kernel tier — the perf
-// trajectory of the vectorized fast tier (DESIGN.md §2 item 18).
+// Single-core kernel microbench, per tier: GFLOP/s of the GEMM variants
+// plus GB/s of every other dense hot loop behind the KernelPolicy — GELU,
+// LayerNorm, softmax, cross-entropy, bias ops, the Adam step and the
+// gradient norm (DESIGN.md §2 item 18's perf trajectory).
 //
 // Shapes are the ones the GPT-2-like default of bench_runtime_throughput
 // actually executes (rows = B·seq = 64, hidden 192, mlp 768, vocab 768,
 // per-head dk 24), so the reported speedups are the kernel-level view of
 // the end-to-end iters/s gains. Helpers are pinned to 0: this measures the
-// microkernels, not the pool. While measuring, the bench also checks the
-// tier contract — gemm/gemm_tn bitwise equal across tiers, gemm_nt within
-// tolerance — and exits nonzero on a violation, so the CI smoke run guards
-// the contract alongside the numbers.
+// microkernels, not the pool. While measuring, the bench also checks each
+// op's cross-tier contract — bitwise equality for the ops the table marks
+// bitwise (gemm, gemm_tn, add_bias, bias_backward, the optimizer), abs
+// tolerance for the lane-reduced/polynomial ops — and exits nonzero on a
+// violation, so the CI smoke run guards the contract alongside the numbers.
 //
 //   $ ./bench_gemm_microbench [--json BENCH_gemm_micro.json] [--small]
 //
@@ -19,9 +22,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "optim/optimizer.h"
+#include "support/check.h"
 #include "tensor/compute_pool.h"
 #include "tensor/kernels.h"
 
@@ -83,6 +89,43 @@ double measure(const Shape& s, const Tensor& a, const Tensor& b, Tensor& c,
       return flop * reps / secs / 1e9;
     reps *= 4;
   }
+}
+
+/// One non-GEMM op: `run` executes it once (timed), `reset` restores any
+/// mutated state, `outputs` flattens everything the contract compares.
+struct OpSpec {
+  std::string name;
+  std::string shape;
+  double bytes;  ///< per run: reads + writes, the GB/s numerator
+  bool bitwise;  ///< cross-tier contract: exact, or |Δ| ≤ tol
+  float tol;
+  std::function<void()> reset;
+  std::function<void()> run;
+  std::function<std::vector<float>()> outputs;
+};
+
+/// GB/s over enough repetitions to make timer noise irrelevant.
+double measure_gbs(const std::function<void()>& run, double bytes,
+                   double target_ms) {
+  run();  // warm
+  long reps = 4;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (long r = 0; r < reps; ++r) run();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (secs * 1e3 >= target_ms || reps > (1L << 24))
+      return bytes * reps / secs / 1e9;
+    reps *= 4;
+  }
+}
+
+std::vector<float> flat(std::initializer_list<const Tensor*> ts) {
+  std::vector<float> out;
+  for (const Tensor* t : ts)
+    out.insert(out.end(), t->data(), t->data() + t->numel());
+  return out;
 }
 
 }  // namespace
@@ -162,5 +205,138 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
+
+  // ---- Non-GEMM ops: GB/s (they are memory-bound at these shapes) --------
+  print_banner("Non-GEMM kernel GB/s per tier (single core)");
+  constexpr int R = 64, H = 192, V = 768;
+  constexpr std::size_t N = static_cast<std::size_t>(H) * V;  // optimizer
+  const double f = 4.0;  // sizeof(float)
+
+  Tensor y0(R, V), bias(1, V), dyv(R, V), xv(R, V), dxv(R, V), gv(R, V);
+  Tensor xh(R, H), gamma(1, H), beta(1, H), yh(R, H), mean(R, 1), rstd(R, 1);
+  Tensor dyh(R, H), dxh(R, H), dgamma(1, H), dbeta(1, H);
+  Tensor logits(R, V), dlogits(R, V), probs(R, V);
+  Tensor w(H, V), g(H, V), m0(H, V), v0(H, V);
+  y0.randn(rng, 1.0f); bias.randn(rng, 1.0f); dyv.randn(rng, 1.0f);
+  xv.randn(rng, 1.0f); xh.randn(rng, 1.0f); gamma.randn(rng, 1.0f);
+  beta.randn(rng, 1.0f); dyh.randn(rng, 1.0f); logits.randn(rng, 1.0f);
+  w.randn(rng, 1.0f); g.randn(rng, 1.0f); m0.randn(rng, 0.1f);
+  v0.randn(rng, 0.01f);
+  for (std::size_t i = 0; i < v0.numel(); ++i) v0[i] = std::fabs(v0[i]);
+  std::vector<int> targets(R);
+  for (int r = 0; r < R; ++r)
+    targets[r] = static_cast<int>(rng.next_below(V));
+  // LayerNorm backward consumes the *scalar* forward's statistics in both
+  // tiers, so its cross-tier delta is the backward's own.
+  set_kernel_policy(KernelPolicy::kScalarReference);
+  layernorm_forward(xh, gamma, beta, yh, mean, rstd);
+
+  Tensor ybuf = y0, dbias(1, V), wbuf = w, mbuf = m0, vbuf = v0;
+  const Tensor dbias0 = dbias, dgamma0 = dgamma, dbeta0 = dbeta;
+  float ce_loss = 0.0f;
+  double gnorm = 0.0;
+  optim::OptimizerConfig ocfg;
+  ocfg.rule = optim::Rule::kAdamW;
+  ocfg.lr = 1e-3f;
+  ocfg.weight_decay = 0.01f;
+  nn::Param gp("g", H, V);
+  gp.grad = g;
+  optim::Optimizer gopt({&gp}, ocfg);
+
+  std::vector<OpSpec> ops;
+  ops.push_back({"add_bias", "64x768", (2.0 * R * V + V) * f, true, 0.0f,
+                 [&] { ybuf = y0; }, [&] { add_bias(ybuf, bias); },
+                 [&] { return flat({&ybuf}); }});
+  ops.push_back({"bias_backward", "64x768", (1.0 * R * V + 2 * V) * f, true,
+                 0.0f, [&] { dbias = dbias0; },
+                 [&] { bias_backward(dyv, dbias); },
+                 [&] { return flat({&dbias}); }});
+  ops.push_back({"gelu_forward", "64x768", 2.0 * R * V * f, false, 1e-5f,
+                 nullptr, [&] { gelu_forward(xv, gv); },
+                 [&] { return flat({&gv}); }});
+  ops.push_back({"gelu_backward", "64x768", 3.0 * R * V * f, false, 1e-5f,
+                 nullptr, [&] { gelu_backward(xv, dyv, dxv); },
+                 [&] { return flat({&dxv}); }});
+  ops.push_back({"layernorm_forward", "64x192",
+                 (2.0 * R * H + 2 * H + 2 * R) * f, false, 1e-4f, nullptr,
+                 [&] { layernorm_forward(xh, gamma, beta, yh, mean, rstd); },
+                 [&] { return flat({&yh, &mean, &rstd}); }});
+  ops.push_back({"layernorm_backward", "64x192",
+                 (3.0 * R * H + 3 * H + 2 * R) * f, false, 1e-4f,
+                 [&] { dgamma = dgamma0; dbeta = dbeta0; },
+                 [&] {
+                   layernorm_backward(xh, gamma, mean, rstd, dyh, dxh, dgamma,
+                                      dbeta);
+                 },
+                 [&] { return flat({&dxh, &dgamma, &dbeta}); }});
+  ops.push_back({"softmax_rows", "64x768", 2.0 * R * V * f, false, 1e-6f,
+                 nullptr, [&] { softmax_rows(logits, probs); },
+                 [&] { return flat({&probs}); }});
+  ops.push_back({"cross_entropy", "64x768", 2.0 * R * V * f, false, 1e-5f,
+                 nullptr,
+                 [&] { ce_loss = cross_entropy(logits, targets, dlogits); },
+                 [&] {
+                   std::vector<float> out = flat({&dlogits});
+                   out.push_back(ce_loss);
+                   return out;
+                 }});
+  ops.push_back({"adamw_step", "147456 elems", 7.0 * N * f, true, 0.0f,
+                 [&] { wbuf = w; mbuf = m0; vbuf = v0; },
+                 [&] {
+                   optim::apply_flat(ocfg, 3, 1.0, 1.0f, wbuf.data(), g.data(),
+                                     mbuf.data(), vbuf.data(), N);
+                 },
+                 [&] { return flat({&wbuf, &mbuf, &vbuf}); }});
+  ops.push_back({"grad_sq_norm", "147456 elems", 1.0 * N * f, true, 0.0f,
+                 nullptr, [&] { gnorm = gopt.grad_sq_norm(); },
+                 [&] {
+                   return std::vector<float>{static_cast<float>(gnorm)};
+                 }});
+
+  TextTable optable({"op", "shape", "tier", "GB/s", "speedup"});
+  for (OpSpec& op : ops) {
+    double scalar_gbs = 0.0;
+    std::vector<float> scalar_out;
+    for (KernelTier tier : tiers) {
+      set_kernel_policy(tier == KernelTier::kScalar
+                            ? KernelPolicy::kScalarReference
+                            : KernelPolicy::kFast);
+      const bool is_fast = tier == KernelTier::kFast;
+      // Contract check on one clean application, before the timed runs.
+      if (op.reset) op.reset();
+      op.run();
+      const std::vector<float> out = op.outputs();
+      if (!is_fast) {
+        scalar_out = out;
+      } else if (!scalar_out.empty()) {
+        CHIMERA_CHECK(out.size() == scalar_out.size());
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          const bool ok = op.bitwise
+                              ? out[i] == scalar_out[i]
+                              : std::fabs(out[i] - scalar_out[i]) <= op.tol;
+          if (!ok) {
+            std::fprintf(stderr,
+                         "FAIL: %s element %zu: fast %.9g vs scalar %.9g\n",
+                         op.name.c_str(), i, out[i], scalar_out[i]);
+            contract_broken = true;
+            break;
+          }
+        }
+      }
+      if (op.reset) op.reset();
+      const double gbs = measure_gbs(op.run, op.bytes, target_ms);
+      if (!is_fast) scalar_gbs = gbs;
+      const double speedup =
+          is_fast && scalar_gbs > 0.0 ? gbs / scalar_gbs : 0.0;
+      char sp[16];
+      std::snprintf(sp, sizeof sp, speedup > 0 ? "%.2fx" : "-", speedup);
+      optable.add_row(op.name, op.shape, is_fast ? "fast" : "scalar", gbs, sp);
+      std::vector<std::pair<std::string, double>> extra = {{"gbs", gbs}};
+      if (speedup > 0) extra.emplace_back("speedup_vs_scalar", speedup);
+      json.add(op.name, op.shape + " tier=" + (is_fast ? "fast" : "scalar"),
+               /*throughput=*/0.0, 0.0, extra);
+    }
+  }
+  optable.print();
   return contract_broken ? 1 : 0;
 }

@@ -9,6 +9,7 @@
 
 #include "comm/world.h"
 #include "support/check.h"
+#include "tensor/kernels.h"
 
 namespace chimera::comm {
 
@@ -62,7 +63,9 @@ void Communicator::reduce_scatter_with_tag(float* data, std::size_t n,
     Tensor part = recv(left, tag + step);
     const std::size_t rb = seg(recv_seg), re = seg(recv_seg + 1);
     CHIMERA_CHECK(part.numel() == re - rb);
-    for (std::size_t i = 0; i < part.numel(); ++i) data[rb + i] += part[i];
+    // vector_add is bitwise ≡ the scalar loop in every tier (one independent
+    // float add per element), so the reduction stays deterministic.
+    vector_add(data + rb, part.data(), part.numel());
   }
 }
 
@@ -100,7 +103,7 @@ void Communicator::allreduce_with_tag(float* data, std::size_t n,
       for (int r = 1; r < g; ++r) {
         Tensor part = recv(group[r], tag);
         CHIMERA_CHECK(part.numel() == n);
-        for (std::size_t i = 0; i < n; ++i) data[i] += part[i];
+        vector_add(data, part.data(), n);
       }
       for (int r = 1; r < g; ++r) send(group[r], tag, wrap(data, n));
     } else {
@@ -123,7 +126,7 @@ void Communicator::allreduce_with_tag(float* data, std::size_t n,
       const int partner = group[me ^ dist];
       send(partner, tag, wrap(data, n));
       Tensor part = recv(partner, tag);
-      for (std::size_t i = 0; i < n; ++i) data[i] += part[i];
+      vector_add(data, part.data(), n);
       tag += 1;
     }
     return;
@@ -162,7 +165,7 @@ void Communicator::allreduce_with_tag(float* data, std::size_t n,
         const std::size_t keep_b = keep_low ? lo : mid;
         const std::size_t keep_e = keep_low ? mid : hi;
         CHIMERA_CHECK(part.numel() == keep_e - keep_b);
-        for (std::size_t i = 0; i < part.numel(); ++i) data[keep_b + i] += part[i];
+        vector_add(data + keep_b, part.data(), part.numel());
         lo = keep_b;
         hi = keep_e;
         tag += 1;
@@ -257,7 +260,7 @@ void Communicator::reduce_sum(float* data, std::size_t n, int root_index,
   for (int d = 1; d < lowbit && rel + d < g; d <<= 1) {
     Tensor part = recv(group[(rel + d + root_index) % g], tag);
     CHIMERA_CHECK(part.numel() == n);
-    for (std::size_t i = 0; i < n; ++i) data[i] += part[i];
+    vector_add(data, part.data(), n);
   }
   if (rel != 0)
     send(group[(rel - lowbit + root_index) % g], tag, wrap(data, n));

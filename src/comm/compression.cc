@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "support/check.h"
+#include "tensor/kernels.h"
 
 namespace chimera::comm {
 
@@ -25,23 +26,30 @@ Quantizer::Quantizer(int bits) : bits_(bits), levels_((1 << (bits - 1)) - 1) {
 std::size_t Quantizer::packed_words(std::size_t n) { return (n + 3) / 4; }
 
 Tensor Quantizer::encode(const float* data, std::size_t n, Rng& rng) const {
-  float scale = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, std::abs(data[i]));
+  // max_abs and quantize_prep are bitwise ≡ their scalar forms in every
+  // kernel tier (exact max / div / mul / floor), and the stochastic-rounding
+  // pass below consumes the rng serially in element order either way — so
+  // the encoding is tier-independent.
+  const float scale = max_abs(data, n);
   Tensor out(1, static_cast<int>(2 + packed_words(n)));
   out[0] = scale;
   out[1] = static_cast<float>(n);
   if (scale == 0.0f) return out;  // all-zero payload decodes to zeros
 
   std::int8_t* q = reinterpret_cast<std::int8_t*>(out.data() + 2);
-  for (std::size_t i = 0; i < n; ++i) {
-    const float a = std::abs(data[i]) / scale * static_cast<float>(levels_);
-    const float floor_a = std::floor(a);
-    // Stochastic rounding: up with probability equal to the fraction, which
-    // makes E[q] = a and the codec unbiased.
-    int level = static_cast<int>(floor_a);
-    if (rng.next_double() < static_cast<double>(a - floor_a)) ++level;
-    level = std::min(level, levels_);
-    q[i] = static_cast<std::int8_t>(data[i] < 0.0f ? -level : level);
+  constexpr std::size_t kChunk = 256;
+  float a[kChunk], floor_a[kChunk];
+  for (std::size_t b = 0; b < n; b += kChunk) {
+    const std::size_t c = std::min(kChunk, n - b);
+    quantize_prep(data + b, c, scale, static_cast<float>(levels_), a, floor_a);
+    for (std::size_t i = 0; i < c; ++i) {
+      // Stochastic rounding: up with probability equal to the fraction,
+      // which makes E[q] = a and the codec unbiased.
+      int level = static_cast<int>(floor_a[i]);
+      if (rng.next_double() < static_cast<double>(a[i] - floor_a[i])) ++level;
+      level = std::min(level, levels_);
+      q[b + i] = static_cast<std::int8_t>(data[b + i] < 0.0f ? -level : level);
+    }
   }
   return out;
 }
@@ -55,8 +63,7 @@ void Quantizer::add_decoded(const Tensor& packed, float* out,
   CHIMERA_CHECK(packed.numel() == 2 + packed_words(n));
   const std::int8_t* q = reinterpret_cast<const std::int8_t*>(packed.data() + 2);
   const float unit = scale / static_cast<float>(levels_);
-  for (std::size_t i = 0; i < n; ++i)
-    out[i] += unit * static_cast<float>(q[i]);
+  dequant_add_int8(q, n, unit, out);
 }
 
 TopKSparsifier::TopKSparsifier(double fraction) : fraction_(fraction) {
@@ -70,7 +77,8 @@ Tensor TopKSparsifier::encode(const float* data, std::size_t n,
   CHIMERA_CHECK(residual.size() == n);
   // Error feedback: compress (gradient + carried residual), keep the rest.
   std::vector<float> acc(n);
-  for (std::size_t i = 0; i < n; ++i) acc[i] = data[i] + residual[i];
+  std::memcpy(acc.data(), data, n * sizeof(float));
+  vector_add(acc.data(), residual.data(), n);
 
   const std::size_t k =
       std::max<std::size_t>(1, static_cast<std::size_t>(fraction_ * n));

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "nn/layers.h"
+#include "tensor/arena.h"
 
 namespace chimera::optim {
 
@@ -69,9 +70,18 @@ class Optimizer {
   /// Applies one update to every parameter. `lr_mult` scales cfg.lr (LR
   /// schedules); `grad_scale` multiplies each gradient before the rule
   /// (global-norm clipping). Gradients themselves are left untouched.
+  /// Each parameter's element range is sharded onto the ComputePool with
+  /// shape-only splits; the rules are elementwise (LAMB's trust ratio is
+  /// combined from per-shard partials in shard order), so weights are
+  /// bitwise identical at any helper count — and, because the fast-tier
+  /// optimizer kernels replicate the scalar arithmetic exactly
+  /// (optim/optimizer_simd.h), across kernel tiers too.
   void step(double lr_mult = 1.0, float grad_scale = 1.0f);
 
   /// Σ‖g‖² over this replica's parameters (one term of the global norm).
+  /// Pool-sharded with serial in-shard accumulation and shard-ordered
+  /// combination: bitwise identical at any helper count and in both kernel
+  /// tiers (the association is fixed — no SIMD lanes in the norm).
   double grad_sq_norm() const;
 
   /// Number of updates applied so far (drives Adam bias correction).
@@ -93,6 +103,9 @@ class Optimizer {
   std::vector<nn::Param*> params_;
   OptimizerConfig cfg_;
   std::vector<std::vector<Tensor>> state_;  ///< [param][slot]
+  /// LAMB's per-step direction buffer, sized once to the largest parameter
+  /// (grow-only, arena-backed): the step allocates nothing in steady state.
+  detail::FloatBuffer lamb_dir_;
   long steps_ = 0;
 };
 

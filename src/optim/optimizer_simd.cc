@@ -1,0 +1,219 @@
+// AVX2 optimizer inner loops — bitwise replicas of the scalar rules (see
+// optimizer_simd.h for the contract and why it can be bitwise). CMake pins
+// -ffp-contract=off for this file: the float moment updates are written as
+// separate mul+add intrinsics and must stay that way; no FMA intrinsic
+// appears anywhere (the target attribute requests avx2 only, so gcc cannot
+// introduce one either — the flag is belt-and-braces).
+#include "optim/optimizer_simd.h"
+
+#include <cmath>
+
+#include "tensor/kernels_simd.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CHIMERA_OPT_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define CHIMERA_OPT_SIMD_X86 0
+#endif
+
+namespace chimera::optim::simd {
+
+bool available() { return chimera::simd::cpu_supports_avx2_fma(); }
+
+#if CHIMERA_OPT_SIMD_X86
+
+#define CHIMERA_OPT_TARGET __attribute__((target("avx2")))
+
+namespace {
+
+/// float(lr·r) for one 8-float block whose per-element r values arrive as
+/// two 4-wide double vectors; returns the narrowed update vector. The
+/// cvtpd→ps narrowing is round-to-nearest — exactly static_cast<float>.
+CHIMERA_OPT_TARGET
+inline __m256 narrow_mul(__m256d blr, __m256d r_lo, __m256d r_hi) {
+  const __m128 lo = _mm256_cvtpd_ps(_mm256_mul_pd(blr, r_lo));
+  const __m128 hi = _mm256_cvtpd_ps(_mm256_mul_pd(blr, r_hi));
+  return _mm256_set_m128(hi, lo);
+}
+
+/// mhat/(sqrt(vhat)+eps) for one 4-float half of the moment vectors.
+CHIMERA_OPT_TARGET
+inline __m256d adam_ratio(__m128 m4, __m128 v4, __m256d bbc1, __m256d bbc2,
+                          __m256d beps) {
+  const __m256d mhat = _mm256_div_pd(_mm256_cvtps_pd(m4), bbc1);
+  const __m256d vhat = _mm256_div_pd(_mm256_cvtps_pd(v4), bbc2);
+  return _mm256_div_pd(mhat, _mm256_add_pd(_mm256_sqrt_pd(vhat), beps));
+}
+
+}  // namespace
+
+CHIMERA_OPT_TARGET
+void sgd_fast(float lrf, float gs, float* w, const float* g, std::size_t n) {
+  const __m256 blr = _mm256_set1_ps(lrf);
+  const __m256 bgs = _mm256_set1_ps(gs);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 step =
+        _mm256_mul_ps(blr, _mm256_mul_ps(bgs, _mm256_loadu_ps(g + i)));
+    _mm256_storeu_ps(w + i, _mm256_sub_ps(_mm256_loadu_ps(w + i), step));
+  }
+  for (; i < n; ++i) w[i] -= lrf * (gs * g[i]);
+}
+
+CHIMERA_OPT_TARGET
+void momentum_fast(float mu, float lrf, float gs, float* w, float* s0,
+                   const float* g, std::size_t n) {
+  const __m256 bmu = _mm256_set1_ps(mu);
+  const __m256 blr = _mm256_set1_ps(lrf);
+  const __m256 bgs = _mm256_set1_ps(gs);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 m =
+        _mm256_add_ps(_mm256_mul_ps(bmu, _mm256_loadu_ps(s0 + i)),
+                      _mm256_mul_ps(bgs, _mm256_loadu_ps(g + i)));
+    _mm256_storeu_ps(s0 + i, m);
+    _mm256_storeu_ps(
+        w + i, _mm256_sub_ps(_mm256_loadu_ps(w + i), _mm256_mul_ps(blr, m)));
+  }
+  for (; i < n; ++i) {
+    s0[i] = mu * s0[i] + gs * g[i];
+    w[i] -= lrf * s0[i];
+  }
+}
+
+CHIMERA_OPT_TARGET
+void adam_fast(bool adamw, double lr, double bc1, double bc2, float beta1,
+               float beta2, float eps, float wd, float gs, float* w,
+               const float* g, float* s0, float* s1, std::size_t n) {
+  const float omb1 = 1.0f - beta1;
+  const float omb2 = 1.0f - beta2;
+  const __m256 bb1 = _mm256_set1_ps(beta1);
+  const __m256 bb2 = _mm256_set1_ps(beta2);
+  const __m256 bo1 = _mm256_set1_ps(omb1);
+  const __m256 bo2 = _mm256_set1_ps(omb2);
+  const __m256 bgs = _mm256_set1_ps(gs);
+  const __m256 bwd = _mm256_set1_ps(wd);
+  const __m256d bbc1 = _mm256_set1_pd(bc1);
+  const __m256d bbc2 = _mm256_set1_pd(bc2);
+  const __m256d beps = _mm256_set1_pd(static_cast<double>(eps));
+  const __m256d blr = _mm256_set1_pd(lr);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 wv = _mm256_loadu_ps(w + i);
+    __m256 gi = _mm256_mul_ps(bgs, _mm256_loadu_ps(g + i));
+    if (!adamw)  // kAdam folds L2 into the gradient
+      gi = _mm256_add_ps(gi, _mm256_mul_ps(bwd, wv));
+    const __m256 m = _mm256_add_ps(_mm256_mul_ps(bb1, _mm256_loadu_ps(s0 + i)),
+                                   _mm256_mul_ps(bo1, gi));
+    const __m256 v =
+        _mm256_add_ps(_mm256_mul_ps(bb2, _mm256_loadu_ps(s1 + i)),
+                      _mm256_mul_ps(_mm256_mul_ps(bo2, gi), gi));
+    _mm256_storeu_ps(s0 + i, m);
+    _mm256_storeu_ps(s1 + i, v);
+    __m256d r_lo = adam_ratio(_mm256_castps256_ps128(m),
+                              _mm256_castps256_ps128(v), bbc1, bbc2, beps);
+    __m256d r_hi = adam_ratio(_mm256_extractf128_ps(m, 1),
+                              _mm256_extractf128_ps(v, 1), bbc1, bbc2, beps);
+    if (adamw) {
+      // r + wd·w[i]: the product is a *float* multiply in the scalar code
+      // (only then promoted to double), so compute it in ps and widen.
+      const __m256 wdw = _mm256_mul_ps(bwd, wv);
+      r_lo = _mm256_add_pd(r_lo, _mm256_cvtps_pd(_mm256_castps256_ps128(wdw)));
+      r_hi = _mm256_add_pd(r_hi, _mm256_cvtps_pd(_mm256_extractf128_ps(wdw, 1)));
+    }
+    _mm256_storeu_ps(w + i, _mm256_sub_ps(wv, narrow_mul(blr, r_lo, r_hi)));
+  }
+  for (; i < n; ++i) {
+    float gi = gs * g[i];
+    if (!adamw) gi += wd * w[i];
+    s0[i] = beta1 * s0[i] + omb1 * gi;
+    s1[i] = beta2 * s1[i] + omb2 * gi * gi;
+    const double mhat = s0[i] / bc1;
+    const double vhat = s1[i] / bc2;
+    const double r = mhat / (std::sqrt(vhat) + eps);
+    if (adamw)
+      w[i] -= static_cast<float>(lr * (r + wd * w[i]));
+    else
+      w[i] -= static_cast<float>(lr * r);
+  }
+}
+
+CHIMERA_OPT_TARGET
+void lamb_dir_fast(double bc1, double bc2, float beta1, float beta2,
+                   float eps, float wd, float gs, const float* wv,
+                   const float* g, float* m, float* v, float* dir,
+                   std::size_t n) {
+  const float omb1 = 1.0f - beta1;
+  const float omb2 = 1.0f - beta2;
+  const __m256 bb1 = _mm256_set1_ps(beta1);
+  const __m256 bb2 = _mm256_set1_ps(beta2);
+  const __m256 bo1 = _mm256_set1_ps(omb1);
+  const __m256 bo2 = _mm256_set1_ps(omb2);
+  const __m256 bgs = _mm256_set1_ps(gs);
+  const __m256 bwd = _mm256_set1_ps(wd);
+  const __m256d bbc1 = _mm256_set1_pd(bc1);
+  const __m256d bbc2 = _mm256_set1_pd(bc2);
+  const __m256d beps = _mm256_set1_pd(static_cast<double>(eps));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 gi = _mm256_mul_ps(bgs, _mm256_loadu_ps(g + i));
+    const __m256 mv = _mm256_add_ps(_mm256_mul_ps(bb1, _mm256_loadu_ps(m + i)),
+                                    _mm256_mul_ps(bo1, gi));
+    const __m256 vv =
+        _mm256_add_ps(_mm256_mul_ps(bb2, _mm256_loadu_ps(v + i)),
+                      _mm256_mul_ps(_mm256_mul_ps(bo2, gi), gi));
+    _mm256_storeu_ps(m + i, mv);
+    _mm256_storeu_ps(v + i, vv);
+    __m256d r_lo = adam_ratio(_mm256_castps256_ps128(mv),
+                              _mm256_castps256_ps128(vv), bbc1, bbc2, beps);
+    __m256d r_hi = adam_ratio(_mm256_extractf128_ps(mv, 1),
+                              _mm256_extractf128_ps(vv, 1), bbc1, bbc2, beps);
+    const __m256 wdw = _mm256_mul_ps(bwd, _mm256_loadu_ps(wv + i));
+    r_lo = _mm256_add_pd(r_lo, _mm256_cvtps_pd(_mm256_castps256_ps128(wdw)));
+    r_hi = _mm256_add_pd(r_hi, _mm256_cvtps_pd(_mm256_extractf128_ps(wdw, 1)));
+    _mm256_storeu_ps(dir + i,
+                     _mm256_set_m128(_mm256_cvtpd_ps(r_hi),
+                                     _mm256_cvtpd_ps(r_lo)));
+  }
+  for (; i < n; ++i) {
+    const float gi = gs * g[i];
+    m[i] = beta1 * m[i] + omb1 * gi;
+    v[i] = beta2 * v[i] + omb2 * gi * gi;
+    const double mhat = m[i] / bc1;
+    const double vhat = v[i] / bc2;
+    const double rd = mhat / (std::sqrt(vhat) + eps) + wd * wv[i];
+    dir[i] = static_cast<float>(rd);
+  }
+}
+
+CHIMERA_OPT_TARGET
+void lamb_update_fast(double lr_trust, float* w, const float* dir,
+                      std::size_t n) {
+  const __m256d bc = _mm256_set1_pd(lr_trust);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d = _mm256_loadu_ps(dir + i);
+    const __m256 step =
+        narrow_mul(bc, _mm256_cvtps_pd(_mm256_castps256_ps128(d)),
+                   _mm256_cvtps_pd(_mm256_extractf128_ps(d, 1)));
+    _mm256_storeu_ps(w + i, _mm256_sub_ps(_mm256_loadu_ps(w + i), step));
+  }
+  for (; i < n; ++i) w[i] -= static_cast<float>(lr_trust * dir[i]);
+}
+
+#else  // !CHIMERA_OPT_SIMD_X86 — available() is false; never dispatched to.
+
+void sgd_fast(float, float, float*, const float*, std::size_t) {}
+void momentum_fast(float, float, float, float*, float*, const float*,
+                   std::size_t) {}
+void adam_fast(bool, double, double, double, float, float, float, float,
+               float, float*, const float*, float*, float*, std::size_t) {}
+void lamb_dir_fast(double, double, float, float, float, float, float,
+                   const float*, const float*, float*, float*, float*,
+                   std::size_t) {}
+void lamb_update_fast(double, float*, const float*, std::size_t) {}
+
+#endif  // CHIMERA_OPT_SIMD_X86
+
+}  // namespace chimera::optim::simd

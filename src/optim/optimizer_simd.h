@@ -1,0 +1,52 @@
+// Fast-tier inner loops for the optimizer (DESIGN.md §2 item 18). Unlike
+// the tolerance-tier activation kernels, every routine here is **bitwise
+// identical** to the scalar loops in optim/optimizer.cc on any input: the
+// rules are elementwise, so the vector forms replicate the scalar
+// arithmetic exactly — float moment updates as separate mul+add (this file
+// is compiled -ffp-contract=off and never uses FMA), the Adam-family
+// double intermediates as 4-wide AVX doubles (convert, divide, sqrt and
+// the final narrowing cast are all exactly rounded IEEE operations), and
+// scalar tails that are literal copies of the reference expressions.
+// Because fast ≡ scalar bitwise, the optimizer needs no per-tier parity
+// carve-outs: weights after N steps match across tiers, helper counts and
+// the ZeRO flat-shard path alike (tests/optim_test.cc OptimizerParity).
+//
+// Only optim/optimizer.cc includes this header; it dispatches here when
+// the process kernel tier resolves to fast AND the host has AVX2
+// (available() below) — otherwise the scalar loops run.
+#pragma once
+
+#include <cstddef>
+
+namespace chimera::optim::simd {
+
+/// True when the running CPU can execute the AVX2 paths below.
+bool available();
+
+/// w[i] -= lrf * (gs * g[i]).
+void sgd_fast(float lrf, float gs, float* w, const float* g, std::size_t n);
+
+/// s0[i] = mu*s0[i] + gs*g[i]; w[i] -= lrf * s0[i].
+void momentum_fast(float mu, float lrf, float gs, float* w, float* s0,
+                   const float* g, std::size_t n);
+
+/// The Adam/AdamW elementwise update (optimizer.cc's kAdam/kAdamW case)
+/// with precomputed bias corrections bc1/bc2 and lr = cfg.lr * lr_mult.
+void adam_fast(bool adamw, double lr, double bc1, double bc2, float beta1,
+               float beta2, float eps, float wd, float gs, float* w,
+               const float* g, float* s0, float* s1, std::size_t n);
+
+/// LAMB pass A: moment updates and the per-element direction
+/// dir[i] = float(mhat/(sqrt(vhat)+eps) + wd*wv[i]). The per-tensor norms
+/// are NOT computed here — the caller sweeps w/dir serially per shard so
+/// the trust-ratio accumulation order is tier-independent.
+void lamb_dir_fast(double bc1, double bc2, float beta1, float beta2,
+                   float eps, float wd, float gs, const float* wv,
+                   const float* g, float* m, float* v, float* dir,
+                   std::size_t n);
+
+/// LAMB pass B: w[i] -= float(lr_trust * dir[i]), lr_trust = lr·trust.
+void lamb_update_fast(double lr_trust, float* w, const float* dir,
+                      std::size_t n);
+
+}  // namespace chimera::optim::simd

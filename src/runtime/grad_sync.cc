@@ -4,6 +4,7 @@
 
 #include "comm/compression.h"
 #include "support/rng.h"
+#include "tensor/kernels.h"
 
 namespace chimera::rt {
 
@@ -22,8 +23,9 @@ void copy_grads_flat(const std::vector<nn::Param*>& params, float* buf) {
 
 void add_grads_flat(const std::vector<nn::Param*>& params, float* buf) {
   for (const nn::Param* p : params) {
-    const float* g = p->grad.data();
-    for (std::size_t k = 0; k < p->grad.numel(); ++k) buf[k] += g[k];
+    // Elementwise adds — bitwise ≡ the scalar loop in every kernel tier, so
+    // the replica contribution order of the grad-sync contract is unchanged.
+    vector_add(buf, p->grad.data(), p->grad.numel());
     buf += p->grad.numel();
   }
 }

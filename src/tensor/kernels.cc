@@ -52,6 +52,12 @@ bool use_fast_tier() {
   return simd::cpu_supports_avx2_fma();
 }
 
+/// The non-GEMM ops have no portable fast mirror (the scalar reference is
+/// already their fallback); their fast tier exists only on AVX2 hosts.
+bool use_fast_nongemm() {
+  return use_fast_tier() && simd::cpu_supports_avx2_fma();
+}
+
 }  // namespace
 
 void set_kernel_policy(KernelPolicy policy) {
@@ -64,6 +70,19 @@ KernelPolicy kernel_policy() {
 
 KernelTier active_kernel_tier() {
   return use_fast_tier() ? KernelTier::kFast : KernelTier::kScalar;
+}
+
+const char* kernel_policy_name(KernelPolicy policy) {
+  switch (policy) {
+    case KernelPolicy::kScalarReference: return "scalar_reference";
+    case KernelPolicy::kFast: return "fast";
+    case KernelPolicy::kAuto: break;
+  }
+  return "auto";
+}
+
+const char* kernel_tier_name(KernelTier tier) {
+  return tier == KernelTier::kFast ? "fast" : "scalar";
 }
 
 void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate) {
@@ -194,6 +213,10 @@ void gemm_bias_gelu(const Tensor& x, const Tensor& w, const Tensor& bias,
 }
 
 void add_bias(Tensor& y, const Tensor& bias) {
+  if (use_fast_nongemm()) {
+    simd::add_bias_fast(y, bias);
+    return;
+  }
   CHIMERA_CHECK(bias.cols() == y.cols() && bias.rows() == 1);
   const int R = y.rows(), C = y.cols();
   const int shards = plan_shards(R, static_cast<std::size_t>(C));
@@ -206,6 +229,10 @@ void add_bias(Tensor& y, const Tensor& bias) {
 }
 
 void bias_backward(const Tensor& dy, Tensor& dbias) {
+  if (use_fast_nongemm()) {
+    simd::bias_backward_fast(dy, dbias);
+    return;
+  }
   CHIMERA_CHECK(dbias.cols() == dy.cols() && dbias.rows() == 1);
   const int R = dy.rows(), C = dy.cols();
   // Column shards: each dbias element accumulates its rows in ascending
@@ -219,11 +246,11 @@ void bias_backward(const Tensor& dy, Tensor& dbias) {
   });
 }
 
-namespace {
-constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
-}
-
 void gelu_forward(const Tensor& x, Tensor& y) {
+  if (use_fast_nongemm()) {
+    simd::gelu_forward_fast(x, y);
+    return;
+  }
   CHIMERA_CHECK(x.numel() == y.numel());
   const std::size_t n = x.numel();
   const int units = static_cast<int>(n / 256 + 1);  // split in 256-elem units
@@ -237,6 +264,10 @@ void gelu_forward(const Tensor& x, Tensor& y) {
 }
 
 void gelu_backward(const Tensor& x, const Tensor& dy, Tensor& dx) {
+  if (use_fast_nongemm()) {
+    simd::gelu_backward_fast(x, dy, dx);
+    return;
+  }
   CHIMERA_CHECK(x.numel() == dy.numel() && x.numel() == dx.numel());
   const std::size_t n = x.numel();
   const int units = static_cast<int>(n / 256 + 1);
@@ -245,18 +276,17 @@ void gelu_backward(const Tensor& x, const Tensor& dy, Tensor& dx) {
     const std::size_t i0 = static_cast<std::size_t>(shard_begin(units, shards, s)) * 256;
     const std::size_t i1 =
         std::min(n, static_cast<std::size_t>(shard_begin(units, shards, s + 1)) * 256);
-    for (std::size_t i = i0; i < i1; ++i) {
-      const float v = x[i];
-      const float u = kGeluC * (v + 0.044715f * v * v * v);
-      const float t = std::tanh(u);
-      const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
-      dx[i] = dy[i] * (0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du);
-    }
+    for (std::size_t i = i0; i < i1; ++i)
+      dx[i] = dy[i] * detail::gelu_grad_eval(x[i]);
   });
 }
 
 void layernorm_forward(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                        Tensor& y, Tensor& mean, Tensor& rstd) {
+  if (use_fast_nongemm()) {
+    simd::layernorm_forward_fast(x, gamma, beta, y, mean, rstd);
+    return;
+  }
   const int R = x.rows(), H = x.cols();
   CHIMERA_CHECK(gamma.cols() == H && beta.cols() == H);
   CHIMERA_CHECK(y.rows() == R && mean.rows() == R && rstd.rows() == R);
@@ -287,6 +317,10 @@ void layernorm_backward(const Tensor& x, const Tensor& gamma,
                         const Tensor& mean, const Tensor& rstd,
                         const Tensor& dy, Tensor& dx, Tensor& dgamma,
                         Tensor& dbeta) {
+  if (use_fast_nongemm()) {
+    simd::layernorm_backward_fast(x, gamma, mean, rstd, dy, dx, dgamma, dbeta);
+    return;
+  }
   const int R = x.rows(), H = x.cols();
   ComputePool& pool = ComputePool::instance();
   // Pass 1, row shards: dx — each row's sums and outputs are self-contained.
@@ -330,6 +364,10 @@ void layernorm_backward(const Tensor& x, const Tensor& gamma,
 }
 
 void softmax_rows(const Tensor& x, Tensor& y) {
+  if (use_fast_nongemm()) {
+    simd::softmax_rows_fast(x, y);
+    return;
+  }
   const int R = x.rows(), C = x.cols();
   CHIMERA_CHECK(y.rows() == R && y.cols() == C);
   const int shards = plan_shards(R, static_cast<std::size_t>(C) * 4);
@@ -370,20 +408,67 @@ float cross_entropy(const Tensor& logits, const std::vector<int>& targets,
   static thread_local std::vector<float> logp_scratch;
   logp_scratch.resize(static_cast<std::size_t>(R));
   float* const row_logp = logp_scratch.data();
-  const int shards = plan_shards(R, static_cast<std::size_t>(V) * 2);
-  ComputePool::instance().parallel_for(shards, [&](int s) {
-    const int r0 = shard_begin(R, shards, s);
-    const int r1 = shard_begin(R, shards, s + 1);
-    for (int r = r0; r < r1; ++r) {
-      const int t = targets[r];
-      row_logp[r] = std::log(std::max(dlogits.at(r, t), 1e-20f));
-      for (int c = 0; c < V; ++c) dlogits.at(r, c) *= inv_rows * loss_scale;
-      dlogits.at(r, t) -= inv_rows * loss_scale;
-    }
-  });
+  if (use_fast_nongemm()) {
+    simd::cross_entropy_grad_fast(dlogits, targets, inv_rows * loss_scale,
+                                  row_logp);
+  } else {
+    const int shards = plan_shards(R, static_cast<std::size_t>(V) * 2);
+    ComputePool::instance().parallel_for(shards, [&](int s) {
+      const int r0 = shard_begin(R, shards, s);
+      const int r1 = shard_begin(R, shards, s + 1);
+      for (int r = r0; r < r1; ++r) {
+        const int t = targets[r];
+        row_logp[r] = std::log(std::max(dlogits.at(r, t), 1e-20f));
+        for (int c = 0; c < V; ++c) dlogits.at(r, c) *= inv_rows * loss_scale;
+        dlogits.at(r, t) -= inv_rows * loss_scale;
+      }
+    });
+  }
   float loss = 0.0f;
   for (int r = 0; r < R; ++r) loss -= row_logp[r];
   return loss * inv_rows;
+}
+
+// ---- Comm / codec inner loops (bitwise identical across tiers) ----------
+// These run on the comm rank threads, which are already the parallelism
+// axis — no pool sharding here, just the lane-widened loop.
+
+void vector_add(float* dst, const float* src, std::size_t n) {
+  if (use_fast_nongemm()) {
+    simd::vector_add_fast(dst, src, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+float max_abs(const float* x, std::size_t n) {
+  if (use_fast_nongemm()) return simd::max_abs_fast(x, n);
+  float mx = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) mx = std::max(mx, std::abs(x[i]));
+  return mx;
+}
+
+void quantize_prep(const float* x, std::size_t n, float scale, float levels,
+                   float* a, float* floor_a) {
+  if (use_fast_nongemm()) {
+    simd::quantize_prep_fast(x, n, scale, levels, a, floor_a);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const float q = std::abs(x[i]) / scale * levels;
+    a[i] = q;
+    floor_a[i] = std::floor(q);
+  }
+}
+
+void dequant_add_int8(const std::int8_t* q, std::size_t n, float unit,
+                      float* out) {
+  if (use_fast_nongemm()) {
+    simd::dequant_add_int8_fast(q, n, unit, out);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] += unit * static_cast<float>(q[i]);
 }
 
 }  // namespace chimera

@@ -7,19 +7,27 @@
 // gradient-equivalence tests (pipeline vs sequential SGD) and the runtime
 // parity tests rely on (DESIGN.md §2 item 17).
 //
-// The GEMM variants have two tiers (DESIGN.md §2 item 18): the scalar
+// Every dense kernel has two tiers (DESIGN.md §2 item 18): the scalar
 // reference (the bitwise anchor every parity/grad-sync/decode contract
-// pins) and a vectorized, cache-blocked fast tier (tensor/kernels_simd.cc:
-// AVX2 microkernels with packed B panels, plus a portable mirror). Tier
-// selection is the process-wide KernelPolicy below, overridable by the
-// CHIMERA_KERNEL_TIER environment variable. gemm / gemm_tn stay bitwise
-// identical across tiers (the fast tier keeps the per-element serial
-// reduction order and pairs multiply with add — no FMA contraction);
-// gemm_nt's fast tier uses a lane-parallel reduction tree and is only
-// tolerance-equal to the reference (see DESIGN.md §2 item 18 for why).
+// pins) and a vectorized fast tier (tensor/kernels_simd.cc: AVX2
+// microkernels — cache-blocked GEMMs with packed B panels plus a portable
+// mirror, and lane-parallel elementwise/normalize/reduce kernels for the
+// non-GEMM ops). Tier selection is the process-wide KernelPolicy below,
+// overridable by the CHIMERA_KERNEL_TIER environment variable. The
+// cross-tier contract is per op (the full table lives in DESIGN.md §2
+// item 18): ops whose fast tier keeps each element's serial accumulation
+// order and pairs multiply with add (gemm, gemm_tn, add_bias,
+// bias_backward, layernorm's dgamma/dbeta, the comm inner loops below)
+// are bitwise identical across tiers; ops that reduce across vector lanes
+// or substitute a polynomial exp/tanh for the libm call (gemm_nt, GELU,
+// layernorm's row statistics, softmax, cross-entropy) are tolerance-equal
+// only — but every fast-tier element stays a pure function of its row's
+// data, so the pooled≡serial and decode step-vs-reforward bitwise
+// contracts hold *within* either tier.
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 
 #include "tensor/tensor.h"
 
@@ -46,6 +54,11 @@ KernelPolicy kernel_policy();
 /// Resolves env override ▸ policy ▸ CPU capability to the tier the next
 /// kernel call will execute.
 KernelTier active_kernel_tier();
+
+/// Stable lowercase names for bench/JSON artifacts ("scalar_reference",
+/// "fast", "auto" / "scalar", "fast").
+const char* kernel_policy_name(KernelPolicy policy);
+const char* kernel_tier_name(KernelTier tier);
 
 /// C = A·B (+ C if accumulate). A: [m,k], B: [k,n], C: [m,n].
 /// Bitwise identical across kernel tiers.
@@ -74,31 +87,75 @@ void gemm_bias(const Tensor& x, const Tensor& w, const Tensor& bias, Tensor& y);
 void gemm_bias_gelu(const Tensor& x, const Tensor& w, const Tensor& bias,
                     Tensor& y, Tensor& g);
 
-/// y[r,:] += bias for every row.
+/// y[r,:] += bias for every row. Bitwise identical across tiers (one add
+/// per element in both).
 void add_bias(Tensor& y, const Tensor& bias);
-/// dbias += column sums of dy.
+/// dbias += column sums of dy. Bitwise identical across tiers: the fast
+/// tier puts vector lanes on *columns* and walks rows in the same
+/// ascending order as the reference, so each column's accumulation chain
+/// is unchanged.
 void bias_backward(const Tensor& dy, Tensor& dbias);
 
-/// GELU (tanh approximation), elementwise.
+/// GELU (tanh approximation), elementwise. Fast tier is tolerance-equal
+/// (~1e-6 abs): it evaluates tanh through a vector exp polynomial instead
+/// of libm. Each output stays a pure function of its input element, so
+/// results are independent of position, row count, and shard split within
+/// a tier.
 void gelu_forward(const Tensor& x, Tensor& y);
-/// dx = dy ⊙ gelu'(x).
+/// dx = dy ⊙ gelu'(x). Same cross-tier contract as gelu_forward.
 void gelu_backward(const Tensor& x, const Tensor& dy, Tensor& dx);
 
 /// Row-wise LayerNorm with affine parameters gamma/beta (both [1, h]).
+/// Fast tier is tolerance-equal: mean/var reduce across vector lanes
+/// (fixed combine tree). Row-wise independence is preserved, and the
+/// normalize pass is elementwise given (mean, rstd).
 void layernorm_forward(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                        Tensor& y, Tensor& mean, Tensor& rstd);
+/// dx is tolerance-equal in the fast tier (lane-reduced per-row dots);
+/// dgamma/dbeta are bitwise identical across tiers given the same
+/// (mean, rstd) inputs — column lanes, ascending-row accumulation.
 void layernorm_backward(const Tensor& x, const Tensor& gamma,
                         const Tensor& mean, const Tensor& rstd,
                         const Tensor& dy, Tensor& dx, Tensor& dgamma,
                         Tensor& dbeta);
 
-/// Row-wise softmax (numerically stabilized).
+/// Row-wise softmax (numerically stabilized). Fast tier is tolerance-equal
+/// (vector exp + lane-summed denominator) with two hard guarantees the
+/// decode path relies on: (1) the vector exp flushes arguments below
+/// ≈−87.34 to exactly 0.0f, so masked −1e9 scores still produce exact-zero
+/// probabilities; (2) the lane sum assigns element i to lane i%8 with
+/// zeroed tail lanes, so a row extended with masked (−1e9) columns yields
+/// bitwise the same live prefix as the unextended row — decode
+/// step-vs-reforward stays bitwise within either tier.
 void softmax_rows(const Tensor& x, Tensor& y);
 
 /// Mean cross-entropy of row-softmax(logits) against integer targets.
 /// Returns the loss; dlogits = (softmax − onehot)/rows · loss_scale.
+/// Fast tier inherits softmax's tolerance contract; the loss is summed
+/// over rows in the same serial order in both tiers.
 float cross_entropy(const Tensor& logits, const std::vector<int>& targets,
                     Tensor& dlogits, float loss_scale = 1.0f);
+
+// ---- Shared dense inner loops for the comm layer and optimizer ----------
+// These back the collectives' local reduction, gradient compression codecs
+// and grad-sync accumulation. All are bitwise identical across tiers (the
+// vector forms keep one exact operation per element: add, abs/max, div,
+// floor, int8→float convert), so rank agreement and the codec's stochastic
+// rounding stream are tier-independent.
+
+/// dst[i] += src[i].
+void vector_add(float* dst, const float* src, std::size_t n);
+/// max_i |x[i]| (exact — max is associative). Returns 0 for n == 0.
+float max_abs(const float* x, std::size_t n);
+/// Quantization precompute: a[i] = |x[i]| / scale * levels and
+/// floor_a[i] = floor(a[i]). Division and floor are exactly rounded, so
+/// both tiers produce identical values and the serial RNG pass that
+/// consumes them draws an identical stochastic-rounding stream.
+void quantize_prep(const float* x, std::size_t n, float scale, float levels,
+                   float* a, float* floor_a);
+/// out[i] += unit * float(q[i]) — int8 dequantize-accumulate.
+void dequant_add_int8(const std::int8_t* q, std::size_t n, float unit,
+                      float* out);
 
 namespace detail {
 
@@ -109,6 +166,17 @@ namespace detail {
 inline float gelu_eval(float v) {
   constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
   return 0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
+}
+
+/// d/dv of gelu_eval — the single scalar definition of the GELU derivative
+/// shared by gelu_backward's reference tier (and any fused epilogue), so
+/// no caller re-derives the tanh expression inline.
+inline float gelu_grad_eval(float v) {
+  constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+  const float u = kGeluC * (v + 0.044715f * v * v * v);
+  const float t = std::tanh(u);
+  const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+  return 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
 }
 
 }  // namespace detail

@@ -137,6 +137,13 @@ void dot_portable(const float* arow, const float* pb, std::size_t ldb, int k,
   }
 }
 
+/// Fused-epilogue GELU row on the portable path: the shared scalar
+/// definition, so fused ≡ unfused on hosts where the fast tier's
+/// gelu_forward also runs the scalar expression.
+void gelu_row_portable(const float* y, float* g, int n) {
+  for (int j = 0; j < n; ++j) g[j] = chimera::detail::gelu_eval(y[j]);
+}
+
 // ---------------------------------------------------------------------------
 // AVX2(+FMA) microkernels. Compiled for the ISA via target attributes so
 // the rest of the binary stays baseline x86-64; only entered after
@@ -236,25 +243,403 @@ void dot_avx2(const float* arow, const float* pb, std::size_t ldb, int k,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Vector math for the non-GEMM fast tier (tolerance-equal ops).
+// ---------------------------------------------------------------------------
+
+/// Arguments below this produce a subnormal exp — exp8 flushes them to
+/// exactly 0.0f, which is what keeps masked (−1e9) softmax scores at
+/// exact-zero probability in the fast tier, same as std::exp underflow in
+/// the reference. Also the low clamp: for x ≥ kExpLo the biased exponent
+/// 2^n stays normal (n ≥ −126), so the scale-by-2^n bit trick never wraps.
+constexpr float kExpLo = -87.33654475f;
+constexpr float kExpHi = 88.3762626647949f;  // just below log(FLT_MAX)
+
+/// Cephes-style expf: n = round(x·log2e), two-part ln2 reduction, degree-5
+/// polynomial in the remainder, scale by 2^n via the exponent field.
+/// ~2 ulp over the clamped range; separate mul+add (no FMA — the combine
+/// sequence must not depend on contraction, this file is -ffp-contract=off).
+CHIMERA_TARGET_AVX2
+inline __m256 exp8(__m256 x) {
+  const __m256 flush = _mm256_cmp_ps(x, _mm256_set1_ps(kExpLo), _CMP_LT_OQ);
+  x = _mm256_max_ps(_mm256_min_ps(x, _mm256_set1_ps(kExpHi)),
+                    _mm256_set1_ps(kExpLo));
+  const __m256 n = _mm256_round_ps(
+      _mm256_mul_ps(x, _mm256_set1_ps(1.44269504088896341f)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256 r = _mm256_sub_ps(x, _mm256_mul_ps(n, _mm256_set1_ps(0.693359375f)));
+  r = _mm256_sub_ps(r, _mm256_mul_ps(n, _mm256_set1_ps(-2.12194440e-4f)));
+  __m256 p = _mm256_set1_ps(1.9875691500e-4f);
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(1.3981999507e-3f));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(8.3334519073e-3f));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(4.1665795894e-2f));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(1.6666665459e-1f));
+  p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(5.0000001201e-1f));
+  const __m256 z = _mm256_mul_ps(r, r);
+  __m256 y = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(p, z), r),
+                           _mm256_set1_ps(1.0f));
+  const __m256i bits =
+      _mm256_add_epi32(_mm256_cvtps_epi32(n), _mm256_set1_epi32(127));
+  y = _mm256_mul_ps(y, _mm256_castsi256_ps(_mm256_slli_epi32(bits, 23)));
+  return _mm256_andnot_ps(flush, y);
+}
+
+/// tanh(u) = (e^{2u} − 1)/(e^{2u} + 1). Exact at u = 0; saturates to ±1.0f
+/// exactly once e^{2u} leaves [≈3e-8, ≈3e7] — same saturation the libm
+/// tanh reaches, so large masked/outlier activations agree bitwise.
+CHIMERA_TARGET_AVX2
+inline __m256 tanh8(__m256 u) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = exp8(_mm256_mul_ps(u, _mm256_set1_ps(2.0f)));
+  return _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one));
+}
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+/// Vector mirror of detail::gelu_eval (tolerance-equal: tanh8 vs libm).
+CHIMERA_TARGET_AVX2
+inline __m256 gelu8(__m256 v) {
+  const __m256 v2 = _mm256_mul_ps(v, v);
+  const __m256 inner = _mm256_add_ps(
+      v, _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(0.044715f), v2), v));
+  const __m256 t = tanh8(_mm256_mul_ps(_mm256_set1_ps(kGeluC), inner));
+  return _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(0.5f), v),
+                       _mm256_add_ps(_mm256_set1_ps(1.0f), t));
+}
+
+/// Vector mirror of detail::gelu_grad_eval.
+CHIMERA_TARGET_AVX2
+inline __m256 gelu_grad8(__m256 v) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 v2 = _mm256_mul_ps(v, v);
+  const __m256 inner = _mm256_add_ps(
+      v, _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(0.044715f), v2), v));
+  const __m256 t = tanh8(_mm256_mul_ps(_mm256_set1_ps(kGeluC), inner));
+  const __m256 du = _mm256_mul_ps(
+      _mm256_set1_ps(kGeluC),
+      _mm256_add_ps(one, _mm256_mul_ps(_mm256_set1_ps(3.0f * 0.044715f), v2)));
+  const __m256 left = _mm256_mul_ps(half, _mm256_add_ps(one, t));
+  const __m256 sech2 = _mm256_sub_ps(one, _mm256_mul_ps(t, t));
+  const __m256 right =
+      _mm256_mul_ps(_mm256_mul_ps(_mm256_mul_ps(half, v), sech2), du);
+  return _mm256_add_ps(left, right);
+}
+
+/// Fixed-tree horizontal max (max is exact, so the tree shape is moot for
+/// the result; fixed anyway for determinism hygiene).
+CHIMERA_TARGET_AVX2
+inline float hmax8(__m256 v) {
+  __m128 s = _mm_max_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+/// Elementwise rows: every tail goes through the same vector code via a
+/// lane mask, so an element's value never depends on its position — the
+/// stability property the tolerance-tier contracts lean on.
+
+CHIMERA_TARGET_AVX2
+void gelu_row_avx2(const float* y, float* g, int n) {
+  int j = 0;
+  for (; j + 8 <= n; j += 8)
+    _mm256_storeu_ps(g + j, gelu8(_mm256_loadu_ps(y + j)));
+  if (j < n) {
+    const __m256i m = lane_mask(n - j);
+    _mm256_maskstore_ps(g + j, m, gelu8(_mm256_maskload_ps(y + j, m)));
+  }
+}
+
+CHIMERA_TARGET_AVX2
+void gelu_grad_row_avx2(const float* x, const float* dy, float* dx, int n) {
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 gr = gelu_grad8(_mm256_loadu_ps(x + j));
+    _mm256_storeu_ps(dx + j, _mm256_mul_ps(_mm256_loadu_ps(dy + j), gr));
+  }
+  if (j < n) {
+    const __m256i m = lane_mask(n - j);
+    const __m256 gr = gelu_grad8(_mm256_maskload_ps(x + j, m));
+    _mm256_maskstore_ps(dx + j, m,
+                        _mm256_mul_ps(_mm256_maskload_ps(dy + j, m), gr));
+  }
+}
+
+/// Lane-summed row reduction: element i lands in lane i%8, the tail block
+/// is masked (dead lanes exactly 0.0f before the add), and hsum8 combines
+/// with a fixed tree. Extending a row with elements whose f-value is
+/// exactly 0.0f therefore cannot change the sum bitwise — the
+/// zero-extension stability softmax needs for the decode contract.
+
+CHIMERA_TARGET_AVX2
+float row_max_avx2(const float* p, int n) {
+  int j = 0;
+  float mx;
+  if (n >= 8) {
+    __m256 vmx = _mm256_loadu_ps(p);
+    for (j = 8; j + 8 <= n; j += 8)
+      vmx = _mm256_max_ps(vmx, _mm256_loadu_ps(p + j));
+    mx = hmax8(vmx);
+  } else {
+    mx = p[0];
+    j = 1;
+  }
+  for (; j < n; ++j) mx = std::max(mx, p[j]);
+  return mx;
+}
+
+CHIMERA_TARGET_AVX2
+void softmax_row_avx2(const float* px, float* py, int C) {
+  const __m256 bmx = _mm256_set1_ps(row_max_avx2(px, C));
+  __m256 acc = _mm256_setzero_ps();
+  int j = 0;
+  for (; j + 8 <= C; j += 8) {
+    const __m256 e = exp8(_mm256_sub_ps(_mm256_loadu_ps(px + j), bmx));
+    _mm256_storeu_ps(py + j, e);
+    acc = _mm256_add_ps(acc, e);
+  }
+  if (j < C) {
+    const __m256i m = lane_mask(C - j);
+    __m256 e = exp8(_mm256_sub_ps(_mm256_maskload_ps(px + j, m), bmx));
+    e = _mm256_and_ps(e, _mm256_castsi256_ps(m));  // dead lanes → exact 0
+    _mm256_maskstore_ps(py + j, m, e);
+    acc = _mm256_add_ps(acc, e);
+  }
+  const float inv = 1.0f / hsum8(acc);
+  const __m256 binv = _mm256_set1_ps(inv);
+  for (j = 0; j + 8 <= C; j += 8)
+    _mm256_storeu_ps(py + j, _mm256_mul_ps(_mm256_loadu_ps(py + j), binv));
+  for (; j < C; ++j) py[j] *= inv;  // elementwise: scalar tail ≡ vector lane
+}
+
+CHIMERA_TARGET_AVX2
+void layernorm_row_avx2(const float* px, const float* gamma, const float* beta,
+                        float* py, int H, float* mu_out, float* rs_out) {
+  __m256 acc = _mm256_setzero_ps();
+  int j = 0;
+  for (; j + 8 <= H; j += 8)
+    acc = _mm256_add_ps(acc, _mm256_loadu_ps(px + j));
+  if (j < H) {
+    const __m256i m = lane_mask(H - j);
+    acc = _mm256_add_ps(acc, _mm256_maskload_ps(px + j, m));
+  }
+  const float mu = hsum8(acc) / H;
+  const __m256 bmu = _mm256_set1_ps(mu);
+  acc = _mm256_setzero_ps();
+  for (j = 0; j + 8 <= H; j += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(px + j), bmu);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+  }
+  if (j < H) {
+    const __m256i m = lane_mask(H - j);
+    const __m256 d = _mm256_sub_ps(_mm256_maskload_ps(px + j, m), bmu);
+    acc = _mm256_add_ps(
+        acc, _mm256_and_ps(_mm256_mul_ps(d, d), _mm256_castsi256_ps(m)));
+  }
+  const float var = hsum8(acc) / H;
+  const float rs = 1.0f / std::sqrt(var + 1e-5f);
+  *mu_out = mu;
+  *rs_out = rs;
+  const __m256 brs = _mm256_set1_ps(rs);
+  for (j = 0; j + 8 <= H; j += 8) {
+    const __m256 xhat =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(px + j), bmu), brs);
+    _mm256_storeu_ps(
+        py + j, _mm256_add_ps(_mm256_mul_ps(xhat, _mm256_loadu_ps(gamma + j)),
+                              _mm256_loadu_ps(beta + j)));
+  }
+  for (; j < H; ++j)
+    py[j] = (px[j] - mu) * rs * gamma[j] + beta[j];
+}
+
+CHIMERA_TARGET_AVX2
+void layernorm_dx_row_avx2(const float* px, const float* gamma,
+                           const float* pdy, float mu, float rs, float* pdx,
+                           int H) {
+  const __m256 bmu = _mm256_set1_ps(mu);
+  const __m256 brs = _mm256_set1_ps(rs);
+  __m256 acc1 = _mm256_setzero_ps();  // Σ dy·γ
+  __m256 acc2 = _mm256_setzero_ps();  // Σ dy·γ·x̂
+  int j = 0;
+  for (; j + 8 <= H; j += 8) {
+    const __m256 xhat =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(px + j), bmu), brs);
+    const __m256 dyg =
+        _mm256_mul_ps(_mm256_loadu_ps(pdy + j), _mm256_loadu_ps(gamma + j));
+    acc1 = _mm256_add_ps(acc1, dyg);
+    acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(dyg, xhat));
+  }
+  if (j < H) {
+    const __m256i m = lane_mask(H - j);
+    const __m256 mm = _mm256_castsi256_ps(m);
+    const __m256 xhat =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_maskload_ps(px + j, m), bmu), brs);
+    const __m256 dyg = _mm256_mul_ps(_mm256_maskload_ps(pdy + j, m),
+                                     _mm256_maskload_ps(gamma + j, m));
+    acc1 = _mm256_add_ps(acc1, _mm256_and_ps(dyg, mm));
+    acc2 = _mm256_add_ps(acc2, _mm256_and_ps(_mm256_mul_ps(dyg, xhat), mm));
+  }
+  const __m256 bq1 = _mm256_set1_ps(hsum8(acc1) / H);
+  const __m256 bq2 = _mm256_set1_ps(hsum8(acc2) / H);
+  for (j = 0; j + 8 <= H; j += 8) {
+    const __m256 xhat =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(px + j), bmu), brs);
+    const __m256 dyg =
+        _mm256_mul_ps(_mm256_loadu_ps(pdy + j), _mm256_loadu_ps(gamma + j));
+    const __m256 dx = _mm256_mul_ps(
+        brs, _mm256_sub_ps(_mm256_sub_ps(dyg, bq1), _mm256_mul_ps(xhat, bq2)));
+    _mm256_storeu_ps(pdx + j, dx);
+  }
+  if (j < H) {
+    const __m256i m = lane_mask(H - j);
+    const __m256 xhat =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_maskload_ps(px + j, m), bmu), brs);
+    const __m256 dyg = _mm256_mul_ps(_mm256_maskload_ps(pdy + j, m),
+                                     _mm256_maskload_ps(gamma + j, m));
+    const __m256 dx = _mm256_mul_ps(
+        brs, _mm256_sub_ps(_mm256_sub_ps(dyg, bq1), _mm256_mul_ps(xhat, bq2)));
+    _mm256_maskstore_ps(pdx + j, m, dx);
+  }
+}
+
+/// dgamma/dbeta for columns [c0, c1): vector lanes sit on columns and rows
+/// advance in the same ascending order as the reference, so every column's
+/// accumulation chain — and the result — is bitwise identical.
+CHIMERA_TARGET_AVX2
+void lnbwd_param_shard_avx2(const float* px, const float* pdy,
+                            const float* pmu, const float* prs, float* dgamma,
+                            float* dbeta, int R, int H, int c0, int c1) {
+  for (int r = 0; r < R; ++r) {
+    const float* xrow = px + static_cast<std::size_t>(r) * H;
+    const float* dyrow = pdy + static_cast<std::size_t>(r) * H;
+    const __m256 bmu = _mm256_set1_ps(pmu[r]);
+    const __m256 brs = _mm256_set1_ps(prs[r]);
+    int c = c0;
+    for (; c + 8 <= c1; c += 8) {
+      const __m256 dy = _mm256_loadu_ps(dyrow + c);
+      const __m256 xhat =
+          _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(xrow + c), bmu), brs);
+      _mm256_storeu_ps(dgamma + c, _mm256_add_ps(_mm256_loadu_ps(dgamma + c),
+                                                 _mm256_mul_ps(dy, xhat)));
+      _mm256_storeu_ps(dbeta + c,
+                       _mm256_add_ps(_mm256_loadu_ps(dbeta + c), dy));
+    }
+    for (; c < c1; ++c) {
+      const float xhat = (xrow[c] - pmu[r]) * prs[r];
+      dgamma[c] += dyrow[c] * xhat;
+      dbeta[c] += dyrow[c];
+    }
+  }
+}
+
+/// dbias column sums for columns [c0, c1): same column-lane layout.
+CHIMERA_TARGET_AVX2
+void bias_bwd_shard_avx2(const float* pdy, float* dbias, int R, int C, int c0,
+                         int c1) {
+  for (int r = 0; r < R; ++r) {
+    const float* dyrow = pdy + static_cast<std::size_t>(r) * C;
+    int c = c0;
+    for (; c + 8 <= c1; c += 8)
+      _mm256_storeu_ps(dbias + c, _mm256_add_ps(_mm256_loadu_ps(dbias + c),
+                                                _mm256_loadu_ps(dyrow + c)));
+    for (; c < c1; ++c) dbias[c] += dyrow[c];
+  }
+}
+
+CHIMERA_TARGET_AVX2
+void add_row_avx2(float* dst, const float* src, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8)
+    _mm256_storeu_ps(dst + j, _mm256_add_ps(_mm256_loadu_ps(dst + j),
+                                            _mm256_loadu_ps(src + j)));
+  for (; j < n; ++j) dst[j] += src[j];
+}
+
+CHIMERA_TARGET_AVX2
+void scale_row_avx2(float* p, int n, float k) {
+  const __m256 bk = _mm256_set1_ps(k);
+  int j = 0;
+  for (; j + 8 <= n; j += 8)
+    _mm256_storeu_ps(p + j, _mm256_mul_ps(_mm256_loadu_ps(p + j), bk));
+  for (; j < n; ++j) p[j] *= k;
+}
+
+CHIMERA_TARGET_AVX2
+float max_abs_avx2(const float* x, std::size_t n) {
+  const __m256 absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 vmx = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8)
+    vmx = _mm256_max_ps(vmx, _mm256_and_ps(absmask, _mm256_loadu_ps(x + j)));
+  float mx = hmax8(vmx);
+  for (; j < n; ++j) mx = std::max(mx, std::abs(x[j]));
+  return mx;
+}
+
+CHIMERA_TARGET_AVX2
+void quantize_prep_avx2(const float* x, std::size_t n, float scale,
+                        float levels, float* a, float* floor_a) {
+  const __m256 absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  const __m256 bscale = _mm256_set1_ps(scale);
+  const __m256 blevels = _mm256_set1_ps(levels);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 av = _mm256_and_ps(absmask, _mm256_loadu_ps(x + j));
+    // |x|/scale then ·levels — division and multiply are exactly rounded,
+    // so this matches the scalar expression bitwise.
+    const __m256 q = _mm256_mul_ps(_mm256_div_ps(av, bscale), blevels);
+    _mm256_storeu_ps(a + j, q);
+    _mm256_storeu_ps(floor_a + j,
+                     _mm256_round_ps(q, _MM_FROUND_TO_NEG_INF |
+                                            _MM_FROUND_NO_EXC));
+  }
+  for (; j < n; ++j) {
+    const float q = std::abs(x[j]) / scale * levels;
+    a[j] = q;
+    floor_a[j] = std::floor(q);
+  }
+}
+
+CHIMERA_TARGET_AVX2
+void dequant_add_int8_avx2(const std::int8_t* q, std::size_t n, float unit,
+                           float* out) {
+  const __m256 bunit = _mm256_set1_ps(unit);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m128i q8 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + j));
+    const __m256 qf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q8));
+    _mm256_storeu_ps(out + j, _mm256_add_ps(_mm256_loadu_ps(out + j),
+                                            _mm256_mul_ps(bunit, qf)));
+  }
+  for (; j < n; ++j) out[j] += unit * static_cast<float>(q[j]);
+}
+
 #endif  // CHIMERA_SIMD_X86
 
-/// mr/jt-indexed dispatch tables (index 0 unused).
+/// mr/jt-indexed dispatch tables (index 0 unused). `gelu_row` is the GELU
+/// evaluation this host's fast tier uses everywhere — fused epilogue and
+/// unfused gelu_forward — so fused ≡ unfused stays bitwise within the tier.
 struct Tables {
   TileFn tile[kMR + 1];
   DotFn dot[kNtGroup + 1];
+  void (*gelu_row)(const float* y, float* g, int n);
 };
 
 constexpr Tables kPortable = {
     {nullptr, tile_portable<1>, tile_portable<2>, tile_portable<3>,
      tile_portable<4>, tile_portable<5>, tile_portable<6>},
     {nullptr, dot_portable<1>, dot_portable<2>, dot_portable<3>,
-     dot_portable<4>}};
+     dot_portable<4>},
+    gelu_row_portable};
 
 #if CHIMERA_SIMD_X86
 constexpr Tables kAvx2 = {
     {nullptr, tile_avx2<1>, tile_avx2<2>, tile_avx2<3>, tile_avx2<4>,
      tile_avx2<5>, tile_avx2<6>},
-    {nullptr, dot_avx2<1>, dot_avx2<2>, dot_avx2<3>, dot_avx2<4>}};
+    {nullptr, dot_avx2<1>, dot_avx2<2>, dot_avx2<3>, dot_avx2<4>},
+    gelu_row_avx2};
 #endif
 
 const Tables& tables() {
@@ -267,9 +652,11 @@ const Tables& tables() {
 /// Shared panel driver for gemm (ra=k, rl=1) and gemm_tn (ra=1, rl=m): pack
 /// B, shard output rows, then panel-major 6×16 tiles inside each shard so
 /// the active panel stays cache-hot across row tiles. When `bias`/`pg` are
-/// set, the fused epilogue runs on each finished tile — in this plain
-/// (non-target) function, with the shared detail::gelu_eval, so fusion is
-/// bitwise-identical to the unfused add_bias/gelu_forward passes.
+/// set, the fused epilogue runs on each finished tile: the bias add is the
+/// same single add per element as add_bias, and the GELU goes through the
+/// table's gelu_row — the evaluation this host's fast-tier gelu_forward
+/// also uses — so fusion is bitwise-identical to the unfused
+/// add_bias/gelu_forward passes within the tier.
 void gemm_panels(const float* pa, std::size_t ra, std::size_t rl, int m,
                  int n, int k, const float* pb, float* pc, bool accumulate,
                  const float* bias, float* pg) {
@@ -292,12 +679,12 @@ void gemm_panels(const float* pa, std::size_t ra, std::size_t rl, int m,
         t.tile[mr](pa + i * ra, ra, rl, k, panel, ctile, n, width, accumulate);
         if (bias || pg) {
           for (int r = i; r < i + mr; ++r) {
-            float* yrow = pc + static_cast<std::size_t>(r) * n;
-            float* grow = pg ? pg + static_cast<std::size_t>(r) * n : nullptr;
-            for (int j = j0; j < j0 + width; ++j) {
-              if (bias) yrow[j] += bias[j];
-              if (grow) grow[j] = chimera::detail::gelu_eval(yrow[j]);
-            }
+            float* yrow = pc + static_cast<std::size_t>(r) * n + j0;
+            if (bias)
+              for (int j = 0; j < width; ++j) yrow[j] += bias[j0 + j];
+            if (pg)
+              t.gelu_row(yrow, pg + static_cast<std::size_t>(r) * n + j0,
+                         width);
           }
         }
       }
@@ -369,5 +756,203 @@ void gemm_nt_fast(const Tensor& a, const Tensor& b, Tensor& c,
     }
   });
 }
+
+// ---------------------------------------------------------------------------
+// Non-GEMM fast-tier entry points. The dispatcher in tensor/kernels.cc only
+// routes here when cpu_supports_avx2_fma() is true (there is no portable
+// mirror for these — the scalar reference *is* the fallback), so the x86
+// bodies may assume AVX2. Pool sharding reuses the scalar tier's exact
+// shape-only split points: pooled ≡ serial within the tier by construction.
+// ---------------------------------------------------------------------------
+#if CHIMERA_SIMD_X86
+
+void add_bias_fast(Tensor& y, const Tensor& bias) {
+  CHIMERA_CHECK(bias.cols() == y.cols() && bias.rows() == 1);
+  const int R = y.rows(), C = y.cols();
+  float* py = y.data();
+  const float* pb = bias.data();
+  const int shards = plan_shards(R, static_cast<std::size_t>(C));
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int r0 = shard_begin(R, shards, s);
+    const int r1 = shard_begin(R, shards, s + 1);
+    for (int r = r0; r < r1; ++r)
+      add_row_avx2(py + static_cast<std::size_t>(r) * C, pb,
+                   static_cast<std::size_t>(C));
+  });
+}
+
+void bias_backward_fast(const Tensor& dy, Tensor& dbias) {
+  CHIMERA_CHECK(dbias.cols() == dy.cols() && dbias.rows() == 1);
+  const int R = dy.rows(), C = dy.cols();
+  const int shards = plan_shards(C, static_cast<std::size_t>(R));
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    bias_bwd_shard_avx2(dy.data(), dbias.data(), R, C,
+                        shard_begin(C, shards, s),
+                        shard_begin(C, shards, s + 1));
+  });
+}
+
+void gelu_forward_fast(const Tensor& x, Tensor& y) {
+  CHIMERA_CHECK(x.numel() == y.numel());
+  const std::size_t n = x.numel();
+  const int units = static_cast<int>(n / 256 + 1);
+  const int shards = plan_shards(units, 256 * 8);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const std::size_t i0 =
+        static_cast<std::size_t>(shard_begin(units, shards, s)) * 256;
+    const std::size_t i1 = std::min(
+        n, static_cast<std::size_t>(shard_begin(units, shards, s + 1)) * 256);
+    if (i0 < i1)
+      gelu_row_avx2(x.data() + i0, y.data() + i0, static_cast<int>(i1 - i0));
+  });
+}
+
+void gelu_backward_fast(const Tensor& x, const Tensor& dy, Tensor& dx) {
+  CHIMERA_CHECK(x.numel() == dy.numel() && x.numel() == dx.numel());
+  const std::size_t n = x.numel();
+  const int units = static_cast<int>(n / 256 + 1);
+  const int shards = plan_shards(units, 256 * 8);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const std::size_t i0 =
+        static_cast<std::size_t>(shard_begin(units, shards, s)) * 256;
+    const std::size_t i1 = std::min(
+        n, static_cast<std::size_t>(shard_begin(units, shards, s + 1)) * 256);
+    if (i0 < i1)
+      gelu_grad_row_avx2(x.data() + i0, dy.data() + i0, dx.data() + i0,
+                         static_cast<int>(i1 - i0));
+  });
+}
+
+void layernorm_forward_fast(const Tensor& x, const Tensor& gamma,
+                            const Tensor& beta, Tensor& y, Tensor& mean,
+                            Tensor& rstd) {
+  const int R = x.rows(), H = x.cols();
+  CHIMERA_CHECK(gamma.cols() == H && beta.cols() == H);
+  CHIMERA_CHECK(y.rows() == R && mean.rows() == R && rstd.rows() == R);
+  float* pmu = mean.data();
+  float* prs = rstd.data();
+  const int shards = plan_shards(R, static_cast<std::size_t>(H) * 4);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int r0 = shard_begin(R, shards, s);
+    const int r1 = shard_begin(R, shards, s + 1);
+    for (int r = r0; r < r1; ++r)
+      layernorm_row_avx2(x.data() + static_cast<std::size_t>(r) * H,
+                         gamma.data(), beta.data(),
+                         y.data() + static_cast<std::size_t>(r) * H, H,
+                         pmu + r, prs + r);
+  });
+}
+
+void layernorm_backward_fast(const Tensor& x, const Tensor& gamma,
+                             const Tensor& mean, const Tensor& rstd,
+                             const Tensor& dy, Tensor& dx, Tensor& dgamma,
+                             Tensor& dbeta) {
+  const int R = x.rows(), H = x.cols();
+  ComputePool& pool = ComputePool::instance();
+  const int row_shards = plan_shards(R, static_cast<std::size_t>(H) * 6);
+  pool.parallel_for(row_shards, [&](int s) {
+    const int r0 = shard_begin(R, row_shards, s);
+    const int r1 = shard_begin(R, row_shards, s + 1);
+    for (int r = r0; r < r1; ++r)
+      layernorm_dx_row_avx2(x.data() + static_cast<std::size_t>(r) * H,
+                            gamma.data(),
+                            dy.data() + static_cast<std::size_t>(r) * H,
+                            mean.at(r, 0), rstd.at(r, 0),
+                            dx.data() + static_cast<std::size_t>(r) * H, H);
+  });
+  const int col_shards = plan_shards(H, static_cast<std::size_t>(R) * 3);
+  pool.parallel_for(col_shards, [&](int s) {
+    lnbwd_param_shard_avx2(x.data(), dy.data(), mean.data(), rstd.data(),
+                           dgamma.data(), dbeta.data(), R, H,
+                           shard_begin(H, col_shards, s),
+                           shard_begin(H, col_shards, s + 1));
+  });
+}
+
+void softmax_rows_fast(const Tensor& x, Tensor& y) {
+  const int R = x.rows(), C = x.cols();
+  CHIMERA_CHECK(y.rows() == R && y.cols() == C);
+  const int shards = plan_shards(R, static_cast<std::size_t>(C) * 4);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int r0 = shard_begin(R, shards, s);
+    const int r1 = shard_begin(R, shards, s + 1);
+    for (int r = r0; r < r1; ++r)
+      softmax_row_avx2(x.data() + static_cast<std::size_t>(r) * C,
+                       y.data() + static_cast<std::size_t>(r) * C, C);
+  });
+}
+
+void cross_entropy_grad_fast(Tensor& probs, const std::vector<int>& targets,
+                             float k, float* row_logp) {
+  const int R = probs.rows(), V = probs.cols();
+  const int shards = plan_shards(R, static_cast<std::size_t>(V) * 2);
+  ComputePool::instance().parallel_for(shards, [&](int s) {
+    const int r0 = shard_begin(R, shards, s);
+    const int r1 = shard_begin(R, shards, s + 1);
+    for (int r = r0; r < r1; ++r) {
+      const int t = targets[r];
+      float* prow = probs.data() + static_cast<std::size_t>(r) * V;
+      row_logp[r] = std::log(std::max(prow[t], 1e-20f));
+      scale_row_avx2(prow, V, k);
+      prow[t] -= k;
+    }
+  });
+}
+
+void vector_add_fast(float* dst, const float* src, std::size_t n) {
+  add_row_avx2(dst, src, n);
+}
+
+float max_abs_fast(const float* x, std::size_t n) {
+  return max_abs_avx2(x, n);
+}
+
+void quantize_prep_fast(const float* x, std::size_t n, float scale,
+                        float levels, float* a, float* floor_a) {
+  quantize_prep_avx2(x, n, scale, levels, a, floor_a);
+}
+
+void dequant_add_int8_fast(const std::int8_t* q, std::size_t n, float unit,
+                           float* out) {
+  dequant_add_int8_avx2(q, n, unit, out);
+}
+
+#else  // !CHIMERA_SIMD_X86 — never dispatched to (see header comment).
+
+void add_bias_fast(Tensor&, const Tensor&) { CHIMERA_CHECK(false); }
+void bias_backward_fast(const Tensor&, Tensor&) { CHIMERA_CHECK(false); }
+void gelu_forward_fast(const Tensor&, Tensor&) { CHIMERA_CHECK(false); }
+void gelu_backward_fast(const Tensor&, const Tensor&, Tensor&) {
+  CHIMERA_CHECK(false);
+}
+void layernorm_forward_fast(const Tensor&, const Tensor&, const Tensor&,
+                            Tensor&, Tensor&, Tensor&) {
+  CHIMERA_CHECK(false);
+}
+void layernorm_backward_fast(const Tensor&, const Tensor&, const Tensor&,
+                             const Tensor&, const Tensor&, Tensor&, Tensor&,
+                             Tensor&) {
+  CHIMERA_CHECK(false);
+}
+void softmax_rows_fast(const Tensor&, Tensor&) { CHIMERA_CHECK(false); }
+void cross_entropy_grad_fast(Tensor&, const std::vector<int>&, float, float*) {
+  CHIMERA_CHECK(false);
+}
+void vector_add_fast(float*, const float*, std::size_t) {
+  CHIMERA_CHECK(false);
+}
+float max_abs_fast(const float*, std::size_t) {
+  CHIMERA_CHECK(false);
+  return 0.0f;
+}
+void quantize_prep_fast(const float*, std::size_t, float, float, float*,
+                        float*) {
+  CHIMERA_CHECK(false);
+}
+void dequant_add_int8_fast(const std::int8_t*, std::size_t, float, float*) {
+  CHIMERA_CHECK(false);
+}
+
+#endif  // CHIMERA_SIMD_X86
 
 }  // namespace chimera::simd

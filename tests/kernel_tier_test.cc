@@ -16,10 +16,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "tensor/compute_pool.h"
@@ -262,6 +265,410 @@ TEST(KernelTier, FusedBiasGeluBitwiseMatchesUnfused) {
       expect_bitwise(y2, want_y);
       expect_bitwise(g2, want_g);
     }
+  }
+}
+
+// ---- Non-GEMM ops (serial replicas of the scalar reference tier) ---------
+
+void ref_add_bias(Tensor& y, const Tensor& bias) {
+  for (int r = 0; r < y.rows(); ++r)
+    for (int c = 0; c < y.cols(); ++c) y.at(r, c) += bias.at(0, c);
+}
+
+void ref_bias_backward(const Tensor& dy, Tensor& dbias) {
+  for (int r = 0; r < dy.rows(); ++r)
+    for (int c = 0; c < dy.cols(); ++c) dbias.at(0, c) += dy.at(r, c);
+}
+
+void ref_layernorm_forward(const Tensor& x, const Tensor& gamma,
+                           const Tensor& beta, Tensor& y, Tensor& mean,
+                           Tensor& rstd) {
+  const int R = x.rows(), H = x.cols();
+  for (int r = 0; r < R; ++r) {
+    float mu = 0.0f;
+    for (int c = 0; c < H; ++c) mu += x.at(r, c);
+    mu /= H;
+    float var = 0.0f;
+    for (int c = 0; c < H; ++c) {
+      const float d = x.at(r, c) - mu;
+      var += d * d;
+    }
+    var /= H;
+    const float rs = 1.0f / std::sqrt(var + 1e-5f);
+    mean.at(r, 0) = mu;
+    rstd.at(r, 0) = rs;
+    for (int c = 0; c < H; ++c)
+      y.at(r, c) = (x.at(r, c) - mu) * rs * gamma.at(0, c) + beta.at(0, c);
+  }
+}
+
+void ref_layernorm_backward(const Tensor& x, const Tensor& gamma,
+                            const Tensor& mean, const Tensor& rstd,
+                            const Tensor& dy, Tensor& dx, Tensor& dgamma,
+                            Tensor& dbeta) {
+  const int R = x.rows(), H = x.cols();
+  for (int r = 0; r < R; ++r) {
+    const float mu = mean.at(r, 0);
+    const float rs = rstd.at(r, 0);
+    float sum_dyg = 0.0f, sum_dyg_xhat = 0.0f;
+    for (int c = 0; c < H; ++c) {
+      const float xhat = (x.at(r, c) - mu) * rs;
+      const float dyg = dy.at(r, c) * gamma.at(0, c);
+      sum_dyg += dyg;
+      sum_dyg_xhat += dyg * xhat;
+    }
+    for (int c = 0; c < H; ++c) {
+      const float xhat = (x.at(r, c) - mu) * rs;
+      const float dyg = dy.at(r, c) * gamma.at(0, c);
+      dx.at(r, c) = rs * (dyg - sum_dyg / H - xhat * sum_dyg_xhat / H);
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    const float mu = mean.at(r, 0);
+    const float rs = rstd.at(r, 0);
+    for (int c = 0; c < H; ++c) {
+      const float xhat = (x.at(r, c) - mu) * rs;
+      dgamma.at(0, c) += dy.at(r, c) * xhat;
+      dbeta.at(0, c) += dy.at(r, c);
+    }
+  }
+}
+
+void ref_softmax(const Tensor& x, Tensor& y) {
+  const int R = x.rows(), C = x.cols();
+  for (int r = 0; r < R; ++r) {
+    float mx = x.at(r, 0);
+    for (int c = 1; c < C; ++c) mx = std::max(mx, x.at(r, c));
+    float sum = 0.0f;
+    for (int c = 0; c < C; ++c) {
+      const float e = std::exp(x.at(r, c) - mx);
+      y.at(r, c) = e;
+      sum += e;
+    }
+    const float inv = 1.0f / sum;
+    for (int c = 0; c < C; ++c) y.at(r, c) *= inv;
+  }
+}
+
+float ref_cross_entropy(const Tensor& logits, const std::vector<int>& targets,
+                        Tensor& dlogits, float loss_scale) {
+  const int R = logits.rows(), V = logits.cols();
+  const float k = loss_scale / R;
+  ref_softmax(logits, dlogits);
+  float loss = 0.0f;
+  for (int r = 0; r < R; ++r) {
+    const int t = targets[r];
+    loss -= std::log(std::max(dlogits.at(r, t), 1e-20f));
+    for (int c = 0; c < V; ++c) dlogits.at(r, c) *= k;
+    dlogits.at(r, t) -= k;
+  }
+  return loss / R;
+}
+
+TEST(KernelTier, BiasOpsBitwiseMatchReferenceInEveryTier) {
+  PolicyGuard guard;
+  Rng rng(27);
+  for (auto [r, c] : {std::pair{1, 1}, {3, 5}, {17, 31}, {64, 768}}) {
+    const Tensor y0 = random_tensor(r, c, rng);
+    const Tensor bias = random_tensor(1, c, rng);
+    const Tensor dy = random_tensor(r, c, rng);
+    const Tensor db0 = random_tensor(1, c, rng, 0.5f);
+    Tensor want_y = y0;
+    ref_add_bias(want_y, bias);
+    Tensor want_db = db0;
+    ref_bias_backward(dy, want_db);
+    for (KernelPolicy p : testable_policies()) {
+      SCOPED_TRACE(std::to_string(r) + "x" + std::to_string(c));
+      set_kernel_policy(p);
+      Tensor y = y0;
+      add_bias(y, bias);
+      expect_bitwise(y, want_y);
+      Tensor db = db0;
+      bias_backward(dy, db);
+      expect_bitwise(db, want_db);
+    }
+  }
+}
+
+TEST(KernelTier, GeluToleranceAgainstReferenceInEveryTier) {
+  PolicyGuard guard;
+  Rng rng(28);
+  const Tensor x = random_tensor(13, 37, rng, 2.0f);
+  const Tensor dy = random_tensor(13, 37, rng);
+  Tensor want_y(13, 37), want_dx(13, 37);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    want_y[i] = detail::gelu_eval(x[i]);
+    want_dx[i] = dy[i] * detail::gelu_grad_eval(x[i]);
+  }
+  for (KernelPolicy p : testable_policies()) {
+    set_kernel_policy(p);
+    Tensor y(13, 37), dx(13, 37);
+    gelu_forward(x, y);
+    gelu_backward(x, dy, dx);
+    if (active_kernel_tier() == KernelTier::kScalar) {
+      expect_bitwise(y, want_y);
+      expect_bitwise(dx, want_dx);
+    } else {
+      for (std::size_t i = 0; i < x.numel(); ++i) {
+        ASSERT_NEAR(y[i], want_y[i], 1e-5f) << "element " << i;
+        ASSERT_NEAR(dx[i], want_dx[i], 1e-5f) << "element " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelTier, GeluIsBitwisePositionStableInEveryTier) {
+  // Each output must depend only on its own input element — never on the
+  // element's position, the tensor shape, or the shard split (within a
+  // tier). Decode-path single rows then match training-path full batches.
+  PolicyGuard guard;
+  Rng rng(29);
+  const int m = 9, n = 53;
+  const Tensor x = random_tensor(m, n, rng, 2.0f);
+  for (KernelPolicy p : testable_policies()) {
+    set_kernel_policy(p);
+    Tensor full(m, n);
+    gelu_forward(x, full);
+    for (int r : {0, 4, 8}) {
+      Tensor xrow(1, n), yrow(1, n);
+      for (int c = 0; c < n; ++c) xrow.at(0, c) = x.at(r, c);
+      gelu_forward(xrow, yrow);
+      for (int c = 0; c < n; ++c)
+        ASSERT_EQ(yrow.at(0, c), full.at(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(KernelTier, LayerNormForwardToleranceInEveryTier) {
+  PolicyGuard guard;
+  Rng rng(30);
+  for (int h : {1, 7, 64, 192}) {
+    const Tensor x = random_tensor(11, h, rng);
+    const Tensor gamma = random_tensor(1, h, rng);
+    const Tensor beta = random_tensor(1, h, rng);
+    Tensor want_y(11, h), want_mu(11, 1), want_rs(11, 1);
+    ref_layernorm_forward(x, gamma, beta, want_y, want_mu, want_rs);
+    for (KernelPolicy p : testable_policies()) {
+      SCOPED_TRACE("h=" + std::to_string(h));
+      set_kernel_policy(p);
+      Tensor y(11, h), mu(11, 1), rs(11, 1);
+      layernorm_forward(x, gamma, beta, y, mu, rs);
+      if (active_kernel_tier() == KernelTier::kScalar) {
+        expect_bitwise(y, want_y);
+        expect_bitwise(mu, want_mu);
+        expect_bitwise(rs, want_rs);
+      } else {
+        for (std::size_t i = 0; i < y.numel(); ++i)
+          ASSERT_NEAR(y[i], want_y[i], 1e-4f) << "element " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelTier, LayerNormBackwardParamGradsBitwiseInEveryTier) {
+  // Given the same (mean, rstd), dgamma/dbeta accumulate rows in ascending
+  // order in both tiers — bitwise; dx reduces per-row dots across lanes in
+  // the fast tier — tolerance.
+  PolicyGuard guard;
+  Rng rng(31);
+  const int R = 19, H = 96;
+  const Tensor x = random_tensor(R, H, rng);
+  const Tensor gamma = random_tensor(1, H, rng);
+  const Tensor beta = random_tensor(1, H, rng);
+  const Tensor dy = random_tensor(R, H, rng);
+  Tensor y(R, H), mu(R, 1), rs(R, 1);
+  ref_layernorm_forward(x, gamma, beta, y, mu, rs);
+  Tensor want_dx(R, H), want_dg(1, H), want_db(1, H);
+  ref_layernorm_backward(x, gamma, mu, rs, dy, want_dx, want_dg, want_db);
+  for (KernelPolicy p : testable_policies()) {
+    set_kernel_policy(p);
+    Tensor dx(R, H), dg(1, H), db(1, H);
+    layernorm_backward(x, gamma, mu, rs, dy, dx, dg, db);
+    expect_bitwise(dg, want_dg);
+    expect_bitwise(db, want_db);
+    if (active_kernel_tier() == KernelTier::kScalar) {
+      expect_bitwise(dx, want_dx);
+    } else {
+      for (std::size_t i = 0; i < dx.numel(); ++i)
+        ASSERT_NEAR(dx[i], want_dx[i], 1e-4f) << "element " << i;
+    }
+  }
+}
+
+TEST(KernelTier, SoftmaxToleranceAgainstReferenceInEveryTier) {
+  PolicyGuard guard;
+  Rng rng(32);
+  for (int c : {1, 5, 8, 64, 131}) {
+    const Tensor x = random_tensor(9, c, rng, 3.0f);
+    Tensor want(9, c);
+    ref_softmax(x, want);
+    for (KernelPolicy p : testable_policies()) {
+      SCOPED_TRACE("c=" + std::to_string(c));
+      set_kernel_policy(p);
+      Tensor y(9, c);
+      softmax_rows(x, y);
+      if (active_kernel_tier() == KernelTier::kScalar) {
+        expect_bitwise(y, want);
+      } else {
+        for (std::size_t i = 0; i < y.numel(); ++i)
+          ASSERT_NEAR(y[i], want[i], 1e-6f) << "element " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelTier, SoftmaxMaskedPaddingIsZeroExtensionStableInEveryTier) {
+  // The decode contract: extending a row with masked (−1e9) columns must
+  // yield bitwise the same live prefix as the unextended row, and exact
+  // 0.0f probabilities on the padding — in every tier (the fast tier's
+  // vector exp flushes to exact zero and its lane sum zero-extends).
+  PolicyGuard guard;
+  Rng rng(33);
+  for (int live : {3, 8, 21}) {
+    const int padded = live + 13;
+    Tensor x(5, live), xp(5, padded);
+    x.randn(rng, 2.0f);
+    for (int r = 0; r < 5; ++r)
+      for (int c = 0; c < padded; ++c)
+        xp.at(r, c) = c < live ? x.at(r, c) : -1e9f;
+    for (KernelPolicy p : testable_policies()) {
+      SCOPED_TRACE("live=" + std::to_string(live));
+      set_kernel_policy(p);
+      Tensor y(5, live), yp(5, padded);
+      softmax_rows(x, y);
+      softmax_rows(xp, yp);
+      for (int r = 0; r < 5; ++r) {
+        for (int c = 0; c < live; ++c)
+          ASSERT_EQ(yp.at(r, c), y.at(r, c)) << "row " << r << " col " << c;
+        for (int c = live; c < padded; ++c)
+          ASSERT_EQ(yp.at(r, c), 0.0f) << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(KernelTier, CrossEntropyToleranceAgainstReferenceInEveryTier) {
+  PolicyGuard guard;
+  Rng rng(34);
+  const int R = 12, V = 97;
+  const Tensor logits = random_tensor(R, V, rng, 2.0f);
+  std::vector<int> targets(R);
+  for (int r = 0; r < R; ++r)
+    targets[r] = static_cast<int>(rng.next_below(V));
+  Tensor want_d(R, V);
+  const float want_loss = ref_cross_entropy(logits, targets, want_d, 0.7f);
+  for (KernelPolicy p : testable_policies()) {
+    set_kernel_policy(p);
+    Tensor d(R, V);
+    const float loss = cross_entropy(logits, targets, d, 0.7f);
+    if (active_kernel_tier() == KernelTier::kScalar) {
+      EXPECT_EQ(loss, want_loss);
+      expect_bitwise(d, want_d);
+    } else {
+      EXPECT_NEAR(loss, want_loss, 1e-5f);
+      for (std::size_t i = 0; i < d.numel(); ++i)
+        ASSERT_NEAR(d[i], want_d[i], 1e-6f) << "element " << i;
+    }
+  }
+}
+
+TEST(KernelTier, CommOpsBitwiseMatchReferenceInEveryTier) {
+  PolicyGuard guard;
+  Rng rng(35);
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                        std::size_t{1003}}) {
+    const Tensor src = random_tensor(1, static_cast<int>(n), rng);
+    const Tensor dst0 = random_tensor(1, static_cast<int>(n), rng);
+    Tensor want_add = dst0;
+    for (std::size_t i = 0; i < n; ++i) want_add[i] += src[i];
+    float want_max = 0.0f;
+    for (std::size_t i = 0; i < n; ++i)
+      want_max = std::max(want_max, std::abs(src[i]));
+    const float scale = want_max > 0.0f ? want_max : 1.0f;
+    std::vector<float> want_a(n), want_fa(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      want_a[i] = std::abs(src[i]) / scale * 7.0f;
+      want_fa[i] = std::floor(want_a[i]);
+    }
+    std::vector<std::int8_t> q(n);
+    for (std::size_t i = 0; i < n; ++i)
+      q[i] = static_cast<std::int8_t>(static_cast<int>(rng.next_below(255)) - 127);
+    Tensor want_dq = dst0;
+    for (std::size_t i = 0; i < n; ++i)
+      want_dq[i] += 0.125f * static_cast<float>(q[i]);
+    for (KernelPolicy p : testable_policies()) {
+      SCOPED_TRACE("n=" + std::to_string(n));
+      set_kernel_policy(p);
+      Tensor d = dst0;
+      vector_add(d.data(), src.data(), n);
+      expect_bitwise(d, want_add);
+      EXPECT_EQ(max_abs(src.data(), n), want_max);
+      std::vector<float> a(n), fa(n);
+      quantize_prep(src.data(), n, scale, 7.0f, a.data(), fa.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(a[i], want_a[i]) << "element " << i;
+        ASSERT_EQ(fa[i], want_fa[i]) << "element " << i;
+      }
+      Tensor dq = dst0;
+      dequant_add_int8(q.data(), n, 0.125f, dq.data());
+      expect_bitwise(dq, want_dq);
+    }
+  }
+}
+
+TEST(KernelTier, PooledNonGemmOpsBitwiseMatchSerialInEveryTier) {
+  // helpers=0 vs helpers=4 for every vectorized non-GEMM op, per tier.
+  // Shapes large enough that plan_shards genuinely splits.
+  PolicyGuard guard;
+  Rng rng(36);
+  const int R = 64, H = 192, V = 768;
+  const Tensor xv = random_tensor(R, V, rng);
+  const Tensor dyv = random_tensor(R, V, rng);
+  const Tensor bias = random_tensor(1, V, rng);
+  const Tensor xh = random_tensor(R, H, rng);
+  const Tensor gamma = random_tensor(1, H, rng);
+  const Tensor beta = random_tensor(1, H, rng);
+  const Tensor dyh = random_tensor(R, H, rng);
+  std::vector<int> targets(R);
+  for (int r = 0; r < R; ++r)
+    targets[r] = static_cast<int>(rng.next_below(V));
+  for (KernelPolicy p : testable_policies()) {
+    set_kernel_policy(p);
+    struct Out {
+      Tensor y{64, 768}, db{1, 768}, g{64, 768}, dg{64, 768};
+      Tensor ln{64, 192}, mu{64, 1}, rs{64, 1};
+      Tensor dx{64, 192}, dgamma{1, 192}, dbeta{1, 192};
+      Tensor sm{64, 768}, ce{64, 768};
+      float loss = 0.0f;
+    };
+    Out outs[2];
+    for (int h : {0, 1}) {
+      ComputePool::instance().set_helpers(h == 0 ? 0 : 4);
+      Out& o = outs[h];
+      o.y = xv;
+      add_bias(o.y, bias);
+      bias_backward(dyv, o.db);
+      gelu_forward(xv, o.g);
+      gelu_backward(xv, dyv, o.dg);
+      layernorm_forward(xh, gamma, beta, o.ln, o.mu, o.rs);
+      layernorm_backward(xh, gamma, o.mu, o.rs, dyh, o.dx, o.dgamma, o.dbeta);
+      softmax_rows(xv, o.sm);
+      o.loss = cross_entropy(xv, targets, o.ce);
+    }
+    ComputePool::instance().set_helpers(0);
+    expect_bitwise(outs[1].y, outs[0].y);
+    expect_bitwise(outs[1].db, outs[0].db);
+    expect_bitwise(outs[1].g, outs[0].g);
+    expect_bitwise(outs[1].dg, outs[0].dg);
+    expect_bitwise(outs[1].ln, outs[0].ln);
+    expect_bitwise(outs[1].mu, outs[0].mu);
+    expect_bitwise(outs[1].rs, outs[0].rs);
+    expect_bitwise(outs[1].dx, outs[0].dx);
+    expect_bitwise(outs[1].dgamma, outs[0].dgamma);
+    expect_bitwise(outs[1].dbeta, outs[0].dbeta);
+    expect_bitwise(outs[1].sm, outs[0].sm);
+    expect_bitwise(outs[1].ce, outs[0].ce);
+    EXPECT_EQ(outs[1].loss, outs[0].loss);
   }
 }
 

@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <vector>
 
 #include "optim/lr_schedule.h"
 #include "optim/optimizer.h"
+#include "tensor/compute_pool.h"
+#include "tensor/kernels.h"
 
 namespace chimera::optim {
 namespace {
@@ -200,6 +203,82 @@ TEST(Clipping, GradSqNormSumsAllParams) {
   b.grad[1] = 2.0f;
   Optimizer opt({&a, &b}, OptimizerConfig{});
   EXPECT_DOUBLE_EQ(opt.grad_sq_norm(), 9.0 + 16.0 + 1.0 + 4.0);
+}
+
+// ---- sharded / tiered step parity ---------------------------------------
+
+/// Policies whose dispatch the environment lets us observe (a pinned
+/// CHIMERA_KERNEL_TIER overrides the policy, so one entry suffices then).
+std::vector<KernelPolicy> parity_policies() {
+  const char* v = std::getenv("CHIMERA_KERNEL_TIER");
+  if (v != nullptr && *v != '\0') return {kernel_policy()};
+  return {KernelPolicy::kScalarReference, KernelPolicy::kFast};
+}
+
+TEST(OptimizerParity, WeightsBitwiseAcrossTiersAndHelperCounts) {
+  // The optimizer step and grad_sq_norm are sharded onto the ComputePool
+  // and tier-dispatched (optim/optimizer_simd.h): weights after N clipped
+  // steps must be bitwise identical for every (rule, kernel tier, helper
+  // count) — the property the grad-sync replica contracts build on. The
+  // first parameter is large enough that plan_shards genuinely splits it.
+  const KernelPolicy saved = kernel_policy();
+  struct Run {
+    std::vector<float> w;
+    double norm = 0.0;
+  };
+  const auto run_case = [](Rule rule, float clip, KernelPolicy pol,
+                           int helpers) {
+    set_kernel_policy(pol);
+    ComputePool::instance().set_helpers(helpers);
+    Rng wrng(77);
+    nn::Param a("a", 129, 129), b("b", 1, 7);
+    a.value.randn(wrng, 1.0f);
+    b.value.randn(wrng, 1.0f);
+    OptimizerConfig cfg;
+    cfg.rule = rule;
+    cfg.lr = 0.01f;
+    cfg.weight_decay = 0.01f;
+    cfg.clip_norm = clip;
+    Optimizer opt({&a, &b}, cfg);
+    Run run;
+    Rng grng(99);
+    for (int t = 0; t < 3; ++t) {
+      a.grad.randn(grng, 1.0f);
+      b.grad.randn(grng, 1.0f);
+      run.norm = opt.grad_sq_norm();
+      opt.step(1.0, clip_scale(cfg.clip_norm, run.norm));
+    }
+    ComputePool::instance().set_helpers(0);
+    run.w.assign(a.value.data(), a.value.data() + a.value.numel());
+    run.w.insert(run.w.end(), b.value.data(),
+                 b.value.data() + b.value.numel());
+    return run;
+  };
+  for (Rule rule : {Rule::kSgd, Rule::kMomentum, Rule::kAdam, Rule::kAdamW,
+                    Rule::kLamb}) {
+    for (float clip : {0.0f, 0.5f}) {
+      SCOPED_TRACE(std::string(rule_name(rule)) + " clip=" +
+                   std::to_string(clip));
+      bool have_base = false;
+      Run base;
+      for (KernelPolicy pol : parity_policies()) {
+        for (int helpers : {0, 4}) {
+          const Run run = run_case(rule, clip, pol, helpers);
+          if (!have_base) {
+            base = run;
+            have_base = true;
+            continue;
+          }
+          ASSERT_EQ(run.norm, base.norm) << "helpers " << helpers;
+          ASSERT_EQ(run.w.size(), base.w.size());
+          for (std::size_t i = 0; i < run.w.size(); ++i)
+            ASSERT_EQ(run.w[i], base.w[i])
+                << "element " << i << " helpers " << helpers;
+        }
+      }
+    }
+  }
+  set_kernel_policy(saved);
 }
 
 TEST(StateSlots, MatchRuleFamilies) {
