@@ -27,6 +27,13 @@ namespace {
 
 Tensor wrap(const float* data, std::size_t n) { return Tensor(data, n); }
 
+/// memcpy with the zero-size case made well-defined: a received empty
+/// segment (n < group size) wraps a null payload pointer, and passing that
+/// to memcpy is UB even at count 0 (nonnull attribute — UBSan flags it).
+void copy_floats(float* dst, const float* src, std::size_t count) {
+  if (count > 0) std::memcpy(dst, src, count * sizeof(float));
+}
+
 int index_in(const std::vector<int>& group, int rank) {
   auto it = std::find(group.begin(), group.end(), rank);
   CHIMERA_CHECK_MSG(it != group.end(), "rank not in group");
@@ -87,7 +94,7 @@ void Communicator::allgather_with_tag(float* data, std::size_t n,
     Tensor part = recv(left, tag + step);
     const std::size_t rb = seg(recv_seg), re = seg(recv_seg + 1);
     CHIMERA_CHECK(part.numel() == re - rb);
-    std::memcpy(data + rb, part.data(), (re - rb) * sizeof(float));
+    copy_floats(data + rb, part.data(), re - rb);
   }
 }
 
@@ -109,7 +116,7 @@ void Communicator::allreduce_with_tag(float* data, std::size_t n,
     } else {
       send(group[0], tag, wrap(data, n));
       Tensor result = recv(group[0], tag);
-      std::memcpy(data, result.data(), n * sizeof(float));
+      copy_floats(data, result.data(), n);
     }
     return;
   }
@@ -181,7 +188,7 @@ void Communicator::allreduce_with_tag(float* data, std::size_t n,
       const std::size_t other_b = cur_b == mrg_b ? cur_e : mrg_b;
       const std::size_t other_e = cur_b == mrg_b ? mrg_e : cur_b;
       CHIMERA_CHECK(part.numel() == other_e - other_b);
-      std::memcpy(data + other_b, part.data(), part.numel() * sizeof(float));
+      copy_floats(data + other_b, part.data(), part.numel());
       tag += 1;
     }
     return;
@@ -233,7 +240,7 @@ void Communicator::broadcast(float* data, std::size_t n, int root_index,
     const int parent_rel = rel - lowbit;
     Tensor part = recv(group[(parent_rel + root_index) % g], tag);
     CHIMERA_CHECK(part.numel() == n);
-    std::memcpy(data, part.data(), n * sizeof(float));
+    copy_floats(data, part.data(), n);
   }
   // Send phase: forward to children rel + d, d descending from half my
   // subtree span. The root's span is the smallest power of two ≥ g.

@@ -143,11 +143,31 @@ struct PipelineSchedule {
 /// (e.g. odd depth for Chimera, f not dividing D/2).
 PipelineSchedule build_schedule(Scheme scheme, const ScheduleConfig& cfg);
 
-/// Structural validation: every micro-batch traverses every stage exactly
-/// once forward and once backward, per-worker order respects stash
-/// availability, chunk/half bookkeeping is consistent, and the schedule is
-/// deadlock-free under dependency-driven execution. Throws CheckError with a
-/// description of the first violation.
+/// One structural violation found by validate_schedule: a stable check id
+/// ("shape", "stage-map", "forward-only", "decode", "lowering",
+/// "completeness", "dep-order", "replay") plus a human-readable description.
+/// The rt::RequestError pattern applied to schedules: a rejected schedule is
+/// the *submitter's* problem, reported as data, so a fuzzer (or a future
+/// user-defined-schedule API) can observe rejections instead of dying on a
+/// CHECK mid-sweep.
+struct ScheduleIssue {
+  std::string check;
+  std::string message;
+};
+
+/// Structural validation, recoverable form: every micro-batch traverses
+/// every stage exactly once forward and once backward, per-worker order
+/// respects stash availability, chunk/half bookkeeping is consistent, and
+/// the schedule is deadlock-free under dependency-driven execution. Returns
+/// every violation found (empty means valid); never throws on malformed
+/// schedules — internal CheckErrors from lowering are converted into
+/// "lowering" issues.
+std::vector<ScheduleIssue> validate_schedule(const PipelineSchedule& s);
+
+/// CHECK wrapper over validate_schedule for callers that treat an invalid
+/// schedule as an internal invariant failure (every schedule builder does:
+/// their output must validate). Throws CheckError describing the first
+/// violation.
 void validate(const PipelineSchedule& s);
 
 }  // namespace chimera

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <sstream>
 
 #include "core/execution_plan.h"
 
@@ -201,19 +203,49 @@ std::pair<double, double> activations_memory_formula(Scheme scheme, int D,
   return {1.0, 1.0};
 }
 
-void validate(const PipelineSchedule& s) {
-  CHIMERA_CHECK(s.depth >= 1);
-  CHIMERA_CHECK(static_cast<int>(s.worker_ops.size()) == s.depth);
-  CHIMERA_CHECK(static_cast<int>(s.stage_worker.size()) == s.num_pipes);
-  CHIMERA_CHECK(static_cast<int>(s.pipe_of_micro.size()) == s.num_micro);
+std::vector<ScheduleIssue> validate_schedule(const PipelineSchedule& s) {
+  std::vector<ScheduleIssue> issues;
+  const auto add = [&issues](const char* check, const std::string& message) {
+    issues.push_back(ScheduleIssue{check, message});
+  };
+  const auto msg = [](const auto&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    return os.str();
+  };
+
+  // Container shapes first; nothing below can index a misshapen schedule.
+  if (s.depth < 1) {
+    add("shape", msg("depth must be >= 1, got ", s.depth));
+    return issues;
+  }
+  if (static_cast<int>(s.worker_ops.size()) != s.depth)
+    add("shape", msg("worker_ops has ", s.worker_ops.size(),
+                     " timelines for depth ", s.depth));
+  if (static_cast<int>(s.stage_worker.size()) != s.num_pipes)
+    add("shape", msg("stage_worker has ", s.stage_worker.size(),
+                     " pipes for num_pipes ", s.num_pipes));
+  for (const auto& row : s.stage_worker)
+    if (static_cast<int>(row.size()) != s.depth)
+      add("shape", msg("stage_worker row has ", row.size(), " stages for depth ",
+                       s.depth));
+  if (static_cast<int>(s.pipe_of_micro.size()) != s.num_micro)
+    add("shape", msg("pipe_of_micro has ", s.pipe_of_micro.size(),
+                     " entries for num_micro ", s.num_micro));
+  if (!issues.empty()) return issues;
 
   // Every pipe maps stages onto workers bijectively.
   for (int p = 0; p < s.num_pipes; ++p) {
     std::vector<bool> seen(s.depth, false);
     for (int st = 0; st < s.depth; ++st) {
       const int w = s.stage_worker[p][st];
-      CHIMERA_CHECK_MSG(w >= 0 && w < s.depth, "stage mapped off-grid");
-      CHIMERA_CHECK_MSG(!seen[w], "pipe " << p << " maps two stages to worker " << w);
+      if (w < 0 || w >= s.depth) {
+        add("stage-map", msg("pipe ", p, " stage ", st, " mapped off-grid to ",
+                             w));
+        return issues;  // lowering would index out of bounds
+      }
+      if (seen[w])
+        add("stage-map", msg("pipe ", p, " maps two stages to worker ", w));
       seen[w] = true;
     }
   }
@@ -223,64 +255,105 @@ void validate(const PipelineSchedule& s) {
   if (s.forward_only)
     for (const auto& ops : s.worker_ops)
       for (const Op& op : ops)
-        CHIMERA_CHECK_MSG(op.kind == OpKind::kForward,
-                          "forward-only schedule contains a non-forward op");
+        if (op.kind != OpKind::kForward) {
+          add("forward-only",
+              "forward-only schedule contains a non-forward op");
+          return issues;
+        }
 
   // Decode-step schedules are forward-only with unfused seq-1 streams (one
   // current token per session; chunking belongs to training's §3.5 scale
   // methods). Their cache-slot events are verified by
   // max_live_cache_bindings below.
   if (s.decode) {
-    CHIMERA_CHECK_MSG(s.forward_only, "decode schedules are forward-only");
+    if (!s.forward_only) add("decode", "decode schedules are forward-only");
     for (const auto& ops : s.worker_ops)
       for (const Op& op : ops)
-        CHIMERA_CHECK_MSG(op.chunk == 1 && op.half_count == 1,
-                          "decode streams cannot be chunked or halved");
+        if (op.chunk != 1 || op.half_count != 1) {
+          add("decode", "decode streams cannot be chunked or halved");
+          return issues;
+        }
+    if (!issues.empty()) return issues;
   }
 
   // Building the plan verifies uniqueness of (pipe, stage, micro[, half])
-  // and resolves every dependency (missing producers throw here).
-  ExecutionPlan plan(s);
-  const OpIndex& index = plan.index();
+  // and resolves every dependency; both throw CheckError from inside the
+  // lowering, converted here into a structured rejection.
+  std::unique_ptr<ExecutionPlan> plan;
+  try {
+    plan = std::make_unique<ExecutionPlan>(s);
+  } catch (const CheckError& e) {
+    add("lowering", e.what());
+    return issues;
+  }
+  const OpIndex& index = plan->index();
 
   // Completeness: every micro-batch passes every stage once forward and (in
   // training schedules) once backward (with consistent halves), on its
   // assigned pipe.
   for (int m = 0; m < s.num_micro; ++m) {
     const int p = s.pipe_of_micro[m];
+    if (p < 0 || p >= s.num_pipes) {
+      add("completeness", msg("micro ", m, " assigned to pipe ", p,
+                              " of ", s.num_pipes));
+      continue;
+    }
     for (int st = 0; st < s.depth; ++st) {
-      CHIMERA_CHECK_MSG(index.forward(p, st, m).valid(),
-                        "micro " << m << " missing forward at stage " << st);
+      if (!index.forward(p, st, m).valid())
+        add("completeness", msg("micro ", m, " missing forward at stage ", st));
       if (s.forward_only) continue;
       const OpRef b0 = index.backward(p, st, m, 0);
-      CHIMERA_CHECK_MSG(b0.valid(),
-                        "micro " << m << " missing backward at stage " << st);
+      if (!b0.valid()) {
+        add("completeness", msg("micro ", m, " missing backward at stage ", st));
+        continue;
+      }
       const Op& op0 = s.op(b0);
       if (op0.half_count == 2) {
-        CHIMERA_CHECK_MSG(index.backward(p, st, m, 1).valid(),
-                          "micro " << m << " missing second backward half");
+        if (!index.backward(p, st, m, 1).valid())
+          add("completeness", msg("micro ", m, " missing second backward half"));
       } else {
-        CHIMERA_CHECK_MSG(!index.backward(p, st, m, 1).valid(),
-                          "unexpected second backward half");
+        if (index.backward(p, st, m, 1).valid())
+          add("completeness", msg("micro ", m, " has an unexpected second "
+                                              "backward half"));
       }
     }
   }
 
   // Same-worker dependencies must respect program order, and the whole
   // schedule must be deadlock-free: the replay checks both.
-  for (int w = 0; w < s.depth; ++w) {
-    for (int i = 0; i < static_cast<int>(s.worker_ops[w].size()); ++i) {
-      for (const OpRef& d : plan.worker_plan(w)[i].deps) {
-        if (d.worker == w)
-          CHIMERA_CHECK_MSG(d.index < i, "worker " << w << " op " << i
-                                                   << " depends on later op "
-                                                   << d.index);
-      }
-    }
+  for (int w = 0; w < s.depth; ++w)
+    for (int i = 0; i < static_cast<int>(s.worker_ops[w].size()); ++i)
+      for (const OpRef& d : plan->worker_plan(w)[i].deps)
+        if (d.worker == w && d.index >= i)
+          add("dep-order",
+              msg("worker ", w, " op ", i, " depends on later op ", d.index));
+
+  try {
+    replay(*plan, ReplayCosts{});  // throws on deadlock
+  } catch (const CheckError& e) {
+    add("replay", e.what());
   }
-  replay(plan, ReplayCosts{});       // throws on deadlock
-  max_inflight_micros(plan);         // throws on stash leaks
-  max_live_cache_bindings(plan);     // throws on malformed cache-slot events
+  try {
+    max_inflight_micros(*plan);  // throws on stash leaks
+  } catch (const CheckError& e) {
+    add("replay", e.what());
+  }
+  try {
+    max_live_cache_bindings(*plan);  // throws on malformed cache-slot events
+  } catch (const CheckError& e) {
+    add("replay", e.what());
+  }
+  return issues;
+}
+
+void validate(const PipelineSchedule& s) {
+  const std::vector<ScheduleIssue> issues = validate_schedule(s);
+  if (issues.empty()) return;
+  std::ostringstream os;
+  os << "invalid schedule: [" << issues.front().check << "] "
+     << issues.front().message;
+  if (issues.size() > 1) os << " (+" << issues.size() - 1 << " more)";
+  throw CheckError(os.str());
 }
 
 }  // namespace chimera

@@ -1,0 +1,756 @@
+#include "verify/checkers.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace chimera::verify {
+namespace {
+
+template <typename... Parts>
+std::string msg(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+Diagnostic diag(const char* check, int worker, int op, int micro,
+                std::string message) {
+  Diagnostic d;
+  d.check = check;
+  d.worker = worker;
+  d.op = op;
+  d.micro = micro;
+  d.message = std::move(message);
+  return d;
+}
+
+bool valid_kind(const std::string& kind) {
+  return kind == "forward" || kind == "backward" ||
+         kind == "allreduce_begin" || kind == "allreduce_wait";
+}
+
+/// Workers hosting a replica of `stage` (dedup'd across pipes).
+std::vector<int> stage_group(const PlanDoc& doc, int stage) {
+  std::vector<int> group;
+  for (const auto& row : doc.stage_worker) group.push_back(row[stage]);
+  std::sort(group.begin(), group.end());
+  group.erase(std::unique(group.begin(), group.end()), group.end());
+  return group;
+}
+
+}  // namespace
+
+bool check_structure(const PlanDoc& doc, Diagnostics& out) {
+  const std::size_t before = out.size();
+  const auto add = [&out](int w, int i, int micro, std::string m) {
+    out.push_back(diag(check::kStructure, w, i, micro, std::move(m)));
+  };
+
+  if (doc.depth < 1) {
+    add(-1, -1, -1, msg("depth must be >= 1, got ", doc.depth));
+    return false;
+  }
+  if (doc.num_pipes < 1)
+    add(-1, -1, -1, msg("num_pipes must be >= 1, got ", doc.num_pipes));
+  if (doc.num_micro < 0)
+    add(-1, -1, -1, msg("num_micro must be >= 0, got ", doc.num_micro));
+  if (static_cast<int>(doc.workers.size()) != doc.depth)
+    add(-1, -1, -1, msg("document has ", doc.workers.size(),
+                        " worker timelines for depth ", doc.depth));
+  if (static_cast<int>(doc.stage_worker.size()) != doc.num_pipes)
+    add(-1, -1, -1, msg("stage_worker has ", doc.stage_worker.size(),
+                        " rows for num_pipes ", doc.num_pipes));
+  for (const auto& row : doc.stage_worker)
+    if (static_cast<int>(row.size()) != doc.depth)
+      add(-1, -1, -1, msg("stage_worker row has ", row.size(),
+                          " stages for depth ", doc.depth));
+  if (static_cast<int>(doc.pipe_of_micro.size()) != doc.num_micro)
+    add(-1, -1, -1, msg("pipe_of_micro has ", doc.pipe_of_micro.size(),
+                        " entries for num_micro ", doc.num_micro));
+  if (static_cast<int>(doc.claimed_max_inflight.size()) != doc.depth)
+    add(-1, -1, -1, msg("claimed_max_inflight has ",
+                        doc.claimed_max_inflight.size(),
+                        " entries for depth ", doc.depth));
+  if (static_cast<int>(doc.claimed_cache_bindings.size()) != doc.depth)
+    add(-1, -1, -1, msg("claimed_cache_bindings has ",
+                        doc.claimed_cache_bindings.size(),
+                        " entries for depth ", doc.depth));
+  if (out.size() != before) return false;  // not indexable beyond this point
+
+  // Stage map: on-grid and bijective per pipe.
+  for (int p = 0; p < doc.num_pipes; ++p) {
+    std::vector<bool> seen(doc.depth, false);
+    for (int st = 0; st < doc.depth; ++st) {
+      const int w = doc.stage_worker[p][st];
+      if (w < 0 || w >= doc.depth) {
+        add(-1, -1, -1,
+            msg("pipe ", p, " stage ", st, " mapped off-grid to worker ", w));
+        return false;
+      }
+      if (seen[w])
+        add(w, -1, -1, msg("pipe ", p, " maps two stages to worker ", w));
+      seen[w] = true;
+    }
+  }
+  for (int m = 0; m < doc.num_micro; ++m)
+    if (doc.pipe_of_micro[m] < 0 || doc.pipe_of_micro[m] >= doc.num_pipes)
+      add(-1, -1, m, msg("micro ", m, " assigned to pipe ",
+                         doc.pipe_of_micro[m], " of ", doc.num_pipes));
+
+  if (doc.decode && !doc.forward_only)
+    add(-1, -1, -1, "decode plans must be forward-only");
+
+  // Per-op field ranges and flag invariants.
+  for (int w = 0; w < doc.depth; ++w) {
+    for (int i = 0; i < static_cast<int>(doc.workers[w].size()); ++i) {
+      const OpDoc& op = doc.workers[w][i];
+      if (!valid_kind(op.kind)) {
+        add(w, i, -1, msg("unknown op kind \"", op.kind, "\""));
+        continue;
+      }
+      if (op.stage < 0 || op.stage >= doc.depth)
+        add(w, i, op.micro, msg("stage ", op.stage, " out of range"));
+      if (op.is_compute()) {
+        if (op.pipe < 0 || op.pipe >= doc.num_pipes)
+          add(w, i, op.micro, msg("pipe ", op.pipe, " out of range"));
+        if (op.chunk < 1)
+          add(w, i, op.micro, msg("chunk ", op.chunk, " must be >= 1"));
+        if (op.micro < 0 || op.micro + op.chunk > doc.num_micro)
+          add(w, i, op.micro,
+              msg("micro range [", op.micro, ", ", op.micro + op.chunk,
+                  ") outside [0, ", doc.num_micro, ")"));
+        if (op.half_count < 1 || op.half_index >= op.half_count)
+          add(w, i, op.micro, msg("half ", op.half_index, " of ",
+                                  op.half_count, " is inconsistent"));
+        if (doc.forward_only && op.kind != "forward")
+          add(w, i, op.micro, "forward-only plan contains a non-forward op");
+        if (doc.decode && (op.chunk != 1 || op.half_count != 1))
+          add(w, i, op.micro, "decode streams cannot be chunked or halved");
+        for (const UnitDoc& u : op.units) {
+          if (u.micro < op.micro || u.micro >= op.micro + op.chunk)
+            add(w, i, u.micro,
+                msg("unit micro ", u.micro, " outside its op's range"));
+          if (u.halves < 1 || u.half >= u.halves)
+            add(w, i, u.micro, msg("unit half ", u.half, " of ", u.halves,
+                                   " is inconsistent"));
+          if (doc.forward_only && (u.acquires_stash || u.releases_stash))
+            add(w, i, u.micro,
+                "forward-only plan has an activation-stash event (nothing "
+                "ever consumes or releases it)");
+          if (!doc.decode && (u.acquires_cache_slot || u.releases_cache_slot))
+            add(w, i, u.micro, "cache-slot event outside a decode plan");
+        }
+      } else {
+        if (!op.units.empty())
+          add(w, i, -1, "collective op carries transfer units");
+        if (doc.forward_only)
+          add(w, i, -1, "forward-only plan contains a collective");
+      }
+    }
+  }
+  return out.size() == before;
+}
+
+void check_placement(const PlanModel& m, Diagnostics& out) {
+  const PlanDoc& doc = m.doc();
+  for (int w = 0; w < doc.depth; ++w) {
+    for (int i = 0; i < static_cast<int>(doc.workers[w].size()); ++i) {
+      const OpDoc& op = doc.workers[w][i];
+      if (op.is_compute()) {
+        const int expected = doc.stage_worker[op.pipe][op.stage];
+        if (expected != w)
+          out.push_back(diag(
+              check::kPlacement, w, i, op.micro,
+              msg(m.label(w, i), " belongs on worker ", expected,
+                  " per the stage map of pipe ", op.pipe)));
+      } else {
+        const std::vector<int> group = stage_group(doc, op.stage);
+        if (std::find(group.begin(), group.end(), w) == group.end())
+          out.push_back(diag(check::kPlacement, w, i, -1,
+                             msg(op.kind, " for stage ", op.stage,
+                                 " on worker ", w,
+                                 ", which hosts no replica of that stage")));
+      }
+    }
+  }
+}
+
+void check_partition(const PlanDoc& doc, Diagnostics& out) {
+  if (!doc.has_partition) return;
+  const PartitionDoc& part = doc.partition;
+  const auto add = [&out](std::string m) {
+    out.push_back(diag(check::kPartitionCover, -1, -1, -1, std::move(m)));
+  };
+  if (static_cast<int>(part.ranges.size()) != doc.depth) {
+    add(msg("partition has ", part.ranges.size(), " stage ranges for depth ",
+            doc.depth));
+    return;
+  }
+  int expect = 0;
+  for (int s = 0; s < doc.depth; ++s) {
+    const auto [begin, end] = part.ranges[s];
+    if (begin != expect)
+      add(msg("stage ", s, " range [", begin, ", ", end,
+              ") does not continue the cover at layer ", expect,
+              begin < expect ? " (overlap)" : " (gap)"));
+    if (end <= begin)
+      add(msg("stage ", s, " range [", begin, ", ", end, ") is empty"));
+    expect = std::max(expect, end);
+  }
+  if (expect != part.num_layers)
+    add(msg("partition covers ", expect, " of ", part.num_layers, " layers"));
+}
+
+Matching match_p2p(const PlanModel& m, Diagnostics& out) {
+  const PlanDoc& doc = m.doc();
+  Matching mt;
+  mt.consumer_of_send.assign(m.sends().size(), -1);
+  mt.producer_of_recv.assign(m.recvs().size(), -1);
+
+  // Channel tables: (src, dst) -> tag -> endpoint index. Duplicates are
+  // diagnosed and excluded from matching (first occurrence wins).
+  using Channel = std::pair<int, int>;
+  std::map<Channel, std::map<std::int64_t, int>> send_by_tag, recv_by_tag;
+
+  const auto endpoint_ok = [&](const Endpoint& e, bool is_send) {
+    if (e.peer < 0 || e.peer >= doc.depth) {
+      out.push_back(diag(check::kP2pEndpoint, e.worker, e.op, e.micro,
+                         msg(m.label(e.worker, e.op), (is_send ? " sends to" : " receives from"),
+                             " off-grid worker ", e.peer)));
+      return false;
+    }
+    if (e.peer == e.worker) {
+      out.push_back(diag(check::kP2pEndpoint, e.worker, e.op, e.micro,
+                         msg(m.label(e.worker, e.op),
+                             " transfers to its own worker")));
+      return false;
+    }
+    return true;
+  };
+
+  for (int i = 0; i < static_cast<int>(m.sends().size()); ++i) {
+    const Endpoint& e = m.sends()[i];
+    if (!endpoint_ok(e, true)) continue;
+    auto [it, inserted] =
+        send_by_tag[{e.worker, e.peer}].emplace(e.tag, i);
+    if (!inserted) {
+      const Endpoint& first = m.sends()[it->second];
+      out.push_back(
+          diag(check::kTagDuplicate, e.worker, e.op, e.micro,
+               msg("tag ", e.tag, " sent twice on channel ", e.worker, "->",
+                   e.peer, ": by ", m.label(first.worker, first.op), " and ",
+                   m.label(e.worker, e.op),
+                   " — mailbox matching would cross the payloads")));
+    }
+  }
+  for (int i = 0; i < static_cast<int>(m.recvs().size()); ++i) {
+    const Endpoint& e = m.recvs()[i];
+    if (!endpoint_ok(e, false)) continue;
+    auto [it, inserted] =
+        recv_by_tag[{e.peer, e.worker}].emplace(e.tag, i);
+    if (!inserted) {
+      const Endpoint& first = m.recvs()[it->second];
+      out.push_back(diag(check::kTagDuplicate, e.worker, e.op, e.micro,
+                         msg("tag ", e.tag, " received twice on channel ",
+                             e.peer, "->", e.worker, ": by ",
+                             m.label(first.worker, first.op), " and ",
+                             m.label(e.worker, e.op))));
+    }
+  }
+
+  for (const auto& [channel, tags] : send_by_tag) {
+    const auto rit = recv_by_tag.find(channel);
+    for (const auto& [tag, si] : tags) {
+      const auto match = rit == recv_by_tag.end()
+                             ? std::map<std::int64_t, int>::const_iterator{}
+                             : rit->second.find(tag);
+      if (rit == recv_by_tag.end() || match == rit->second.end()) {
+        const Endpoint& e = m.sends()[si];
+        out.push_back(diag(check::kP2pUnmatched, e.worker, e.op, e.micro,
+                           msg(m.label(e.worker, e.op), " sends tag ", tag,
+                               " to worker ", e.peer,
+                               ", which never receives it")));
+        continue;
+      }
+      mt.consumer_of_send[si] = match->second;
+      mt.producer_of_recv[match->second] = si;
+    }
+  }
+  for (const auto& [channel, tags] : recv_by_tag) {
+    for (const auto& [tag, ri] : tags) {
+      if (mt.producer_of_recv[ri] >= 0) continue;
+      const Endpoint& e = m.recvs()[ri];
+      out.push_back(diag(check::kP2pUnmatched, e.worker, e.op, e.micro,
+                         msg(m.label(e.worker, e.op), " expects tag ", tag,
+                             " from worker ", e.peer,
+                             ", which never sends it — the receive blocks "
+                             "forever")));
+    }
+  }
+  return mt;
+}
+
+void check_deps(const PlanModel& m, const Matching& mt, Diagnostics& out) {
+  const PlanDoc& doc = m.doc();
+  for (int w = 0; w < doc.depth; ++w) {
+    for (int i = 0; i < static_cast<int>(doc.workers[w].size()); ++i) {
+      const OpDoc& op = doc.workers[w][i];
+      for (const auto& [dw, di] : op.deps) {
+        if (!m.in_range(dw, di)) {
+          out.push_back(diag(check::kDepRange, w, i, op.micro,
+                             msg(m.label(w, i), " depends on (worker ", dw,
+                                 ", op ", di, "), which does not exist")));
+          continue;
+        }
+        if (dw == w && di >= i)
+          out.push_back(diag(
+              check::kDepOrder, w, i, op.micro,
+              msg(m.label(w, i), " depends on ", di == i ? "itself" : "the later op ",
+                  di == i ? std::string() : m.label(dw, di),
+                  " — same-worker deps must point strictly earlier")));
+      }
+      // Backward ops consume a local stash: the forward that produced it
+      // (same worker, same stage, covering this micro) must be a dep, or an
+      // executor may run the backward before its activations exist.
+      if (op.kind == "backward") {
+        bool found = false;
+        for (const auto& [dw, di] : op.deps) {
+          if (dw != w || !m.in_range(dw, di)) continue;
+          const OpDoc& dep = doc.workers[dw][di];
+          found = found || (dep.kind == "forward" && dep.stage == op.stage &&
+                            op.micro >= dep.micro &&
+                            op.micro < dep.micro + dep.chunk);
+        }
+        if (!found)
+          out.push_back(diag(check::kDepMissing, w, i, op.micro,
+                             msg(m.label(w, i),
+                                 " has no dependency on the same-worker "
+                                 "forward that stashed its activations")));
+      }
+    }
+  }
+  // Every matched transfer's producer must appear in the consumer's deps:
+  // otherwise the consumer can be scheduled before the payload exists.
+  for (int ri = 0; ri < static_cast<int>(m.recvs().size()); ++ri) {
+    const int si = mt.producer_of_recv[ri];
+    if (si < 0) continue;  // unmatched, already diagnosed
+    const Endpoint& r = m.recvs()[ri];
+    const Endpoint& s = m.sends()[si];
+    bool found = false;
+    for (const auto& [dw, di] : doc.workers[r.worker][r.op].deps)
+      found = found || (dw == s.worker && di == s.op);
+    if (!found)
+      out.push_back(diag(check::kDepMissing, r.worker, r.op, r.micro,
+                         msg(m.label(r.worker, r.op),
+                             " receives from ", m.label(s.worker, s.op),
+                             " but does not list it as a dependency")));
+  }
+}
+
+void check_collectives(const PlanModel& m, Diagnostics& out) {
+  const PlanDoc& doc = m.doc();
+  // begin/wait positions per (worker, stage).
+  std::vector<std::vector<std::vector<int>>> begins(doc.depth),
+      waits(doc.depth);
+  for (int w = 0; w < doc.depth; ++w) {
+    begins[w].assign(doc.depth, {});
+    waits[w].assign(doc.depth, {});
+    for (int i = 0; i < static_cast<int>(doc.workers[w].size()); ++i) {
+      const OpDoc& op = doc.workers[w][i];
+      if (op.kind == "allreduce_begin") begins[w][op.stage].push_back(i);
+      if (op.kind == "allreduce_wait") waits[w][op.stage].push_back(i);
+    }
+  }
+  for (int st = 0; st < doc.depth; ++st) {
+    const std::vector<int> group = stage_group(doc, st);
+    std::vector<int> participating;
+    for (int w = 0; w < doc.depth; ++w)
+      if (!begins[w][st].empty() || !waits[w][st].empty())
+        participating.push_back(w);
+    for (int w : participating) {
+      if (begins[w][st].size() != waits[w][st].size())
+        out.push_back(diag(check::kCollective, w, -1, -1,
+                           msg("stage ", st, " has ", begins[w][st].size(),
+                               " allreduce_begin but ", waits[w][st].size(),
+                               " allreduce_wait ops on worker ", w)));
+      for (std::size_t k = 0;
+           k < std::min(begins[w][st].size(), waits[w][st].size()); ++k)
+        if (begins[w][st][k] >= waits[w][st][k])
+          out.push_back(diag(check::kCollective, w, waits[w][st][k], -1,
+                             msg("stage ", st,
+                                 " allreduce_wait precedes its begin on "
+                                 "worker ", w)));
+    }
+    if (!participating.empty() && participating != group) {
+      std::string who;
+      for (int w : participating) who += (who.empty() ? "" : ",") + std::to_string(w);
+      std::string grp;
+      for (int w : group) grp += (grp.empty() ? "" : ",") + std::to_string(w);
+      out.push_back(diag(check::kCollective, -1, -1, -1,
+                         msg("stage ", st, " allreduce runs on workers {", who,
+                             "} but the stage's replica group is {", grp,
+                             "} — a partial collective hangs")));
+    }
+    // Each wait must depend on every group member's begin (that is how the
+    // replay and the runtime learn the collective's completion frontier).
+    for (int w : participating) {
+      for (int wi : waits[w][st]) {
+        std::set<int> covered;
+        for (const auto& [dw, di] : doc.workers[w][wi].deps) {
+          if (!m.in_range(dw, di)) continue;
+          const OpDoc& dep = doc.workers[dw][di];
+          if (dep.kind == "allreduce_begin" && dep.stage == st)
+            covered.insert(dw);
+        }
+        for (int g : group)
+          if (!covered.count(g))
+            out.push_back(
+                diag(check::kCollective, w, wi, -1,
+                     msg("allreduce_wait for stage ", st, " on worker ", w,
+                         " does not depend on the begin of group member ", g)));
+      }
+    }
+  }
+}
+
+void check_deadlock(const PlanModel& m, const Matching& mt, Diagnostics& out) {
+  const PlanDoc& doc = m.doc();
+  const int n = m.num_nodes();
+  std::vector<std::vector<int>> adj(n);
+  std::vector<int> indegree(n, 0);
+  const auto edge = [&](int from, int to) {
+    if (from == to) return;
+    adj[from].push_back(to);
+    ++indegree[to];
+  };
+  for (int w = 0; w < doc.depth; ++w) {
+    const int count = static_cast<int>(doc.workers[w].size());
+    for (int i = 0; i < count; ++i) {
+      if (i > 0) edge(m.node(w, i - 1), m.node(w, i));
+      for (const auto& [dw, di] : doc.workers[w][i].deps)
+        if (m.in_range(dw, di)) edge(m.node(dw, di), m.node(w, i));
+    }
+  }
+  for (int si = 0; si < static_cast<int>(m.sends().size()); ++si) {
+    const int ri = mt.consumer_of_send[si];
+    if (ri < 0) continue;
+    const Endpoint& s = m.sends()[si];
+    const Endpoint& r = m.recvs()[ri];
+    edge(m.node(s.worker, s.op), m.node(r.worker, r.op));
+  }
+
+  // Kahn's algorithm; whatever survives participates in (or depends on) a
+  // cycle.
+  std::vector<int> ready;
+  for (int v = 0; v < n; ++v)
+    if (indegree[v] == 0) ready.push_back(v);
+  int processed = 0;
+  while (!ready.empty()) {
+    const int v = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (int to : adj[v])
+      if (--indegree[to] == 0) ready.push_back(to);
+  }
+  if (processed == n) return;
+
+  // Witness extraction: DFS over the residual subgraph until a gray node
+  // repeats; the stack suffix from that node is a concrete cycle.
+  std::vector<int> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<int> stack, cycle;
+  const auto residual = [&](int v) { return indegree[v] > 0; };
+  for (int start = 0; start < n && cycle.empty(); ++start) {
+    if (!residual(start) || color[start] != 0) continue;
+    // Iterative DFS with explicit edge cursors.
+    std::vector<std::size_t> cursor;
+    stack.assign(1, start);
+    cursor.assign(1, 0);
+    color[start] = 1;
+    while (!stack.empty() && cycle.empty()) {
+      const int v = stack.back();
+      bool advanced = false;
+      while (cursor.back() < adj[v].size()) {
+        const int to = adj[v][cursor.back()++];
+        if (!residual(to)) continue;
+        if (color[to] == 1) {
+          const auto it = std::find(stack.begin(), stack.end(), to);
+          cycle.assign(it, stack.end());
+          break;
+        }
+        if (color[to] == 0) {
+          color[to] = 1;
+          stack.push_back(to);
+          cursor.push_back(0);
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced && cycle.empty()) {
+        color[v] = 2;
+        stack.pop_back();
+        cursor.pop_back();
+      }
+    }
+  }
+
+  std::string witness;
+  const std::size_t shown = std::min<std::size_t>(cycle.size(), 12);
+  for (std::size_t k = 0; k < shown; ++k) {
+    const auto [w, i] = m.coords(cycle[k]);
+    witness += (k ? " -> " : "") + m.label(w, i);
+  }
+  if (cycle.size() > shown)
+    witness += msg(" -> ... (", cycle.size() - shown, " more)");
+  if (!cycle.empty()) witness += " -> (back to start)";
+  const auto [w0, i0] =
+      cycle.empty() ? std::pair<int, int>{-1, -1} : m.coords(cycle.front());
+  out.push_back(diag(check::kDeadlock, w0, i0, -1,
+                     msg(n - processed,
+                         " ops can never become ready: circular wait between "
+                         "program order, dependencies and p2p matching. ",
+                         witness.empty() ? std::string("(no witness extracted)")
+                                         : "Witness: " + witness)));
+}
+
+void check_stash(const PlanModel& m, Diagnostics& out) {
+  const PlanDoc& doc = m.doc();
+  for (int w = 0; w < doc.depth; ++w) {
+    std::set<int> live;  // micro ids with an open stash window
+    int peak = 0;
+    for (int i = 0; i < static_cast<int>(doc.workers[w].size()); ++i) {
+      for (const UnitDoc& u : doc.workers[w][i].units) {
+        if (u.acquires_stash) {
+          if (!live.insert(u.micro).second)
+            out.push_back(diag(check::kStashBalance, w, i, u.micro,
+                               msg(m.label(w, i), " acquires a stash for "
+                                   "micro ", u.micro,
+                                   " that is already live")));
+          peak = std::max(peak, static_cast<int>(live.size()));
+        }
+        if (u.releases_stash) {
+          if (live.erase(u.micro) == 0)
+            out.push_back(diag(check::kStashBalance, w, i, u.micro,
+                               msg(m.label(w, i), " releases a stash for "
+                                   "micro ", u.micro,
+                                   " that was never acquired (or was "
+                                   "already released)")));
+        }
+      }
+    }
+    if (!live.empty())
+      out.push_back(diag(check::kStashBalance, w, -1, *live.begin(),
+                         msg("worker ", w, " ends the iteration with ",
+                             live.size(), " stash(es) still live (first: "
+                             "micro ", *live.begin(),
+                             ") — memory grows every iteration")));
+    if (peak != doc.claimed_max_inflight[w])
+      out.push_back(diag(check::kStashClaim, w, -1, -1,
+                         msg("stash events peak at ", peak,
+                             " in-flight micro-batches on worker ", w,
+                             " but the memory model claims ",
+                             doc.claimed_max_inflight[w],
+                             " — whichever is wrong, capacity planning is")));
+  }
+}
+
+void check_cache_slots(const PlanModel& m, Diagnostics& out) {
+  const PlanDoc& doc = m.doc();
+  if (!doc.decode) {
+    for (int w = 0; w < doc.depth; ++w)
+      if (doc.claimed_cache_bindings[w] != 0)
+        out.push_back(diag(check::kCacheClaim, w, -1, -1,
+                           msg("non-decode plan claims ",
+                               doc.claimed_cache_bindings[w],
+                               " cache bindings on worker ", w)));
+    return;
+  }
+
+  // Per-stream window: exactly one acquire at the head stage, one release
+  // at the tail.
+  std::vector<std::vector<int>> acquire_stages(doc.num_micro),
+      release_stages(doc.num_micro);
+  for (int w = 0; w < doc.depth; ++w)
+    for (int i = 0; i < static_cast<int>(doc.workers[w].size()); ++i)
+      for (const UnitDoc& u : doc.workers[w][i].units) {
+        if (u.micro < 0 || u.micro >= doc.num_micro) continue;  // structure's
+        if (u.acquires_cache_slot)
+          acquire_stages[u.micro].push_back(doc.workers[w][i].stage);
+        if (u.releases_cache_slot)
+          release_stages[u.micro].push_back(doc.workers[w][i].stage);
+      }
+  for (int s = 0; s < doc.num_micro; ++s) {
+    if (acquire_stages[s].size() != 1 || acquire_stages[s] != std::vector<int>{0})
+      out.push_back(diag(
+          check::kCacheBalance, -1, -1, s,
+          msg("decode stream ", s, " must open its slot-binding window "
+              "exactly once at stage 0; found ", acquire_stages[s].size(),
+              " acquire(s)")));
+    if (release_stages[s].size() != 1 ||
+        release_stages[s] != std::vector<int>{doc.depth - 1})
+      out.push_back(diag(
+          check::kCacheBalance, -1, -1, s,
+          msg("decode stream ", s, " must close its slot-binding window "
+              "exactly once at stage ", doc.depth - 1, "; found ",
+              release_stages[s].size(), " release(s)")));
+  }
+
+  // Capacity: every hosted stage replica carries the KV state of all of its
+  // pipe's streams; the claim is what the engine sizes per-worker arenas by.
+  std::vector<int> streams_on_pipe(doc.num_pipes, 0);
+  for (int s = 0; s < doc.num_micro; ++s) {
+    const int p = doc.pipe_of_micro[s];
+    if (p >= 0 && p < doc.num_pipes) ++streams_on_pipe[p];
+  }
+  for (int w = 0; w < doc.depth; ++w) {
+    int bindings = 0;
+    for (int p = 0; p < doc.num_pipes; ++p)
+      for (int st = 0; st < doc.depth; ++st)
+        if (doc.stage_worker[p][st] == w) bindings += streams_on_pipe[p];
+    if (bindings != doc.claimed_cache_bindings[w])
+      out.push_back(diag(check::kCacheClaim, w, -1, -1,
+                         msg("worker ", w, " hosts capacity for ", bindings,
+                             " stream bindings but the plan claims ",
+                             doc.claimed_cache_bindings[w],
+                             " — the decode engine would mis-size its KV "
+                             "arenas")));
+  }
+}
+
+void check_dataflow(const PlanModel& m, const Matching& mt, Diagnostics& out) {
+  const PlanDoc& doc = m.doc();
+  const int D = doc.depth;
+
+  // Gather each micro's compute units, and index endpoints by coordinates so
+  // a unit's matched producer can be looked up.
+  struct UnitSite {
+    int stage, half, halves, worker, op, unit;
+  };
+  std::vector<std::vector<UnitSite>> fwd(doc.num_micro), bwd(doc.num_micro);
+  std::unordered_map<std::int64_t, int> recv_index;
+  const auto site_key = [&m](int w, int i, int u) {
+    return static_cast<std::int64_t>(m.node(w, i)) * 4096 + u;
+  };
+  for (int ri = 0; ri < static_cast<int>(m.recvs().size()); ++ri) {
+    const Endpoint& e = m.recvs()[ri];
+    recv_index[site_key(e.worker, e.op, e.unit)] = ri;
+  }
+  for (int w = 0; w < D; ++w)
+    for (int i = 0; i < static_cast<int>(doc.workers[w].size()); ++i) {
+      const OpDoc& op = doc.workers[w][i];
+      if (!op.is_compute()) continue;
+      for (int u = 0; u < static_cast<int>(op.units.size()); ++u) {
+        const UnitDoc& unit = op.units[u];
+        if (unit.micro < 0 || unit.micro >= doc.num_micro) continue;
+        auto& bucket = op.kind == "forward" ? fwd[unit.micro] : bwd[unit.micro];
+        bucket.push_back(UnitSite{op.stage, unit.half, unit.halves, w, i, u});
+      }
+    }
+
+  for (int micro = 0; micro < doc.num_micro; ++micro) {
+    const int pipe = doc.pipe_of_micro[micro];
+    if (pipe < 0 || pipe >= doc.num_pipes) continue;  // structure reported it
+
+    // Halves bookkeeping must agree across the micro's whole trajectory.
+    int halves = 1;
+    for (const UnitSite& s : fwd[micro]) halves = std::max(halves, s.halves);
+    for (const UnitSite& s : bwd[micro]) halves = std::max(halves, s.halves);
+    bool halves_consistent = true;
+    for (const UnitSite& s : fwd[micro])
+      halves_consistent = halves_consistent && s.halves == halves;
+    for (const UnitSite& s : bwd[micro])
+      halves_consistent = halves_consistent && s.halves == halves;
+    if (!halves_consistent) {
+      out.push_back(diag(check::kDataflow, -1, -1, micro,
+                         msg("micro ", micro, " mixes halved and unhalved "
+                             "units along its trajectory")));
+      continue;
+    }
+
+    // One direction = one chain of stages, linked by matched transfers.
+    // `downstream` is the stage the chain's payload flows toward.
+    const auto walk_chain = [&](const std::vector<UnitSite>& sites,
+                                bool forward_chain, int half) {
+      for (int s = 0; s < D; ++s) {
+        std::vector<const UnitSite*> here;
+        for (const UnitSite& site : sites)
+          if (site.stage == s && site.half == half) here.push_back(&site);
+        if (here.size() != 1) {
+          out.push_back(diag(
+              check::kDataflow, -1, -1, micro,
+              msg(forward_chain ? "forward" : "backward", " of micro ", micro,
+                  halves > 1 ? msg(" (half ", half, ")") : std::string(),
+                  " visits stage ", s, " ", here.size(),
+                  " times; every stage must be visited exactly once")));
+          continue;
+        }
+        const UnitSite& site = *here.front();
+        const UnitDoc& unit = doc.workers[site.worker][site.op].units[site.unit];
+        // Chain direction: forwards flow 0 -> D−1, backwards D−1 -> 0.
+        const int up = forward_chain ? s - 1 : s + 1;      // producer stage
+        const int down = forward_chain ? s + 1 : s - 1;    // consumer stage
+        const bool chain_start = forward_chain ? s == 0 : s == D - 1;
+        const bool chain_end = forward_chain ? s == D - 1 : s == 0;
+        if (chain_start) {
+          if (unit.recv_from >= 0)
+            out.push_back(diag(check::kDataflow, site.worker, site.op, micro,
+                               msg(m.label(site.worker, site.op),
+                                   " starts the chain but receives from "
+                                   "worker ", unit.recv_from)));
+        } else {
+          const int expect = doc.stage_worker[pipe][up];
+          if (unit.recv_from != expect) {
+            out.push_back(diag(check::kDataflow, site.worker, site.op, micro,
+                               msg(m.label(site.worker, site.op),
+                                   " must receive from stage ", up,
+                                   " on worker ", expect, ", receives from ",
+                                   unit.recv_from)));
+          } else if (const auto it =
+                         recv_index.find(site_key(site.worker, site.op, site.unit));
+                     it != recv_index.end()) {
+            const int si = mt.producer_of_recv[it->second];
+            if (si >= 0) {
+              const Endpoint& prod = m.sends()[si];
+              if (prod.micro != micro || prod.half != half ||
+                  prod.stage != up || prod.forward != forward_chain)
+                out.push_back(diag(
+                    check::kDataflow, site.worker, site.op, micro,
+                    msg(m.label(site.worker, site.op),
+                        " consumes the payload of ",
+                        m.label(prod.worker, prod.op), " (micro ", prod.micro,
+                        ", half ", prod.half, ", stage ", prod.stage,
+                        ") instead of its upstream value")));
+            }
+          }
+        }
+        if (chain_end) {
+          if (unit.send_to >= 0)
+            out.push_back(diag(check::kDataflow, site.worker, site.op, micro,
+                               msg(m.label(site.worker, site.op),
+                                   " ends the chain but sends to worker ",
+                                   unit.send_to)));
+        } else {
+          const int expect = doc.stage_worker[pipe][down];
+          if (unit.send_to != expect)
+            out.push_back(diag(check::kDataflow, site.worker, site.op, micro,
+                               msg(m.label(site.worker, site.op),
+                                   " must send to stage ", down,
+                                   " on worker ", expect, ", sends to ",
+                                   unit.send_to)));
+        }
+      }
+    };
+
+    for (int h = 0; h < halves; ++h) walk_chain(fwd[micro], true, h);
+    if (!doc.forward_only)
+      for (int h = 0; h < halves; ++h) walk_chain(bwd[micro], false, h);
+    if (doc.forward_only && !bwd[micro].empty())
+      out.push_back(diag(check::kDataflow, -1, -1, micro,
+                         msg("forward-only plan has backward units for micro ",
+                             micro)));
+  }
+}
+
+}  // namespace chimera::verify

@@ -1,0 +1,84 @@
+// The invariant library of the standalone plan verifier.
+//
+// Each checker certifies one family of scheduling invariants over the
+// exported document (see verify/diagnostics.h for the catalogue and
+// DESIGN.md §7 for the prose). Checkers re-derive everything from the
+// document's facts — per-worker op order, dependency lists, transfer
+// endpoints and tags, stash / cache-slot events, the claimed memory
+// figures, the layer partition — and never consult the lowering code that
+// produced them.
+//
+// Sequencing contract (orchestrated by verify_plan in verify/verifier.h):
+// check_structure gates everything (a doc that fails it may not be
+// indexable); match_p2p produces the Matching that the dependency, deadlock
+// and dataflow checkers consume, alongside its own tag diagnostics.
+#pragma once
+
+#include "verify/diagnostics.h"
+#include "verify/plan_model.h"
+
+namespace chimera::verify {
+
+/// Shapes, field ranges and flag invariants: container sizes versus depth /
+/// num_pipes / num_micro, per-pipe stage→worker bijectivity, op fields in
+/// range, units only on compute ops, forward-only schedules contain only
+/// forward ops and no stash events, decode implies forward-only and unfused
+/// seq-1 streams, cache-slot events only in decode plans. Returns false when
+/// the document is too malformed for PlanModel to index (violations are
+/// still appended); all later checkers require a true return.
+bool check_structure(const PlanDoc& doc, Diagnostics& out);
+
+/// Every compute op runs on the worker its (pipe, stage) maps to; every
+/// collective runs on a worker hosting its stage.
+void check_placement(const PlanModel& m, Diagnostics& out);
+
+/// The exported layer partition covers [0, num_layers) exactly once:
+/// per-stage ranges contiguous, non-empty, starting at 0 and ending at
+/// num_layers, one range per pipeline stage.
+void check_partition(const PlanDoc& doc, Diagnostics& out);
+
+/// P2p tag discipline per directed (src, dst) channel: send tags unique,
+/// recv tags unique, and the two sets pair off exactly (every send has one
+/// matching recv and vice versa). Also rejects self-sends and off-grid
+/// endpoints. Returns the matching for downstream checkers.
+Matching match_p2p(const PlanModel& m, Diagnostics& out);
+
+/// Dependency hygiene: every dep in range, same-worker deps strictly
+/// earlier in program order, every recv's matched producer present in the
+/// receiving op's dependency list, and every backward covering a stash
+/// depends on the same-worker forward that stashed it.
+void check_deps(const PlanModel& m, const Matching& mt, Diagnostics& out);
+
+/// Gradient-sync pairing: per (worker, stage) equal counts of
+/// allreduce_begin and allreduce_wait with begin preceding wait; the set of
+/// workers participating for a stage is all replicas of that stage or none;
+/// each wait depends on the begin of every group member.
+void check_collectives(const PlanModel& m, Diagnostics& out);
+
+/// Deadlock-freedom: the union of intra-worker program order, exported op
+/// dependencies and matched send→recv edges is acyclic. Reports one
+/// witness cycle (up to a dozen ops) when it is not.
+void check_deadlock(const PlanModel& m, const Matching& mt, Diagnostics& out);
+
+/// Stash ledger per worker, in program order: every acquire opens a new
+/// micro's window, every release closes an open one, the iteration ends
+/// with no window open, and the peak equals the document's
+/// claimed_max_inflight (the memory model's figure).
+void check_stash(const PlanModel& m, Diagnostics& out);
+
+/// Decode cache-slot ledger per stream: exactly one acquire at the head
+/// stage and one release at the tail stage of every stream's step, and the
+/// per-worker binding capacity recomputed from stage hosting equals the
+/// document's claimed_cache_bindings (what the decode engine sizes KV
+/// arenas by).
+void check_cache_slots(const PlanModel& m, Diagnostics& out);
+
+/// Symbolic dataflow: every micro-batch visits stage 0..D−1 of its pipe in
+/// order, exactly once per direction and half — the value consumed at stage
+/// s is the value produced at stage s−1 (forward) / s+1 (backward), proven
+/// by following the matched transfer of each boundary, with no transfer at
+/// the chain's two ends. Covers forward, backward, forward-only and decode
+/// plans.
+void check_dataflow(const PlanModel& m, const Matching& mt, Diagnostics& out);
+
+}  // namespace chimera::verify

@@ -1,0 +1,63 @@
+// Structured diagnostics of the standalone plan verifier.
+//
+// Every checker (verify/checkers.h) reports violations as Diagnostic values
+// carrying a *stable* check id, the (worker, op, micro) coordinates where
+// the violation anchors (−1 where not applicable) and a human-readable
+// explanation. Stability of the ids matters: the mutation self-test
+// (verify/mutate.h) asserts that each seeded corruption is caught by the
+// *matching* checker, and tools/CI grep the ids out of the fuzz log.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chimera::verify {
+
+/// The invariant catalogue. One id per checker family; DESIGN.md §7 is the
+/// prose version of this list.
+namespace check {
+inline constexpr const char* kStructure = "structure";        ///< shapes, op fields, flag invariants
+inline constexpr const char* kPlacement = "placement";        ///< op on wrong worker for its (pipe, stage)
+inline constexpr const char* kPartitionCover = "partition-cover";  ///< layer ranges not a cover
+inline constexpr const char* kTagDuplicate = "tag-duplicate";  ///< two sends (or recvs) share a channel tag
+inline constexpr const char* kP2pUnmatched = "p2p-unmatched";  ///< send without recv or vice versa
+inline constexpr const char* kP2pEndpoint = "p2p-endpoint";    ///< self-send / off-grid endpoint
+inline constexpr const char* kDepRange = "dep-range";          ///< dependency points outside the plan
+inline constexpr const char* kDepOrder = "dep-order";          ///< same-worker dep on a later op
+inline constexpr const char* kDepMissing = "dep-missing";      ///< recv/stash producer absent from deps
+inline constexpr const char* kCollective = "collective-pairing";  ///< begin/wait imbalance or wrong group
+inline constexpr const char* kDeadlock = "deadlock";           ///< cycle across order, deps and p2p
+inline constexpr const char* kStashBalance = "stash-balance";  ///< acquire/release imbalance or leak
+inline constexpr const char* kStashClaim = "stash-claim";      ///< peak in-flight != memory model's claim
+inline constexpr const char* kCacheBalance = "cache-slot-balance";  ///< decode slot window malformed
+inline constexpr const char* kCacheClaim = "cache-claim";      ///< binding capacity != exported claim
+inline constexpr const char* kDataflow = "dataflow";           ///< micro does not visit stages in order
+}  // namespace check
+
+struct Diagnostic {
+  std::string check;    ///< one of verify::check::*
+  int worker = -1;      ///< worker the violation anchors to
+  int op = -1;          ///< op index within that worker's timeline
+  int micro = -1;       ///< micro-batch / decode stream involved
+  std::string message;  ///< human-readable explanation
+
+  /// "[tag-duplicate] worker 2 op 5 (micro 3): ..." — the log line format.
+  std::string str() const {
+    std::string out = "[" + check + "]";
+    if (worker >= 0) out += " worker " + std::to_string(worker);
+    if (op >= 0) out += " op " + std::to_string(op);
+    if (micro >= 0) out += " (micro " + std::to_string(micro) + ")";
+    return out + ": " + message;
+  }
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+/// True when any diagnostic carries the given check id.
+inline bool has_check(const Diagnostics& diags, const std::string& id) {
+  for (const Diagnostic& d : diags)
+    if (d.check == id) return true;
+  return false;
+}
+
+}  // namespace chimera::verify

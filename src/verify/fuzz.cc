@@ -1,0 +1,223 @@
+#include "verify/fuzz.h"
+
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "core/decode_schedule.h"
+#include "core/execution_plan.h"
+#include "core/inference_schedule.h"
+#include "core/model_spec.h"
+#include "core/partition.h"
+#include "core/plan_json.h"
+#include "core/schedule.h"
+#include "core/sync_placement.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "verify/mutate.h"
+#include "verify/verifier.h"
+
+namespace chimera::verify {
+namespace {
+
+enum class PlanKind { kTraining, kServing, kDecode };
+
+const char* plan_kind_name(PlanKind k) {
+  switch (k) {
+    case PlanKind::kTraining: return "training";
+    case PlanKind::kServing: return "serving";
+    case PlanKind::kDecode: return "decode";
+  }
+  return "?";
+}
+
+/// One drawn deployment. Deliberately includes combinations the builders
+/// reject (odd Chimera depth, f not dividing D/2, GEMS serving): the
+/// rejection path is part of what the sweep certifies.
+struct Draw {
+  PlanKind kind;
+  Scheme scheme;
+  ScheduleConfig cfg;
+  SyncPolicy sync;
+  int batch;
+  int layers;
+  bool with_partition;
+  PartitionPolicy policy;
+};
+
+Draw make_draw(Rng& rng) {
+  Draw d;
+  const auto kind_roll = rng.next_below(4);
+  d.kind = kind_roll < 2 ? PlanKind::kTraining
+           : kind_roll == 2 ? PlanKind::kServing
+                            : PlanKind::kDecode;
+
+  static const Scheme kAll[] = {
+      Scheme::kChimera, Scheme::kGPipe,     Scheme::kDapple,
+      Scheme::kGems,    Scheme::kPipeDream, Scheme::kPipeDream2BW,
+      Scheme::kOneF1B};
+  static const Scheme kForwardOnly[] = {Scheme::kChimera, Scheme::kGPipe,
+                                        Scheme::kDapple, Scheme::kOneF1B};
+  const bool adversarial = rng.next_below(5) == 0;
+  if (d.kind == PlanKind::kTraining || adversarial)
+    d.scheme = kAll[rng.next_below(std::size(kAll))];
+  else
+    d.scheme = kForwardOnly[rng.next_below(std::size(kForwardOnly))];
+
+  static const int kDepths[] = {2, 3, 4, 5, 6, 8};
+  d.cfg.depth = kDepths[rng.next_below(std::size(kDepths))];
+  d.cfg.num_micro = 1 + static_cast<int>(rng.next_below(3 * d.cfg.depth));
+  d.cfg.pipes_f = 1 + static_cast<int>(rng.next_below(3));
+  static const ScaleMethod kScales[] = {ScaleMethod::kDirect,
+                                        ScaleMethod::kForwardDoubling,
+                                        ScaleMethod::kBackwardHalving};
+  d.cfg.scale = kScales[rng.next_below(std::size(kScales))];
+  static const SyncPolicy kSyncs[] = {SyncPolicy::kNone, SyncPolicy::kAtEnd,
+                                      SyncPolicy::kEager,
+                                      SyncPolicy::kEagerOpt};
+  d.sync = kSyncs[rng.next_below(std::size(kSyncs))];
+  d.batch = 1 << rng.next_below(3);
+  d.layers =
+      d.cfg.depth + static_cast<int>(rng.next_below(2 * d.cfg.depth + 1));
+  d.with_partition = rng.next_below(4) != 0;
+  static const PartitionPolicy kPolicies[] = {PartitionPolicy::kEven,
+                                              PartitionPolicy::kBalancedFlops,
+                                              PartitionPolicy::kBalancedMemory};
+  d.policy = kPolicies[rng.next_below(std::size(kPolicies))];
+  return d;
+}
+
+std::string draw_str(int iter, const Draw& d) {
+  std::ostringstream os;
+  os << "iter " << iter << ": " << plan_kind_name(d.kind) << " "
+     << scheme_name(d.scheme) << " D=" << d.cfg.depth
+     << " N=" << d.cfg.num_micro << " f=" << d.cfg.pipes_f << " scale="
+     << scale_method_name(d.cfg.scale) << " sync=" << sync_policy_name(d.sync)
+     << " B=" << d.batch << " layers=" << d.layers
+     << (d.with_partition ? " +partition" : "");
+  return os.str();
+}
+
+}  // namespace
+
+FuzzStats run_fuzz(const FuzzOptions& options) {
+  FuzzStats stats;
+  Rng root(options.seed);
+  const auto fail = [&stats, &options](const std::string& line) {
+    if (static_cast<int>(stats.failures.size()) < 50)
+      stats.failures.push_back(line);
+    if (options.log) *options.log << "FAIL " << line << "\n";
+  };
+
+  for (int iter = 0; iter < options.n; ++iter) {
+    ++stats.iterations;
+    Rng rng = root.split(static_cast<std::uint64_t>(iter) + 1);
+    const Draw d = make_draw(rng);
+
+    PipelineSchedule schedule;
+    try {
+      switch (d.kind) {
+        case PlanKind::kTraining:
+          schedule = build_schedule(d.scheme, d.cfg);
+          schedule = with_gradient_sync(schedule, d.sync);
+          break;
+        case PlanKind::kServing:
+          schedule = build_inference_schedule(d.scheme, d.cfg);
+          break;
+        case PlanKind::kDecode:
+          schedule = build_decode_schedule(d.scheme, d.cfg);
+          break;
+      }
+    } catch (const CheckError&) {
+      ++stats.rejected;  // the builder refused the combination: fine
+      continue;
+    }
+
+    // A schedule the builders accepted must satisfy their own validator.
+    const std::vector<ScheduleIssue> issues = validate_schedule(schedule);
+    if (!issues.empty()) {
+      ++stats.builder_invalid;
+      fail(draw_str(iter, d) + " — builder emitted an invalid schedule: [" +
+           issues.front().check + "] " + issues.front().message);
+      continue;
+    }
+
+    std::optional<Partition> partition;
+    std::unique_ptr<ExecutionPlan> plan;
+    try {
+      plan = std::make_unique<ExecutionPlan>(schedule);
+      if (d.with_partition) {
+        ModelSpec model = ModelSpec::bert48();
+        model.layers = d.layers;
+        partition = plan_partition(model, d.cfg.depth, d.policy, &schedule,
+                                   d.batch);
+      }
+    } catch (const CheckError& e) {
+      ++stats.builder_invalid;
+      fail(draw_str(iter, d) + " — lowering threw: " + e.what());
+      continue;
+    }
+    ++stats.plans;
+
+    // Export, round-trip, verify.
+    const PlanDoc exported =
+        make_plan_doc(*plan, partition ? &*partition : nullptr);
+    const std::string json = plan_doc_to_json(exported);
+    PlanDoc doc;
+    try {
+      doc = plan_from_json(json);
+    } catch (const CheckError& e) {
+      ++stats.roundtrip_failures;
+      fail(draw_str(iter, d) + " — exported JSON does not parse: " + e.what());
+      continue;
+    }
+    if (!(doc == exported) || plan_doc_to_json(doc) != json) {
+      ++stats.roundtrip_failures;
+      fail(draw_str(iter, d) + " — JSON round-trip is lossy");
+      continue;
+    }
+
+    const Diagnostics diags = verify_plan(doc);
+    if (!diags.empty()) {
+      ++stats.false_positives;
+      fail(draw_str(iter, d) + " — unmutated plan flagged: " +
+           diags.front().str() +
+           (diags.size() > 1
+                ? " (+" + std::to_string(diags.size() - 1) + " more)"
+                : ""));
+      continue;  // mutation catches are meaningless on a flagged plan
+    }
+    ++stats.clean;
+
+    if (!options.mutate) continue;
+    for (const MutationKind kind : all_mutation_kinds()) {
+      PlanDoc corrupted = doc;
+      Rng mutation_rng = rng.split(1000 + static_cast<std::uint64_t>(kind));
+      const std::optional<Mutation> mutation =
+          apply_mutation(kind, corrupted, mutation_rng);
+      if (!mutation) continue;  // kind does not apply to this plan
+      ++stats.mutations;
+      if (mutation_caught(*mutation, verify_plan(corrupted))) {
+        ++stats.caught;
+      } else {
+        ++stats.escapes;
+        fail(draw_str(iter, d) + " — ESCAPE [" + mutation_name(kind) + "] " +
+             mutation->description + " verified clean");
+      }
+    }
+  }
+
+  if (options.log) {
+    *options.log << "fuzz: " << stats.iterations << " iterations, "
+                 << stats.plans << " plans (" << stats.clean << " clean, "
+                 << stats.rejected << " rejected by builders), "
+                 << stats.mutations << " mutations (" << stats.caught
+                 << " caught, " << stats.escapes << " escapes), "
+                 << stats.builder_invalid << " invalid builds, "
+                 << stats.roundtrip_failures << " round-trip failures, "
+                 << stats.false_positives << " false positives\n";
+  }
+  return stats;
+}
+
+}  // namespace chimera::verify

@@ -1,0 +1,59 @@
+// The schedule fuzzer: proof by sweep that every plan the builders emit is
+// certified safe, and that the certifier itself has teeth.
+//
+// Each iteration draws a random deployment — scheme × depth × micro count ×
+// Chimera pipe count and scale method × sync policy × batch size × layer
+// count × partition policy, including combinations the builders are
+// *supposed* to reject — builds and lowers it, exports the JSON document,
+// round-trips it, and runs the full verifier:
+//
+//   - a builder rejection (CheckError) is fine: the rejection path worked;
+//   - a built schedule failing validate_schedule, a lossy JSON round-trip,
+//     or any diagnostic on an unmutated plan is a FAILURE (either the
+//     lowering or the verifier is wrong — both are bugs);
+//   - every applicable mutation (verify/mutate.h) is then seeded into a
+//     copy and MUST be caught by its expected checker. An escape is a
+//     missing invariant and fails the run.
+//
+// Fully deterministic for a given seed (support/rng.h), so CI failures
+// replay locally with --seed.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace chimera::verify {
+
+struct FuzzOptions {
+  int n = 100;                   ///< iterations (random deployments)
+  std::uint64_t seed = 20260808; ///< Rng seed; same seed -> same sweep
+  bool mutate = true;            ///< run the mutation self-test per plan
+  std::ostream* log = nullptr;   ///< optional per-failure / summary stream
+};
+
+struct FuzzStats {
+  int iterations = 0;       ///< deployments drawn
+  int plans = 0;            ///< schedules built, lowered and verified
+  int clean = 0;            ///< plans certified with zero diagnostics
+  int rejected = 0;         ///< builder rejections (expected path)
+  int builder_invalid = 0;  ///< built schedules failing validate_schedule
+  int roundtrip_failures = 0;
+  int false_positives = 0;  ///< diagnostics on an unmutated plan
+  int mutations = 0;        ///< mutations applied across all plans
+  int caught = 0;           ///< mutations caught by an expected checker
+  int escapes = 0;          ///< mutations that verified clean — missing invariant
+  std::vector<std::string> failures;  ///< one line per failure, capped
+
+  bool ok() const {
+    return plans > 0 && builder_invalid == 0 && roundtrip_failures == 0 &&
+           false_positives == 0 && escapes == 0;
+  }
+};
+
+/// Runs the sweep. Never throws on verification failures (they land in the
+/// stats); propagates only programming errors.
+FuzzStats run_fuzz(const FuzzOptions& options);
+
+}  // namespace chimera::verify

@@ -1,0 +1,271 @@
+#include "verify/mutate.h"
+
+#include <map>
+#include <sstream>
+
+#include "verify/checkers.h"
+#include "verify/plan_model.h"
+
+namespace chimera::verify {
+namespace {
+
+/// Coordinates of one transfer unit inside the document.
+struct UnitSite {
+  int w, i, u;
+};
+
+template <typename Pred>
+std::vector<UnitSite> collect_units(const PlanDoc& doc, Pred pred) {
+  std::vector<UnitSite> sites;
+  for (int w = 0; w < static_cast<int>(doc.workers.size()); ++w)
+    for (int i = 0; i < static_cast<int>(doc.workers[w].size()); ++i)
+      for (int u = 0; u < static_cast<int>(doc.workers[w][i].units.size());
+           ++u)
+        if (pred(doc.workers[w][i], doc.workers[w][i].units[u]))
+          sites.push_back(UnitSite{w, i, u});
+  return sites;
+}
+
+UnitDoc& unit_at(PlanDoc& doc, const UnitSite& s) {
+  return doc.workers[s.w][s.i].units[s.u];
+}
+
+template <typename T>
+const T& pick(const std::vector<T>& v, Rng& rng) {
+  return v[rng.next_below(v.size())];
+}
+
+std::string site_str(const UnitSite& s, const PlanDoc& doc) {
+  std::ostringstream os;
+  os << "worker " << s.w << " op " << s.i << " (micro "
+     << doc.workers[s.w][s.i].units[s.u].micro << ")";
+  return os.str();
+}
+
+/// Matches the clean document's p2p endpoints. The caller guarantees the doc
+/// verifies clean, so the scratch diagnostics stay empty.
+Matching clean_matching(const PlanModel& model) {
+  Diagnostics scratch;
+  return match_p2p(model, scratch);
+}
+
+std::optional<Mutation> drop_stash_release(PlanDoc& doc, Rng& rng) {
+  const auto sites = collect_units(
+      doc, [](const OpDoc&, const UnitDoc& u) { return u.releases_stash; });
+  if (sites.empty()) return std::nullopt;
+  const UnitSite site = pick(sites, rng);
+  unit_at(doc, site).releases_stash = false;
+  return Mutation{MutationKind::kDropStashRelease,
+                  "dropped stash release at " + site_str(site, doc),
+                  {check::kStashBalance}};
+}
+
+std::optional<Mutation> drop_cache_release(PlanDoc& doc, Rng& rng) {
+  if (!doc.decode) return std::nullopt;
+  const auto sites = collect_units(doc, [](const OpDoc&, const UnitDoc& u) {
+    return u.releases_cache_slot;
+  });
+  if (sites.empty()) return std::nullopt;
+  const UnitSite site = pick(sites, rng);
+  unit_at(doc, site).releases_cache_slot = false;
+  return Mutation{MutationKind::kDropCacheRelease,
+                  "dropped cache-slot release at " + site_str(site, doc),
+                  {check::kCacheBalance}};
+}
+
+std::optional<Mutation> spurious_cache_acquire(PlanDoc& doc, Rng& rng) {
+  if (!doc.decode) return std::nullopt;
+  const auto sites = collect_units(doc, [](const OpDoc& op, const UnitDoc& u) {
+    return op.stage != 0 && !u.acquires_cache_slot;
+  });
+  if (sites.empty()) return std::nullopt;
+  const UnitSite site = pick(sites, rng);
+  unit_at(doc, site).acquires_cache_slot = true;
+  return Mutation{MutationKind::kSpuriousCacheAcquire,
+                  "spurious cache-slot acquire at " + site_str(site, doc),
+                  {check::kCacheBalance}};
+}
+
+std::optional<Mutation> duplicate_tag(PlanDoc& doc, Rng& rng) {
+  // Two sends on the same directed channel, so the copied tag collides.
+  const auto sends = collect_units(
+      doc, [](const OpDoc&, const UnitDoc& u) { return u.send_to >= 0; });
+  std::map<std::pair<int, int>, std::vector<UnitSite>> channels;
+  for (const UnitSite& s : sends) {
+    const UnitDoc& u = doc.workers[s.w][s.i].units[s.u];
+    channels[{s.w, u.send_to}].push_back(s);
+  }
+  std::vector<const std::vector<UnitSite>*> crowded;
+  for (const auto& [key, group] : channels)
+    if (group.size() >= 2) crowded.push_back(&group);
+  if (crowded.empty()) return std::nullopt;
+  const std::vector<UnitSite>& group = *pick(crowded, rng);
+  const std::size_t a = rng.next_below(group.size());
+  std::size_t b = a;
+  while (b == a) b = rng.next_below(group.size());
+  const UnitSite& victim = group[a];
+  const UnitSite& donor = group[b];
+  if (unit_at(doc, victim).send_tag == unit_at(doc, donor).send_tag)
+    return std::nullopt;  // clean plans never get here (tags are unique)
+  unit_at(doc, victim).send_tag = unit_at(doc, donor).send_tag;
+  return Mutation{MutationKind::kDuplicateTag,
+                  "copied send tag of " + site_str(donor, doc) + " onto " +
+                      site_str(victim, doc),
+                  {check::kTagDuplicate, check::kP2pUnmatched}};
+}
+
+std::optional<Mutation> flip_dep(PlanDoc& doc, Rng& rng) {
+  // Flippable deps are those whose reversal provably closes a cycle or
+  // removes a required edge: same-worker back-edges (program order survives)
+  // and matched recv-producer edges (the p2p edge survives).
+  struct DepSite {
+    int w, i, k;
+  };
+  std::vector<DepSite> sites;
+  for (int w = 0; w < static_cast<int>(doc.workers.size()); ++w)
+    for (int i = 0; i < static_cast<int>(doc.workers[w].size()); ++i)
+      for (int k = 0; k < static_cast<int>(doc.workers[w][i].deps.size());
+           ++k) {
+        const auto [dw, di] = doc.workers[w][i].deps[k];
+        if (dw == w && di < i) sites.push_back(DepSite{w, i, k});
+      }
+  const PlanModel model(doc);
+  const Matching matching = clean_matching(model);
+  for (int ri = 0; ri < static_cast<int>(model.recvs().size()); ++ri) {
+    const int si = matching.producer_of_recv[ri];
+    if (si < 0) continue;
+    const Endpoint& r = model.recvs()[ri];
+    const Endpoint& s = model.sends()[si];
+    const auto& deps = doc.workers[r.worker][r.op].deps;
+    for (int k = 0; k < static_cast<int>(deps.size()); ++k)
+      if (deps[k] == std::pair<int, int>{s.worker, s.op})
+        sites.push_back(DepSite{r.worker, r.op, k});
+  }
+  if (sites.empty()) return std::nullopt;
+  const DepSite site = pick(sites, rng);
+  const auto [dw, di] = doc.workers[site.w][site.i].deps[site.k];
+  auto& deps = doc.workers[site.w][site.i].deps;
+  deps.erase(deps.begin() + site.k);
+  doc.workers[dw][di].deps.emplace_back(site.w, site.i);
+  std::ostringstream os;
+  os << "flipped dep: worker " << site.w << " op " << site.i
+     << " no longer waits for worker " << dw << " op " << di
+     << ", which now waits for it";
+  return Mutation{
+      MutationKind::kFlipDep, os.str(),
+      {check::kDepOrder, check::kDepMissing, check::kDeadlock}};
+}
+
+std::optional<Mutation> drop_dep(PlanDoc& doc, Rng& rng) {
+  // Remove the dependency of a matched recv on its producer: the payload
+  // can now race ahead of its production.
+  struct DepSite {
+    int w, i, k;
+  };
+  std::vector<DepSite> sites;
+  const PlanModel model(doc);
+  const Matching matching = clean_matching(model);
+  for (int ri = 0; ri < static_cast<int>(model.recvs().size()); ++ri) {
+    const int si = matching.producer_of_recv[ri];
+    if (si < 0) continue;
+    const Endpoint& r = model.recvs()[ri];
+    const Endpoint& s = model.sends()[si];
+    const auto& deps = doc.workers[r.worker][r.op].deps;
+    for (int k = 0; k < static_cast<int>(deps.size()); ++k)
+      if (deps[k] == std::pair<int, int>{s.worker, s.op})
+        sites.push_back(DepSite{r.worker, r.op, k});
+  }
+  if (sites.empty()) return std::nullopt;
+  const DepSite site = pick(sites, rng);
+  auto& deps = doc.workers[site.w][site.i].deps;
+  const auto [dw, di] = deps[site.k];
+  deps.erase(deps.begin() + site.k);
+  std::ostringstream os;
+  os << "dropped dep of worker " << site.w << " op " << site.i
+     << " on its producer worker " << dw << " op " << di;
+  return Mutation{MutationKind::kDropDep, os.str(), {check::kDepMissing}};
+}
+
+std::optional<Mutation> corrupt_partition(PlanDoc& doc, Rng& rng) {
+  if (!doc.has_partition || doc.partition.ranges.empty()) return std::nullopt;
+  const int s =
+      static_cast<int>(rng.next_below(doc.partition.ranges.size()));
+  doc.partition.ranges[s].second -= 1;
+  std::ostringstream os;
+  os << "shrank partition range of stage " << s << " to [";
+  os << doc.partition.ranges[s].first << ", " << doc.partition.ranges[s].second
+     << ")";
+  return Mutation{MutationKind::kCorruptPartition, os.str(),
+                  {check::kPartitionCover}};
+}
+
+std::optional<Mutation> retarget_send(PlanDoc& doc, Rng& rng) {
+  if (doc.depth < 2) return std::nullopt;
+  const auto sites = collect_units(
+      doc, [](const OpDoc&, const UnitDoc& u) { return u.send_to >= 0; });
+  if (sites.empty()) return std::nullopt;
+  const UnitSite site = pick(sites, rng);
+  UnitDoc& unit = unit_at(doc, site);
+  // Any worker other than the true target: the matching recv goes hungry. A
+  // self-send (new target == sender) is a valid draw — the endpoint check
+  // owns that case.
+  int target = unit.send_to;
+  while (target == unit.send_to)
+    target = static_cast<int>(rng.next_below(doc.depth));
+  std::ostringstream os;
+  os << "retargeted send at " << site_str(site, doc) << " from worker "
+     << unit.send_to << " to worker " << target;
+  unit.send_to = target;
+  return Mutation{MutationKind::kRetargetSend, os.str(),
+                  {check::kP2pUnmatched, check::kP2pEndpoint,
+                   check::kDataflow}};
+}
+
+}  // namespace
+
+const std::vector<MutationKind>& all_mutation_kinds() {
+  static const std::vector<MutationKind> kinds = {
+      MutationKind::kDropStashRelease,  MutationKind::kDropCacheRelease,
+      MutationKind::kSpuriousCacheAcquire, MutationKind::kDuplicateTag,
+      MutationKind::kFlipDep,           MutationKind::kDropDep,
+      MutationKind::kCorruptPartition,  MutationKind::kRetargetSend};
+  return kinds;
+}
+
+const char* mutation_name(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kDropStashRelease: return "drop-stash-release";
+    case MutationKind::kDropCacheRelease: return "drop-cache-release";
+    case MutationKind::kSpuriousCacheAcquire: return "spurious-cache-acquire";
+    case MutationKind::kDuplicateTag: return "duplicate-tag";
+    case MutationKind::kFlipDep: return "flip-dep";
+    case MutationKind::kDropDep: return "drop-dep";
+    case MutationKind::kCorruptPartition: return "corrupt-partition";
+    case MutationKind::kRetargetSend: return "retarget-send";
+  }
+  return "unknown";
+}
+
+std::optional<Mutation> apply_mutation(MutationKind kind, PlanDoc& doc,
+                                       Rng& rng) {
+  switch (kind) {
+    case MutationKind::kDropStashRelease: return drop_stash_release(doc, rng);
+    case MutationKind::kDropCacheRelease: return drop_cache_release(doc, rng);
+    case MutationKind::kSpuriousCacheAcquire:
+      return spurious_cache_acquire(doc, rng);
+    case MutationKind::kDuplicateTag: return duplicate_tag(doc, rng);
+    case MutationKind::kFlipDep: return flip_dep(doc, rng);
+    case MutationKind::kDropDep: return drop_dep(doc, rng);
+    case MutationKind::kCorruptPartition: return corrupt_partition(doc, rng);
+    case MutationKind::kRetargetSend: return retarget_send(doc, rng);
+  }
+  return std::nullopt;
+}
+
+bool mutation_caught(const Mutation& mutation, const Diagnostics& diags) {
+  for (const std::string& id : mutation.expected_checks)
+    if (has_check(diags, id)) return true;
+  return false;
+}
+
+}  // namespace chimera::verify

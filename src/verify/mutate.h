@@ -1,0 +1,57 @@
+// Seeded plan corruption for the verifier's self-test.
+//
+// A verifier that accepts everything is indistinguishable from a correct
+// one on healthy inputs; the mutation pass is how the fuzzer proves the
+// checkers have teeth. Each mutation kind seeds one concrete scheduling bug
+// into an otherwise-certified document — a leaked stash, a reused wire tag,
+// an inverted dependency, an unbalanced cache slot — together with the set
+// of check ids at least one of which MUST appear when the mutated document
+// is re-verified. A mutation that escapes (no expected diagnostic fires)
+// fails the fuzz run: that is a missing invariant, not a flaky test.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/plan_json.h"
+#include "support/rng.h"
+#include "verify/diagnostics.h"
+
+namespace chimera::verify {
+
+enum class MutationKind {
+  kDropStashRelease,     ///< a backward keeps its activation stash forever
+  kDropCacheRelease,     ///< a decode stream never unbinds its KV slot
+  kSpuriousCacheAcquire, ///< a mid-pipeline stage re-binds an open slot
+  kDuplicateTag,         ///< two sends on one channel share a wire tag
+  kFlipDep,              ///< a dependency edge is reversed
+  kDropDep,              ///< a recv no longer waits for its producer
+  kCorruptPartition,     ///< the layer cover gains a gap or empty range
+  kRetargetSend,         ///< a transfer is wired to the wrong worker
+};
+
+/// All kinds, in declaration order — the fuzzer tries every one per plan.
+const std::vector<MutationKind>& all_mutation_kinds();
+const char* mutation_name(MutationKind kind);
+
+/// A mutation that was actually applied to a document.
+struct Mutation {
+  MutationKind kind;
+  std::string description;  ///< what was corrupted, for the fuzz log
+  /// At least one of these check ids must appear when re-verifying.
+  std::vector<std::string> expected_checks;
+};
+
+/// Corrupts `doc` in place. Returns nullopt when the kind does not apply to
+/// this document (e.g. cache mutations on a training plan) — the doc is
+/// untouched in that case. `doc` must verify clean beforehand; site
+/// selection is driven by `rng` so repeated calls with different streams
+/// cover different ops.
+std::optional<Mutation> apply_mutation(MutationKind kind, PlanDoc& doc,
+                                       Rng& rng);
+
+/// True when the diagnostics contain at least one expected check id.
+bool mutation_caught(const Mutation& mutation, const Diagnostics& diags);
+
+}  // namespace chimera::verify

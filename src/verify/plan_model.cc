@@ -1,0 +1,49 @@
+#include "verify/plan_model.h"
+
+namespace chimera::verify {
+
+PlanModel::PlanModel(const PlanDoc& doc) : doc_(&doc) {
+  base_.resize(doc.workers.size());
+  for (std::size_t w = 0; w < doc.workers.size(); ++w) {
+    base_[w] = num_nodes_;
+    num_nodes_ += static_cast<int>(doc.workers[w].size());
+  }
+  for (int w = 0; w < static_cast<int>(doc.workers.size()); ++w) {
+    for (int i = 0; i < static_cast<int>(doc.workers[w].size()); ++i) {
+      const OpDoc& op = doc.workers[w][i];
+      for (int u = 0; u < static_cast<int>(op.units.size()); ++u) {
+        const UnitDoc& unit = op.units[u];
+        if (unit.send_to >= 0)
+          sends_.push_back(Endpoint{w, i, u, unit.send_to, unit.send_tag,
+                                    unit.micro, unit.half, op.stage,
+                                    op.kind == "forward"});
+        if (unit.recv_from >= 0)
+          recvs_.push_back(Endpoint{w, i, u, unit.recv_from, unit.recv_tag,
+                                    unit.micro, unit.half, op.stage,
+                                    op.kind == "forward"});
+      }
+    }
+  }
+}
+
+std::pair<int, int> PlanModel::coords(int n) const {
+  int w = static_cast<int>(base_.size()) - 1;
+  while (w > 0 && base_[w] > n) --w;
+  return {w, n - base_[w]};
+}
+
+std::string PlanModel::label(int w, int i) const {
+  const OpDoc& op = doc_->workers[w][i];
+  std::string out = op.kind;
+  if (op.is_compute()) {
+    out += " micro " + std::to_string(op.micro);
+    if (op.chunk > 1) out += ".." + std::to_string(op.micro + op.chunk - 1);
+    if (op.half_count > 1)
+      out += " half " + std::to_string(op.half_index);
+  }
+  out += " stage " + std::to_string(op.stage);
+  out += " (worker " + std::to_string(w) + " op " + std::to_string(i) + ")";
+  return out;
+}
+
+}  // namespace chimera::verify

@@ -1,0 +1,81 @@
+// The verifier's own view of a plan document.
+//
+// Deliberately rebuilt from the PlanDoc alone: no OpIndex, no ExecutionPlan,
+// no schedule builders — the lowering code whose output is being certified
+// must not be the code that indexes it. PlanModel adds only mechanical
+// derivations (flat node numbering, send/recv endpoint tables); every
+// semantic judgment lives in the checkers (verify/checkers.h).
+//
+// PlanModel assumes the document passed check_structure (shapes indexable,
+// op fields in range); constructing one from an arbitrary doc without that
+// gate is undefined. verify_plan (verify/verifier.h) sequences this
+// correctly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan_json.h"
+
+namespace chimera::verify {
+
+/// One side of a p2p transfer: the (worker, op, unit) coordinates plus the
+/// endpoint fields copied out of the unit for cache-friendly matching.
+struct Endpoint {
+  int worker = -1;
+  int op = -1;
+  int unit = -1;
+  int peer = -1;  ///< send_to for sends, recv_from for recvs
+  std::int64_t tag = 0;
+  int micro = -1;
+  int half = 0;
+  int stage = -1;       ///< owning op's stage
+  bool forward = true;  ///< owning op's kind
+};
+
+class PlanModel {
+ public:
+  explicit PlanModel(const PlanDoc& doc);
+
+  const PlanDoc& doc() const { return *doc_; }
+  int depth() const { return doc_->depth; }
+
+  /// Flat node id of op (w, i); node ids are dense in [0, num_nodes).
+  int node(int w, int i) const { return base_[w] + i; }
+  int num_nodes() const { return num_nodes_; }
+  /// Inverse of node(): the (worker, index) coordinates of a node id.
+  std::pair<int, int> coords(int n) const;
+
+  const OpDoc& op(int w, int i) const { return doc_->workers[w][i]; }
+
+  const std::vector<Endpoint>& sends() const { return sends_; }
+  const std::vector<Endpoint>& recvs() const { return recvs_; }
+
+  /// True when (w, i) are valid coordinates — used to skip out-of-range
+  /// deps that check_structure already reported.
+  bool in_range(int w, int i) const {
+    return w >= 0 && w < static_cast<int>(doc_->workers.size()) && i >= 0 &&
+           i < static_cast<int>(doc_->workers[w].size());
+  }
+
+  /// "forward micro 3 stage 1 (worker 2 op 5)" — shared label format for
+  /// diagnostics.
+  std::string label(int w, int i) const;
+
+ private:
+  const PlanDoc* doc_;
+  std::vector<int> base_;
+  int num_nodes_ = 0;
+  std::vector<Endpoint> sends_;
+  std::vector<Endpoint> recvs_;
+};
+
+/// Result of p2p matching (produced by match_p2p in verify/checkers.h):
+/// index i of sends()/recvs() maps to its matched peer endpoint index, or −1
+/// when unmatched (already diagnosed).
+struct Matching {
+  std::vector<int> consumer_of_send;
+  std::vector<int> producer_of_recv;
+};
+
+}  // namespace chimera::verify

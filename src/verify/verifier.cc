@@ -1,0 +1,39 @@
+#include "verify/verifier.h"
+
+#include "support/check.h"
+#include "verify/checkers.h"
+#include "verify/plan_model.h"
+
+namespace chimera::verify {
+
+Diagnostics verify_plan(const PlanDoc& doc) {
+  Diagnostics diags;
+  if (!check_structure(doc, diags)) return diags;
+
+  const PlanModel model(doc);
+  check_placement(model, diags);
+  check_partition(doc, diags);
+  const Matching matching = match_p2p(model, diags);
+  check_deps(model, matching, diags);
+  check_collectives(model, diags);
+  check_deadlock(model, matching, diags);
+  check_stash(model, diags);
+  check_cache_slots(model, diags);
+  check_dataflow(model, matching, diags);
+  return diags;
+}
+
+Diagnostics verify_json(const std::string& json) {
+  PlanDoc doc;
+  try {
+    doc = plan_from_json(json);
+  } catch (const CheckError& e) {
+    Diagnostic d;
+    d.check = check::kStructure;
+    d.message = std::string("document does not parse: ") + e.what();
+    return {d};
+  }
+  return verify_plan(doc);
+}
+
+}  // namespace chimera::verify

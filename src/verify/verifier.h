@@ -1,0 +1,28 @@
+// Entry points of the standalone plan verifier.
+//
+// verify_plan runs the whole invariant library (verify/checkers.h) over one
+// exported document and returns every violation found; an empty result is
+// the certificate that the plan is safe to hand to an executor. The
+// sequencing lives here so callers cannot get it wrong: check_structure
+// gates everything, and match_p2p produces the Matching that the
+// dependency, deadlock and dataflow checkers consume.
+#pragma once
+
+#include <string>
+
+#include "core/plan_json.h"
+#include "verify/diagnostics.h"
+
+namespace chimera::verify {
+
+/// Runs every checker over the document. Empty result == plan certified.
+/// When check_structure fails, only its diagnostics are returned (the doc
+/// is not safely indexable by the deeper checkers).
+Diagnostics verify_plan(const PlanDoc& doc);
+
+/// Parses then verifies. A parse or schema error becomes a single
+/// "structure" diagnostic instead of an exception, so tools get a uniform
+/// report path for malformed files and unsafe plans alike.
+Diagnostics verify_json(const std::string& json);
+
+}  // namespace chimera::verify
