@@ -26,8 +26,10 @@
 //       [--max-new M]
 #include "bench_common.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <map>
 
 #include "runtime/decode.h"
 #include "tensor/compute_pool.h"
@@ -63,6 +65,7 @@ struct LegResult {
   long idle_lane_steps = 0;
   long occupied_lane_steps = 0;
   long max_queue_depth = 0;
+  rt::DecodeStats stats;  ///< lifetime counters (paged-KV accounting)
 };
 
 LegResult measure(const nn::SmallModelConfig& model, Scheme scheme, int f,
@@ -125,6 +128,115 @@ LegResult measure(const nn::SmallModelConfig& model, Scheme scheme, int f,
   out.occupied_lane_steps =
       stats.occupied_lane_steps - warm.occupied_lane_steps;
   out.max_queue_depth = stats.max_queue_depth;  // lifetime high-water
+  out.stats = stats;
+  return out;
+}
+
+// ---- ragged-prompt mix: paged KV vs the slot arena at equal memory -------
+//
+// The slot arena reserved max_seq positions per lane for a session's whole
+// life, so at a fixed K/V byte budget its concurrency is pool_pages /
+// pages_per_session regardless of how short prompts actually are. The paged
+// cache allocates by position, so a ragged mix (prompts well under max_seq)
+// sustains the full lane count on half the arena's reservation. The leg
+// runs one GPipe deployment at pool = lanes/2 full sessions, measures the
+// peak number of simultaneously in-flight sessions from the result stamps,
+// and checks the streams are bitwise what a comfortable (arena-equivalent)
+// pool generates.
+struct RaggedResult {
+  double tokens_per_s = 0.0;
+  long concurrent_sessions = 0;  ///< peak overlap of [first_token, done]
+  long arena_sessions = 0;       ///< arena capacity at the same bytes
+  double session_ratio = 0.0;
+  bool bitwise_equal = false;
+  std::size_t pool_bytes = 0;
+  rt::DecodeStats stats;
+};
+
+RaggedResult measure_ragged(const nn::SmallModelConfig& model,
+                            const BenchConfig& bc) {
+  const int page_size = 4;
+  const int pages_per_session = (model.seq + page_size - 1) / page_size;
+  const int lanes = bc.streams * bc.batch;
+
+  // One shared system prompt (registered by a drained warm-up request) plus
+  // ragged fresh prompts: lengths cycle far below max_seq.
+  std::vector<int> sys;
+  for (int t = 0; t < 6; ++t) sys.push_back(2 * t + 3);
+  const int ragged_max_new = 4;
+  auto run_phase = [&](rt::DecodeEngine& engine) {
+    engine.submit(sys, 2);
+    (void)engine.run_until_drained();  // registers the prefix
+    Rng rng(2026);
+    for (int r = 0; r < lanes; ++r) {
+      std::vector<int> prompt;
+      if (r % 3 == 0) {
+        prompt = sys;
+        prompt.push_back(11 + r);  // shares the system prefix, then diverges
+      } else {
+        prompt.resize(2 + 2 * static_cast<std::size_t>(rng.next_below(4)));
+        for (int& t : prompt)
+          t = static_cast<int>(rng.next_below(model.vocab));
+      }
+      engine.submit(std::move(prompt), ragged_max_new);
+    }
+    return engine.run_until_drained();
+  };
+
+  rt::DecodeOptions opts;
+  opts.max_batch = bc.batch;
+  opts.max_new_tokens = ragged_max_new;
+  opts.kv_page_size = page_size;
+  opts.kv_pool_pages = lanes / 2 * pages_per_session;  // half the arena
+
+  RaggedResult out;
+  rt::DecodeEngine paged(
+      model, Scheme::kGPipe,
+      ScheduleConfig{bc.depth, bc.streams, 1, ScaleMethod::kDirect}, opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<rt::DecodeResult> results = run_phase(paged);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  long tokens = 0;
+  for (const rt::DecodeResult& r : results)
+    tokens += static_cast<long>(r.tokens.size());
+  out.tokens_per_s = tokens / secs;
+  out.stats = paged.stats();
+  out.pool_bytes = paged.cache_bytes();
+
+  // Peak concurrency: max overlap of the [first_token, done] intervals.
+  // Parked sessions stay in flight (their interval is open), so preemption
+  // does not deflate the figure.
+  std::vector<std::pair<long, int>> edges;
+  for (const rt::DecodeResult& r : results) {
+    edges.emplace_back(r.first_token_us, +1);
+    edges.emplace_back(r.done_us + 1, -1);  // inclusive end
+  }
+  std::sort(edges.begin(), edges.end());
+  long live = 0;
+  for (const auto& [us, delta] : edges) {
+    live += delta;
+    out.concurrent_sessions = std::max(out.concurrent_sessions, live);
+  }
+  // What the slot arena would admit at the same byte budget: every session
+  // reserves a full max_seq of pages.
+  out.arena_sessions = opts.kv_pool_pages / pages_per_session;
+  out.session_ratio = static_cast<double>(out.concurrent_sessions) /
+                      static_cast<double>(out.arena_sessions);
+
+  // Bitwise contract: the squeezed pool generates exactly what the
+  // arena-equivalent pool does, request for request.
+  rt::DecodeOptions comfy = opts;
+  comfy.kv_pool_pages = 0;
+  rt::DecodeEngine reference(
+      model, Scheme::kGPipe,
+      ScheduleConfig{bc.depth, bc.streams, 1, ScaleMethod::kDirect}, comfy);
+  const std::vector<rt::DecodeResult> want = run_phase(reference);
+  std::map<std::uint64_t, std::vector<int>> got_map, want_map;
+  for (const rt::DecodeResult& r : results) got_map[r.id] = r.tokens;
+  for (const rt::DecodeResult& r : want) want_map[r.id] = r.tokens;
+  out.bitwise_equal = got_map == want_map;
   return out;
 }
 
@@ -230,9 +342,50 @@ int main(int argc, char** argv) {
               {"idle_lane_steps", static_cast<double>(r.idle_lane_steps)},
               {"occupied_lane_steps",
                static_cast<double>(r.occupied_lane_steps)},
-              {"max_queue_depth", static_cast<double>(r.max_queue_depth)}});
+              {"max_queue_depth", static_cast<double>(r.max_queue_depth)},
+              {"pool_pages", static_cast<double>(r.stats.pool_pages)},
+              {"pages_in_use_peak",
+               static_cast<double>(r.stats.pages_in_use_peak)},
+              {"cow_splits", static_cast<double>(r.stats.cow_splits)},
+              {"prefix_hits", static_cast<double>(r.stats.prefix_hits)},
+              {"evictions", static_cast<double>(r.stats.evictions)},
+              {"resumes", static_cast<double>(r.stats.resumes)},
+              {"resume_prefill_tokens",
+               static_cast<double>(r.stats.resume_prefill_tokens)}});
   }
   table.print();
+
+  // Paged-KV acceptance: at half the slot arena's K/V byte budget, a ragged
+  // prompt mix must sustain >= 2x the concurrent sessions the arena could
+  // hold at those bytes, with token streams bitwise unchanged.
+  const RaggedResult rg = measure_ragged(model, bc);
+  std::printf("\nRagged mix (paged KV, pool = half arena): %ld concurrent "
+              "sessions vs %ld arena sessions at %zu KV bytes (%.2fx, gate "
+              ">= 2x), streams bitwise %s; peak pages %ld/%ld, cow %ld, "
+              "prefix hits %ld, evictions %ld\n",
+              rg.concurrent_sessions, rg.arena_sessions, rg.pool_bytes,
+              rg.session_ratio, rg.bitwise_equal ? "equal" : "DIVERGED",
+              rg.stats.pages_in_use_peak, rg.stats.pool_pages,
+              rg.stats.cow_splits, rg.stats.prefix_hits, rg.stats.evictions);
+  json.add("Paged ragged mix (GPipe)",
+           "D=" + std::to_string(bc.depth) + ", B=" + std::to_string(bc.batch) +
+               ", N=" + std::to_string(bc.streams) + ", pool=half-arena",
+           rg.tokens_per_s, 0.0,
+           {{"concurrent_sessions",
+             static_cast<double>(rg.concurrent_sessions)},
+            {"arena_sessions_equal_bytes",
+             static_cast<double>(rg.arena_sessions)},
+            {"session_ratio", rg.session_ratio},
+            {"bitwise_equal", rg.bitwise_equal ? 1.0 : 0.0},
+            {"pool_pages", static_cast<double>(rg.stats.pool_pages)},
+            {"pages_in_use_peak",
+             static_cast<double>(rg.stats.pages_in_use_peak)},
+            {"cow_splits", static_cast<double>(rg.stats.cow_splits)},
+            {"prefix_hits", static_cast<double>(rg.stats.prefix_hits)},
+            {"evictions", static_cast<double>(rg.stats.evictions)},
+            {"resumes", static_cast<double>(rg.stats.resumes)},
+            {"resume_prefill_tokens",
+             static_cast<double>(rg.stats.resume_prefill_tokens)}});
 
   // Acceptance: Chimera-2f decode ≥ 1.3× GPipe tokens/s on the
   // dependency-exact replay prediction — deterministic on any host, and
@@ -247,6 +400,14 @@ int main(int argc, char** argv) {
   if (chimera2f_pred < 1.3) {
     std::fprintf(stderr, "FAIL: predicted decode speedup %.2fx < 1.3x\n",
                  chimera2f_pred);
+    return 1;
+  }
+  if (rg.session_ratio < 2.0 || !rg.bitwise_equal) {
+    std::fprintf(stderr,
+                 "FAIL: ragged paged-KV leg: session ratio %.2fx "
+                 "(gate >= 2x), streams %s\n",
+                 rg.session_ratio,
+                 rg.bitwise_equal ? "bitwise equal" : "DIVERGED");
     return 1;
   }
   return 0;

@@ -7,13 +7,15 @@
 // Three things to take away:
 //   1. Generation reuses the stack end to end: the decode-step schedule is
 //      the serving geometry (f down + f up independent streams), lowered
-//      through the same ExecutionPlan — now with cache-slot events — and
+//      through the same ExecutionPlan — now with kv-page budgets — and
 //      run on the same persistent WorkerPool. What changed is state: each
-//      session's K/V projections persist across steps in nn::KvCache.
+//      session's K/V projections persist across steps in nn::PagedKvCache,
+//      a page table over a refcounted page pool (copy-on-write prefix
+//      sharing, preemption under a fixed page budget).
 //   2. Requests are continuously batched: submit() queues a prompt, the
-//      session table admits it into a free cache slot mid-flight, and a
-//      finished sequence retires immediately — its slot refills at the
-//      next step with no round barrier between unrelated requests.
+//      session table admits it when the page pool can hold it mid-flight,
+//      and a finished sequence retires immediately — its pages recycle at
+//      the next step with no round barrier between unrelated requests.
 //   3. Tokens stream: the on_token callback fires the moment each token is
 //      sampled, so time-to-first-token is a per-request number (prefill
 //      cost), not a per-batch one.

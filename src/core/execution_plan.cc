@@ -215,6 +215,35 @@ std::vector<int> max_live_cache_bindings(const ExecutionPlan& plan) {
   return bindings;
 }
 
+std::vector<int> kv_page_budget(const ExecutionPlan& plan,
+                                const KvPageGeometry& g) {
+  const PipelineSchedule& s = plan.schedule();
+  CHIMERA_CHECK_MSG(g.page_size >= 1 && g.max_seq >= g.page_size &&
+                        g.max_batch >= 1 && g.pool_pages >= 0,
+                    "invalid KV page geometry: page_size "
+                        << g.page_size << " max_seq " << g.max_seq
+                        << " max_batch " << g.max_batch << " pool_pages "
+                        << g.pool_pages);
+  // Runs the cache-slot event verification even though the binding counts
+  // themselves are recomputed per replica below (a fixed pool_pages breaks
+  // the worker-total proportionality bindings alone would give).
+  (void)max_live_cache_bindings(plan);
+  std::vector<int> budget(s.depth, 0);
+  if (!s.decode) return budget;
+  std::vector<int> streams_on_pipe(s.num_pipes, 0);
+  for (int m = 0; m < s.num_micro; ++m) ++streams_on_pipe[s.pipe_of_micro[m]];
+  for (int w = 0; w < s.depth; ++w)
+    for (auto [pipe, stage] : s.hosted_stages(w)) {
+      (void)stage;
+      // A streamless pipe's replicas still carry a minimal pool (one
+      // never-claimed lane), mirroring the engine's uniform construction.
+      const int lanes = std::max(1, streams_on_pipe[pipe] * g.max_batch);
+      budget[w] += g.pool_pages > 0 ? g.pool_pages
+                                    : lanes * g.pages_per_session();
+    }
+  return budget;
+}
+
 std::vector<int> max_inflight_micros(const ExecutionPlan& plan) {
   const PipelineSchedule& s = plan.schedule();
   std::vector<int> high(s.depth, 0);

@@ -110,4 +110,32 @@ std::vector<int> max_inflight_micros(const ExecutionPlan& plan);
 /// exactly once at its tail; throws otherwise). Zero for non-decode plans.
 std::vector<int> max_live_cache_bindings(const ExecutionPlan& plan);
 
+/// Geometry of the paged KV subsystem (nn/kv_page_pool.h) as the planning
+/// layer sees it — enough to turn the plan's cache-slot events into a page
+/// budget without referencing runtime types.
+struct KvPageGeometry {
+  int page_size = 16;   ///< positions per page
+  int max_seq = 16;     ///< context window (positions per session at most)
+  int max_batch = 1;    ///< sessions per decode stream (lane count)
+  /// Pages per stage-replica pool; 0 = arena-equivalent auto sizing
+  /// (streams-on-pipe × max_batch × pages_per_session).
+  int pool_pages = 0;
+
+  /// ceil(max_seq / page_size): pages one full-length session claims.
+  int pages_per_session() const {
+    return (max_seq + page_size - 1) / page_size;
+  }
+};
+
+/// Per-worker KV page pool capacity claimed by a decode plan under geometry
+/// `g` — the paged generalization of max_live_cache_bindings (which it
+/// calls, inheriting the cache-slot event verification): each hosted stage
+/// replica contributes one pool of `g.pool_pages` pages, or the
+/// arena-equivalent streams-on-pipe × max_batch × pages_per_session when
+/// pool_pages is 0. rt::DecodeEngine cross-checks its constructed pools
+/// against this, and verify/ replays it against a plan's serialized
+/// `kv_pages` claim (kPageBudget). Zero for non-decode plans.
+std::vector<int> kv_page_budget(const ExecutionPlan& plan,
+                                const KvPageGeometry& g);
+
 }  // namespace chimera

@@ -351,7 +351,8 @@ OpDoc read_op(const JsonValue& v) {
 
 }  // namespace
 
-PlanDoc make_plan_doc(const ExecutionPlan& plan, const Partition* partition) {
+PlanDoc make_plan_doc(const ExecutionPlan& plan, const Partition* partition,
+                      const KvPageGeometry* kv) {
   const PipelineSchedule& s = plan.schedule();
   PlanDoc doc;
   doc.format = "chimera-plan-v1";
@@ -414,6 +415,17 @@ PlanDoc make_plan_doc(const ExecutionPlan& plan, const Partition* partition) {
     for (const StageRange& r : partition->ranges())
       doc.partition.ranges.emplace_back(r.begin, r.end);
   }
+  if (kv != nullptr) {
+    CHIMERA_CHECK_MSG(s.decode,
+                      "kv_pages geometry attached to a non-decode plan");
+    doc.has_kv_pages = true;
+    doc.kv_pages.page_size = kv->page_size;
+    doc.kv_pages.max_seq = kv->max_seq;
+    doc.kv_pages.max_batch = kv->max_batch;
+    doc.kv_pages.pages_per_session = kv->pages_per_session();
+    doc.kv_pages.pool_pages = kv->pool_pages;
+    doc.kv_pages.claimed_pages = kv_page_budget(plan, *kv);
+  }
   return doc;
 }
 
@@ -449,6 +461,16 @@ std::string plan_doc_to_json(const PlanDoc& doc) {
     write_pair_array(os, doc.partition.ranges);
     os << "},\n";
   }
+  if (doc.has_kv_pages) {
+    os << "\"kv_pages\":{\"page_size\":" << doc.kv_pages.page_size
+       << ",\"max_seq\":" << doc.kv_pages.max_seq
+       << ",\"max_batch\":" << doc.kv_pages.max_batch
+       << ",\"pages_per_session\":" << doc.kv_pages.pages_per_session
+       << ",\"pool_pages\":" << doc.kv_pages.pool_pages
+       << ",\"claimed_pages\":";
+    write_int_array(os, doc.kv_pages.claimed_pages);
+    os << "},\n";
+  }
   os << "\"workers\":[\n";
   for (std::size_t w = 0; w < doc.workers.size(); ++w) {
     os << "[\n";
@@ -462,8 +484,9 @@ std::string plan_doc_to_json(const PlanDoc& doc) {
   return os.str();
 }
 
-std::string plan_to_json(const ExecutionPlan& plan, const Partition* partition) {
-  return plan_doc_to_json(make_plan_doc(plan, partition));
+std::string plan_to_json(const ExecutionPlan& plan, const Partition* partition,
+                         const KvPageGeometry* kv) {
+  return plan_doc_to_json(make_plan_doc(plan, partition, kv));
 }
 
 PlanDoc plan_from_json(const std::string& json) {
@@ -499,6 +522,21 @@ PlanDoc plan_from_json(const std::string& json) {
     doc.partition.ranges = read_pair_array(
         pr.get("ranges", JsonValue::Type::kArray), "partition.ranges");
     pr.finish();
+  }
+  if (const JsonValue* kv =
+          r.get_optional("kv_pages", JsonValue::Type::kObject)) {
+    ObjectReader kr(*kv, "kv_pages");
+    doc.has_kv_pages = true;
+    doc.kv_pages.page_size = static_cast<int>(kr.get_int("page_size"));
+    doc.kv_pages.max_seq = static_cast<int>(kr.get_int("max_seq"));
+    doc.kv_pages.max_batch = static_cast<int>(kr.get_int("max_batch"));
+    doc.kv_pages.pages_per_session =
+        static_cast<int>(kr.get_int("pages_per_session"));
+    doc.kv_pages.pool_pages = static_cast<int>(kr.get_int("pool_pages"));
+    doc.kv_pages.claimed_pages = read_int_array(
+        kr.get("claimed_pages", JsonValue::Type::kArray),
+        "kv_pages.claimed_pages");
+    kr.finish();
   }
   for (const JsonValue& row : r.get("workers", JsonValue::Type::kArray).array) {
     CHIMERA_CHECK_MSG(row.type == JsonValue::Type::kArray,

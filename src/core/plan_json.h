@@ -26,6 +26,7 @@ namespace chimera {
 
 class ExecutionPlan;
 class Partition;
+struct KvPageGeometry;
 
 /// Mirror of MicroUnit (core/execution_plan.h).
 struct UnitDoc {
@@ -69,6 +70,22 @@ struct PartitionDoc {
   friend bool operator==(const PartitionDoc&, const PartitionDoc&) = default;
 };
 
+/// Decode plans that ran under the paged KV subsystem: the page geometry
+/// and the per-worker page-pool capacity the exporter claims it reserved
+/// (rt::DecodeEngine's construction numbers). The verifier re-derives the
+/// budget from the plan's cache-slot events + the geometry alone and
+/// cross-checks both the derived fields (pages_per_session) and the claim
+/// (kPageBudget).
+struct KvPageDoc {
+  int page_size = 0;
+  int max_seq = 0;
+  int max_batch = 0;
+  int pages_per_session = 0;
+  int pool_pages = 0;  ///< configured pages per replica pool; 0 = auto
+  std::vector<int> claimed_pages;  ///< per-worker reserved pool pages
+  friend bool operator==(const KvPageDoc&, const KvPageDoc&) = default;
+};
+
 /// The complete document. Everything the verifier consumes is here; nothing
 /// is recomputed from library code at check time.
 struct PlanDoc {
@@ -94,20 +111,26 @@ struct PlanDoc {
   std::vector<int> claimed_cache_bindings;
   bool has_partition = false;
   PartitionDoc partition;
+  bool has_kv_pages = false;
+  KvPageDoc kv_pages;
   friend bool operator==(const PlanDoc&, const PlanDoc&) = default;
 };
 
 /// Extracts the document from a lowered plan. `partition`, when given, must
-/// have partition->depth() == plan depth.
+/// have partition->depth() == plan depth. `kv`, when given, requires a
+/// decode plan and attaches the kv_pages claim (kv_page_budget under that
+/// geometry).
 PlanDoc make_plan_doc(const ExecutionPlan& plan,
-                      const Partition* partition = nullptr);
+                      const Partition* partition = nullptr,
+                      const KvPageGeometry* kv = nullptr);
 
 /// Deterministic serialization: same doc -> byte-identical string.
 std::string plan_doc_to_json(const PlanDoc& doc);
 
 /// One-call export used by the fuzzer, the benches and future tooling.
 std::string plan_to_json(const ExecutionPlan& plan,
-                         const Partition* partition = nullptr);
+                         const Partition* partition = nullptr,
+                         const KvPageGeometry* kv = nullptr);
 
 /// Parses a document produced by plan_doc_to_json (or written by hand).
 /// Throws CheckError with a position-annotated message on malformed input or

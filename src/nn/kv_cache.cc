@@ -1,36 +1,121 @@
 #include "nn/kv_cache.h"
 
+#include <algorithm>
+
 namespace chimera::nn {
 
-KvCache::KvCache(int layers, int slots, int max_seq, int hidden)
+PagedKvCache::PagedKvCache(int layers, int sessions, int max_seq, int hidden,
+                           int page_size, int pool_pages)
     : layers_(layers),
-      slots_(slots),
+      sessions_(sessions),
       max_seq_(max_seq),
       hidden_(hidden),
-      free_(slots),
-      live_(static_cast<std::size_t>(slots), 0) {
-  CHIMERA_CHECK_MSG(layers >= 0 && slots >= 1 && max_seq >= 1 && hidden >= 1,
-                    "KvCache(" << layers << ", " << slots << ", " << max_seq
-                               << ", " << hidden << ")");
-  const std::size_t n = static_cast<std::size_t>(layers) * slots * max_seq *
-                        static_cast<std::size_t>(hidden);
-  k_.assign(n, 0.0f);
-  v_.assign(n, 0.0f);
+      page_size_(page_size),
+      live_(static_cast<std::size_t>(sessions), 0),
+      table_(static_cast<std::size_t>(sessions)),
+      // A streamless stage replica still constructs (layers may be 0 rows
+      // wide is impossible — hidden ≥ 1 — but a 0-layer stage range is); the
+      // pool wants ≥ 1 float per page either way.
+      pool_(pool_pages,
+            std::max<std::size_t>(1, static_cast<std::size_t>(layers) * 2 *
+                                         page_size * hidden)) {
+  CHIMERA_CHECK_MSG(layers >= 0 && sessions >= 1 && max_seq >= 1 &&
+                        hidden >= 1 && page_size >= 1,
+                    "PagedKvCache(" << layers << ", " << sessions << ", "
+                                    << max_seq << ", " << hidden << ", "
+                                    << page_size << ", " << pool_pages
+                                    << ")");
+  CHIMERA_CHECK_MSG(
+      pool_pages >= pages_per_session(),
+      "KV page pool of " << pool_pages << " pages cannot hold one full "
+                         << max_seq << "-position session ("
+                         << pages_per_session() << " pages of " << page_size
+                         << ") — eviction could not guarantee progress");
 }
 
-void KvCache::claim(int slot) {
-  CHIMERA_CHECK(slot >= 0 && slot < slots_);
-  CHIMERA_CHECK_MSG(!live_[slot], "cache slot " << slot << " already live");
-  live_[slot] = 1;
-  --free_;
+void PagedKvCache::claim(int session) {
+  CHIMERA_CHECK(session >= 0 && session < sessions_);
+  CHIMERA_CHECK_MSG(!live_[session],
+                    "cache session " << session << " already live");
+  live_[session] = 1;
+  CHIMERA_CHECK(table_[session].empty());
   ++total_claims_;
 }
 
-void KvCache::release(int slot) {
-  CHIMERA_CHECK(slot >= 0 && slot < slots_);
-  CHIMERA_CHECK_MSG(live_[slot], "releasing free cache slot " << slot);
-  live_[slot] = 0;
-  ++free_;
+void PagedKvCache::release(int session) {
+  CHIMERA_CHECK(session >= 0 && session < sessions_);
+  CHIMERA_CHECK_MSG(live_[session],
+                    "releasing free cache session " << session);
+  for (const int page : table_[session]) pool_.deref(page);
+  table_[session].clear();
+  live_[session] = 0;
+}
+
+int PagedKvCache::pages_needed(int session, int begin, int end) const {
+  CHIMERA_CHECK(session >= 0 && session < sessions_ && live_[session]);
+  CHIMERA_CHECK(begin >= 0 && end <= max_seq_);
+  if (begin >= end) return 0;
+  const auto& table = table_[session];
+  const int mapped = static_cast<int>(table.size());
+  int needed = 0;
+  for (int idx = begin / page_size_; idx <= (end - 1) / page_size_; ++idx) {
+    if (idx >= mapped)
+      ++needed;  // fresh tail page
+    else if (pool_.refcount(table[idx]) > 1)
+      ++needed;  // COW split of a shared page
+  }
+  return needed;
+}
+
+void PagedKvCache::ensure_writable(int session, int begin, int end) {
+  CHIMERA_CHECK(session >= 0 && session < sessions_ && live_[session]);
+  CHIMERA_CHECK(begin >= 0 && end <= max_seq_);
+  if (begin >= end) return;
+  auto& table = table_[session];
+  CHIMERA_CHECK_MSG(begin / page_size_ <= static_cast<int>(table.size()),
+                    "ensure_writable(" << begin << ", " << end
+                                       << ") does not extend session "
+                                       << session << " contiguously");
+  for (int idx = begin / page_size_; idx <= (end - 1) / page_size_; ++idx) {
+    if (idx == static_cast<int>(table.size())) {
+      table.push_back(pool_.alloc());
+    } else if (pool_.refcount(table[idx]) > 1) {
+      // Copy-on-write split: this session is about to diverge from the
+      // co-readers of the page (a prefix sibling or the registry's pin).
+      // Copy the whole block — every layer's K and V rows — so positions
+      // that were valid stay bitwise identical in the private copy.
+      const int fresh = pool_.alloc();
+      std::copy(pool_.data(table[idx]),
+                pool_.data(table[idx]) + pool_.floats_per_page(),
+                pool_.data(fresh));
+      pool_.deref(table[idx]);
+      table[idx] = fresh;
+      ++cow_splits_;
+    }
+  }
+}
+
+const std::vector<int>& PagedKvCache::page_table(int session) const {
+  CHIMERA_CHECK(session >= 0 && session < sessions_ && live_[session]);
+  return table_[session];
+}
+
+void PagedKvCache::adopt_prefix(int session, const std::vector<int>& pages) {
+  CHIMERA_CHECK(session >= 0 && session < sessions_ && live_[session]);
+  CHIMERA_CHECK_MSG(table_[session].empty(),
+                    "adopt_prefix on session " << session
+                                               << " with mapped pages");
+  CHIMERA_CHECK(static_cast<int>(pages.size()) <= pages_per_session());
+  for (const int page : pages) pool_.ref(page);
+  table_[session] = pages;
+}
+
+void PagedKvCache::ref_pages(const std::vector<int>& pages) {
+  for (const int page : pages) pool_.ref(page);
+}
+
+void PagedKvCache::deref_pages(const std::vector<int>& pages) {
+  for (const int page : pages) pool_.deref(page);
 }
 
 }  // namespace chimera::nn

@@ -1,0 +1,52 @@
+#include "nn/kv_page_pool.h"
+
+#include <algorithm>
+#include <string>
+
+namespace chimera::nn {
+
+KvPagePool::KvPagePool(int num_pages, std::size_t floats_per_page)
+    : num_pages_(num_pages), floats_per_page_(floats_per_page) {
+  CHIMERA_CHECK_MSG(num_pages >= 1 && floats_per_page >= 1,
+                    "KvPagePool(" << num_pages << ", " << floats_per_page
+                                  << ")");
+  refcount_.assign(static_cast<std::size_t>(num_pages), 0);
+  free_list_.reserve(static_cast<std::size_t>(num_pages));
+  for (int p = num_pages - 1; p >= 0; --p) free_list_.push_back(p);
+  storage_.assign(static_cast<std::size_t>(num_pages) * floats_per_page,
+                  0.0f);
+}
+
+int KvPagePool::alloc() {
+  const int page = try_alloc();
+  if (page < 0)
+    throw rt::RequestError("KV page pool exhausted (" +
+                           std::to_string(num_pages_) +
+                           " pages) — evict a session or shrink the request");
+  return page;
+}
+
+int KvPagePool::try_alloc() {
+  if (free_list_.empty()) return -1;
+  const int page = free_list_.back();
+  free_list_.pop_back();
+  refcount_[page] = 1;
+  ++total_allocs_;
+  peak_in_use_ = std::max(peak_in_use_, pages_in_use());
+  return page;
+}
+
+void KvPagePool::ref(int page) {
+  CHIMERA_CHECK(page >= 0 && page < num_pages_);
+  CHIMERA_CHECK_MSG(refcount_[page] > 0, "ref of free page " << page);
+  ++refcount_[page];
+}
+
+void KvPagePool::deref(int page) {
+  CHIMERA_CHECK(page >= 0 && page < num_pages_);
+  CHIMERA_CHECK_MSG(refcount_[page] > 0,
+                    "double release of KV page " << page);
+  if (--refcount_[page] == 0) free_list_.push_back(page);
+}
+
+}  // namespace chimera::nn

@@ -1,0 +1,85 @@
+// Fixed-size, refcounted page pool backing the paged KV cache — the
+// allocator the decode memory subsystem is built on (DESIGN.md §8).
+//
+// A page is a fixed block of floats (the cache lays out
+// layers × {K,V} × page_size × hidden inside it); the pool owns all pages'
+// storage, allocated once at construction, so decode memory is bounded by
+// the pool size and never grows at runtime. Pages are *refcounted*: a page
+// freshly allocated has refcount 1, prefix sharing refs it once per
+// additional reader (copy-on-write sessions, the prefix registry's pin),
+// and deref() returns it to the free list when the count reaches zero. The
+// free list is LIFO and the allocation order is deterministic, so every
+// stage replica of a pipe — driven through the identical claim/ensure/fork
+// sequence by rt::DecodeEngine — assigns identical page ids.
+//
+// Error contract: exhaustion is the *caller's* capacity problem, not an
+// engine invariant violation, so alloc() throws the recoverable
+// rt::RequestError (try_alloc() returns −1 instead) and the pool state is
+// untouched — the decode engine catches pressure upstream and evicts.
+// Refcount misuse (deref of a free page, out-of-range ids) is a real
+// invariant violation and throws CheckError via CHIMERA_CHECK.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/request.h"
+#include "support/check.h"
+
+namespace chimera::nn {
+
+class KvPagePool {
+ public:
+  /// `num_pages` pages of `floats_per_page` floats, all zero-initialized at
+  /// construction (pages are fully overwritten before first read; the zero
+  /// fill just keeps first-touch deterministic).
+  KvPagePool(int num_pages, std::size_t floats_per_page);
+
+  int num_pages() const { return num_pages_; }
+  std::size_t floats_per_page() const { return floats_per_page_; }
+  int free_pages() const { return static_cast<int>(free_list_.size()); }
+  int pages_in_use() const { return num_pages_ - free_pages(); }
+  /// High-water mark of pages_in_use() over the pool's lifetime.
+  int peak_pages_in_use() const { return peak_in_use_; }
+  /// Lifetime allocation count (monotonic) — total_allocs() > num_pages()
+  /// proves released pages were recycled.
+  long total_allocs() const { return total_allocs_; }
+
+  /// Allocates a page (refcount 1). Throws rt::RequestError on exhaustion;
+  /// the pool is untouched in that case.
+  int alloc();
+  /// Like alloc(), but returns −1 on exhaustion.
+  int try_alloc();
+  /// Adds a reader: refcount(page) += 1. The page must be live.
+  void ref(int page);
+  /// Drops a reader; the page returns to the free list at refcount 0.
+  /// Dereferencing a free page (a double release) throws CheckError.
+  void deref(int page);
+  int refcount(int page) const {
+    CHIMERA_CHECK(page >= 0 && page < num_pages_);
+    return refcount_[page];
+  }
+
+  float* data(int page) {
+    CHIMERA_CHECK(page >= 0 && page < num_pages_);
+    return storage_.data() + static_cast<std::size_t>(page) * floats_per_page_;
+  }
+  const float* data(int page) const {
+    CHIMERA_CHECK(page >= 0 && page < num_pages_);
+    return storage_.data() + static_cast<std::size_t>(page) * floats_per_page_;
+  }
+
+  /// Total bytes of page storage held (fixed at construction).
+  std::size_t bytes() const { return storage_.size() * sizeof(float); }
+
+ private:
+  int num_pages_ = 0;
+  std::size_t floats_per_page_ = 0;
+  long total_allocs_ = 0;
+  int peak_in_use_ = 0;
+  std::vector<int> refcount_;   ///< 0 = free
+  std::vector<int> free_list_;  ///< LIFO; seeded so first allocs are 0,1,2,…
+  std::vector<float> storage_;
+};
+
+}  // namespace chimera::nn

@@ -157,7 +157,7 @@ Tensor MultiHeadAttention::forward(const Tensor& x, Ctx& ctx, int seq) const {
 Tensor MultiHeadAttention::decode_step(const Tensor& x,
                                        const std::vector<int>& slots,
                                        const std::vector<int>& positions,
-                                       KvCache& cache, int layer,
+                                       PagedKvCache& cache, int layer,
                                        DecodeWs& ws) const {
   const int rows = x.rows();
   CHIMERA_CHECK(static_cast<int>(slots.size()) == rows &&
@@ -273,7 +273,7 @@ Tensor TransformerBlock::forward(const Tensor& x, Ctx& ctx, int seq) const {
 Tensor TransformerBlock::decode_step(const Tensor& x,
                                      const std::vector<int>& slots,
                                      const std::vector<int>& positions,
-                                     KvCache& cache, int layer,
+                                     PagedKvCache& cache, int layer,
                                      DecodeWs& ws) const {
   // Same sublayer/residual sequence as forward(); every non-attention piece
   // is row-wise, so [R, h] decode rows get the full-forward arithmetic.

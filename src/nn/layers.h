@@ -134,7 +134,7 @@ class MultiHeadAttention {
   /// underflow to exact zero probability in forward(), so the shorter decode
   /// softmax/context sums see identical partial-sum sequences.
   Tensor decode_step(const Tensor& x, const std::vector<int>& slots,
-                     const std::vector<int>& positions, KvCache& cache,
+                     const std::vector<int>& positions, PagedKvCache& cache,
                      int layer, DecodeWs& ws) const;
 
   void collect(std::vector<Param*>& out) {
@@ -184,7 +184,7 @@ class TransformerBlock {
   /// MultiHeadAttention::decode_step); LayerNorm / MLP / residuals are
   /// row-wise and run exactly the forward() kernels.
   Tensor decode_step(const Tensor& x, const std::vector<int>& slots,
-                     const std::vector<int>& positions, KvCache& cache,
+                     const std::vector<int>& positions, PagedKvCache& cache,
                      int layer, DecodeWs& ws) const;
 
   void collect(std::vector<Param*>& out);

@@ -133,19 +133,24 @@ Tensor StageModule::infer(const MicroBatch& mb, const Tensor& input) {
 }
 
 Tensor StageModule::prefill(const MicroBatch& mb, const Tensor& input,
-                            KvCache& cache, int slot) {
+                            PagedKvCache& cache, int slot, int write_start) {
   CHIMERA_CHECK_MSG(mb.batch == 1, "prefill runs one session per pass");
   CHIMERA_CHECK(mb.seq >= 1 && mb.seq <= cfg_.seq);
   CHIMERA_CHECK(cache.layers() == static_cast<int>(blocks_.size()) &&
                 mb.seq <= cache.max_seq());
+  CHIMERA_CHECK(write_start >= 0 && write_start <= mb.seq);
   Stash scratch = acquire_stash();
   Tensor x = run_forward(mb, input, scratch, /*capture_head_input=*/false);
   // Populate the cache from the existing forward: the fused qkv activation
   // each attention context saved holds every position's K/V projections.
+  // Positions below write_start are already resident in shared prefix pages
+  // holding bitwise-identical rows (causal attention: position t's K/V
+  // depend only on tokens 0..t, which match by construction of the prefix),
+  // so their writes are skipped rather than re-landed on shared storage.
   const int h = cfg_.hidden;
   for (std::size_t l = 0; l < blocks_.size(); ++l) {
     const Tensor& qkv = scratch.blocks[l].attn.qkv;  // [seq, 3h]
-    for (int t = 0; t < mb.seq; ++t) {
+    for (int t = write_start; t < mb.seq; ++t) {
       const float* row = qkv.data() + static_cast<std::size_t>(t) * 3 * h;
       std::copy(row + h, row + 2 * h,
                 cache.k_row(static_cast<int>(l), slot, t));
@@ -161,7 +166,7 @@ Tensor StageModule::prefill(const MicroBatch& mb, const Tensor& input,
 Tensor StageModule::decode_step(const std::vector<int>& tokens,
                                 const std::vector<int>& slots,
                                 const std::vector<int>& positions,
-                                const Tensor& input, KvCache& cache) {
+                                const Tensor& input, PagedKvCache& cache) {
   const int rows = static_cast<int>(slots.size());
   CHIMERA_CHECK(rows >= 1 && static_cast<int>(positions.size()) == rows);
   CHIMERA_CHECK(cache.layers() == static_cast<int>(blocks_.size()));

@@ -85,17 +85,21 @@ class StageModule {
 
   /// Decode prefill (rt::DecodeEngine): runs the ordinary forward over one
   /// session's prompt (mb.batch must be 1, mb.seq = prompt length ≤
-  /// cfg.seq) and populates `cache` slot `slot` with every layer's K/V
+  /// cfg.seq) and populates `cache` session `slot` with every layer's K/V
   /// projections — lifted straight out of the attention contexts the
   /// existing forward already computes, so cached rows are bitwise the
-  /// full-forward projections. Returns what infer() returns (the last stage:
+  /// full-forward projections. Positions below `write_start` skip the cache
+  /// write (prefix sharing: those rows are already mapped from a shared
+  /// page, and causal attention makes what the forward computes for them
+  /// bitwise identical to what is stored). The forward itself always runs
+  /// over the full prompt. Returns what infer() returns (the last stage:
   /// [seq, vocab] logits, whose final row seeds the first sampled token).
-  Tensor prefill(const MicroBatch& mb, const Tensor& input, KvCache& cache,
-                 int slot);
+  Tensor prefill(const MicroBatch& mb, const Tensor& input, PagedKvCache& cache,
+                 int slot, int write_start = 0);
 
   /// One incremental decode step over `rows = slots.size()` concurrent
   /// sessions: row r carries token `tokens[r]` at position `positions[r]` of
-  /// cache slot `slots[r]` (stage 0 embeds the tokens; later stages take the
+  /// cache session `slots[r]` (stage 0 embeds the tokens; later stages take the
   /// previous stage's [rows, hidden] boundary activation). Each layer
   /// appends the row's K/V at its position and attends over the cached
   /// prefix. The last stage returns [rows, vocab] logits; each row is
@@ -104,7 +108,7 @@ class StageModule {
   Tensor decode_step(const std::vector<int>& tokens,
                      const std::vector<int>& slots,
                      const std::vector<int>& positions, const Tensor& input,
-                     KvCache& cache);
+                     PagedKvCache& cache);
 
   /// Runs the stage backward for one micro-batch, consuming stash `key`.
   /// On the last stage `grad_out` is ignored: the gradient originates from

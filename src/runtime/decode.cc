@@ -5,6 +5,7 @@
 #include <numeric>
 #include <thread>
 
+#include "core/plan_json.h"
 #include "tensor/compute_pool.h"
 
 namespace chimera::rt {
@@ -19,8 +20,14 @@ DecodeEngine::DecodeEngine(const nn::SmallModelConfig& model, Scheme scheme,
   CHIMERA_CHECK_MSG(opts.eos_token >= -1 && opts.eos_token < model.vocab,
                     "eos_token outside the vocabulary");
   CHIMERA_CHECK_MSG(model.causal, "decoding requires a causal LM");
+  CHIMERA_CHECK_MSG(opts.kv_page_size >= 1 && opts.kv_page_size <= model.seq,
+                    "kv_page_size must be in [1, model.seq]");
+  CHIMERA_CHECK_MSG(opts.kv_pool_pages >= 0,
+                    "kv_pool_pages must be >= 0 (0 = arena-equivalent)");
   schedule_ = build_decode_schedule(scheme, sched_cfg);
   plan_ = std::make_unique<ExecutionPlan>(schedule_);
+  geometry_ = KvPageGeometry{opts.kv_page_size, model.seq, opts.max_batch,
+                             opts.kv_pool_pages};
 
   const int D = schedule_.depth;
   const int N = schedule_.num_micro;
@@ -34,7 +41,7 @@ DecodeEngine::DecodeEngine(const nn::SmallModelConfig& model, Scheme scheme,
                         << " stages");
 
   // Stream geometry: micro slot m is the stream_pos_[m]-th stream of its
-  // pipe; its sessions' cache slots are stream_pos_[m]·max_batch + lane in
+  // pipe; its sessions' cache indices are stream_pos_[m]·max_batch + lane in
   // every stage replica of that pipe.
   std::vector<int> streams_on_pipe(schedule_.num_pipes, 0);
   stream_pos_.resize(N);
@@ -49,13 +56,16 @@ DecodeEngine::DecodeEngine(const nn::SmallModelConfig& model, Scheme scheme,
     comms_[w] = std::make_unique<comm::Communicator>(*world_, w);
     for (auto [pipe, stage] : schedule_.hosted_stages(w)) {
       // A streamless pipe (N < num_pipes) still hosts replicas; give its
-      // caches one never-claimed slot so construction stays uniform.
-      const int slots = std::max(1, streams_on_pipe[pipe] * opts_.max_batch);
+      // caches one never-claimed lane so construction stays uniform.
+      const int lanes = std::max(1, streams_on_pipe[pipe] * opts_.max_batch);
+      const int pool_pages = opts_.kv_pool_pages > 0
+                                 ? opts_.kv_pool_pages
+                                 : lanes * geometry_.pages_per_session();
       units_[w].push_back(std::unique_ptr<StageUnit>(new StageUnit{
           pipe, stage,
           nn::StageModule(model_, stage, D, partition_->range(stage)),
-          nn::KvCache(partition_->range(stage).size(), slots, model_.seq,
-                      model_.hidden)}));
+          nn::PagedKvCache(partition_->range(stage).size(), lanes, model_.seq,
+                           model_.hidden, opts_.kv_page_size, pool_pages)}));
       cache_bytes_ += units_[w].back()->cache.bytes();
     }
   }
@@ -69,7 +79,7 @@ DecodeEngine::DecodeEngine(const nn::SmallModelConfig& model, Scheme scheme,
     CHIMERA_CHECK(static_cast<int>(pu.size()) == D);
   }
 
-  // The plan's cache-slot events must agree with the arena sizing: each
+  // The plan's cache-slot events must agree with the lane sizing: each
   // worker's binding capacity is exactly the streams its replicas cache.
   const std::vector<int> bindings = max_live_cache_bindings(*plan_);
   for (int w = 0; w < D; ++w) {
@@ -79,9 +89,21 @@ DecodeEngine::DecodeEngine(const nn::SmallModelConfig& model, Scheme scheme,
                       "plan cache events disagree with cache sizing on "
                       "worker " << w);
   }
+  // And the page generalization: the pools just constructed must add up to
+  // the budget the planning layer derives from the same geometry — the
+  // claim plan_json() exports and verify/ re-checks (kPageBudget).
+  const std::vector<int> budget = kv_page_budget(*plan_, geometry_);
+  for (int w = 0; w < D; ++w) {
+    int pages = 0;
+    for (const auto& u : units_[w]) pages += u->cache.pool_pages();
+    CHIMERA_CHECK_MSG(pages == budget[w],
+                      "plan page budget disagrees with constructed pools on "
+                      "worker " << w << ": " << budget[w] << " vs " << pages);
+  }
 
   capacity_ = N * opts_.max_batch;
   lanes_.assign(N, std::vector<std::uint64_t>(opts_.max_batch, 0));
+  registry_.resize(schedule_.num_pipes);
   slot_active_.assign(N, 0);
   round_prefill_.resize(N);
   prefill_logits_.resize(N);
@@ -113,8 +135,12 @@ DecodeEngine::StageUnit& DecodeEngine::find_unit(int worker, int pipe,
                                                        << stage);
 }
 
+std::string DecodeEngine::plan_json() const {
+  return plan_to_json(*plan_, partition_.get(), &geometry_);
+}
+
 std::uint64_t DecodeEngine::submit(std::vector<int> prompt,
-                                   int max_new_tokens) {
+                                   int max_new_tokens, int priority) {
   // Same recoverable validation as serving, with variable lengths: any
   // prompt up to the model's context window (runtime/request.h).
   validate_tokens(prompt, 1, model_.seq, model_.vocab);
@@ -126,7 +152,8 @@ std::uint64_t DecodeEngine::submit(std::vector<int> prompt,
                        ") — back off and retry");
   const std::uint64_t id = next_id_++;
   const int cap = max_new_tokens > 0 ? max_new_tokens : opts_.max_new_tokens;
-  queue_.push_back(PendingDecode{id, std::move(prompt), cap, now_us()});
+  queue_.push_back(
+      PendingDecode{id, std::move(prompt), cap, priority, now_us()});
   stats_.max_queue_depth =
       std::max(stats_.max_queue_depth, static_cast<long>(queue_.size()));
   return id;
@@ -153,7 +180,7 @@ void DecodeEngine::run_worker(int w) {
         if (u.recv_from >= 0)
           x = comms_[w]->recv(u.recv_from, u.recv_tag + jtag);
         Tensor y = unit.module.prefill(jobs[i].mb, x, unit.cache,
-                                       jobs[i].slot);
+                                       jobs[i].slot, jobs[i].write_start);
         if (u.send_to >= 0)
           comms_[w]->send(u.send_to, u.send_tag + jtag, std::move(y));
         else if (u.releases_cache_slot)
@@ -247,8 +274,10 @@ bool DecodeEngine::emit_token(Session& s, int token, long now,
   }
   events.push_back(std::move(ev));
   if (done) {
-    // Retire immediately: the slot is free for the next step's admission —
-    // no round barrier between unrelated requests.
+    // Retire immediately: the lane is free for the next step's admission —
+    // no round barrier between unrelated requests. release() derefs the
+    // session's page-table entries; pages shared with the registry or with
+    // prefix siblings survive until their last reader drops.
     for (StageUnit* u : pipe_units_[s.pipe]) u->cache.release(s.slot);
     lanes_[s.micro][s.lane] = 0;
     ++stats_.retired;
@@ -268,6 +297,104 @@ bool DecodeEngine::emit_token(Session& s, int token, long now,
   return done;
 }
 
+bool DecodeEngine::unpin_lru_prefix(int pipe) {
+  auto& reg = registry_[pipe];
+  if (reg.empty()) return false;
+  std::size_t lru = 0;
+  for (std::size_t i = 1; i < reg.size(); ++i) {
+    if (reg[i].last_used_step < reg[lru].last_used_step ||
+        (reg[i].last_used_step == reg[lru].last_used_step &&
+         reg[i].id < reg[lru].id))
+      lru = i;
+  }
+  for (StageUnit* u : pipe_units_[pipe]) u->cache.deref_pages(reg[lru].pages);
+  reg.erase(reg.begin() + static_cast<std::ptrdiff_t>(lru));
+  return true;
+}
+
+void DecodeEngine::park_session(std::uint64_t sid) {
+  auto it = sessions_.find(sid);
+  CHIMERA_CHECK(it != sessions_.end());
+  Session& s = it->second;
+  for (StageUnit* u : pipe_units_[s.pipe]) u->cache.release(s.slot);
+  lanes_[s.micro][s.lane] = 0;
+  ++stats_.evictions;
+  parked_.push_back(std::move(s));
+  sessions_.erase(it);
+}
+
+bool DecodeEngine::free_pipe_pages(int pipe, int need, std::uint64_t protect) {
+  nn::PagedKvCache& cache = pipe_cache(pipe);
+  while (cache.free_pages() < need) {
+    // Cheapest first: a registry pin holds pages no live session needs.
+    if (unpin_lru_prefix(pipe)) continue;
+    // Then preempt: the lowest-priority active session of the pipe parks
+    // (newest id on ties — the one that has sunk the least work). Releasing
+    // a session whose pages are all shared frees nothing, so keep going.
+    const Session* victim = nullptr;
+    for (const auto& [sid, s] : sessions_) {
+      if (s.pipe != pipe || sid == protect) continue;
+      if (lanes_[s.micro][s.lane] != sid) continue;  // not active
+      if (victim == nullptr || s.priority < victim->priority ||
+          (s.priority == victim->priority && s.id > victim->id))
+        victim = &s;
+    }
+    if (victim == nullptr) return false;  // only `protect` is left
+    park_session(victim->id);
+  }
+  return true;
+}
+
+DecodeEngine::PrefixEntry* DecodeEngine::match_prefix(
+    int pipe, const std::vector<int>& tokens, int* write_start) {
+  *write_start = 0;
+  if (!opts_.prefix_sharing) return nullptr;
+  PrefixEntry* best = nullptr;
+  int best_len = 0;
+  for (PrefixEntry& e : registry_[pipe]) {
+    const std::size_t lim =
+        std::min(tokens.size(), static_cast<std::size_t>(e.valid_len));
+    std::size_t lcp = 0;
+    while (lcp < lim && tokens[lcp] == e.tokens[lcp]) ++lcp;
+    const int len = static_cast<int>(lcp);
+    // Sub-page matches are not worth a table entry; prefer longer matches,
+    // then older donors (lowest id) for determinism.
+    if (len >= opts_.kv_page_size && len > best_len) {
+      best = &e;
+      best_len = len;
+    }
+  }
+  if (best != nullptr) {
+    *write_start = best_len;
+    best->last_used_step = stats_.steps;
+  }
+  return best;
+}
+
+void DecodeEngine::register_prefix(const Session& s, const PrefillJob& job) {
+  if (!opts_.prefix_sharing || job.resume || job.write_start > 0) return;
+  const int L = static_cast<int>(s.prompt.size());
+  if (L < opts_.kv_page_size) return;
+  auto& reg = registry_[s.pipe];
+  // Skip duplicates: a prompt already fully covered by an entry would have
+  // matched at admission — except when both arrived in the same step, which
+  // this catches.
+  for (const PrefixEntry& e : reg) {
+    if (e.valid_len >= L &&
+        std::equal(s.prompt.begin(), s.prompt.end(), e.tokens.begin()))
+      return;
+  }
+  PrefixEntry entry;
+  entry.id = s.id;
+  entry.tokens = s.prompt;
+  entry.valid_len = L;
+  entry.pages = pipe_cache(s.pipe).page_table(s.slot);
+  entry.last_used_step = stats_.steps;
+  for (StageUnit* u : pipe_units_[s.pipe]) u->cache.ref_pages(entry.pages);
+  reg.push_back(std::move(entry));
+  while (reg.size() > kMaxPrefixEntries) unpin_lru_prefix(s.pipe);
+}
+
 int DecodeEngine::step() {
   CHIMERA_CHECK_MSG(!in_step_.exchange(true), "step() is not reentrant");
   // A rank exception (rethrown by WorkerPool::run), a shape CHECK or a
@@ -284,49 +411,115 @@ int DecodeEngine::step() {
   std::unique_lock<std::mutex> lock(mutex_);
   ++stats_.steps;
 
-  // ---- admission: refill free lanes from the queue (FIFO) ----------------
+  // ---- admission: refill free lanes, resumes first, then the queue -------
   // Lane-major order: fill lane 0 of every stream before lane 1 of any, so
   // a light load spreads across the streams — and therefore across both
   // pipe directions of the Chimera pairing — instead of packing one pipe
   // full while its partner idles (stream-major filling would degenerate
   // low-occupancy decoding to a single-direction pipeline).
+  //
+  // Every admission reserves its prompt's pages up front. Under pressure it
+  // unpins registry entries but never preempts running sessions (that
+  // privilege is growth's, below) — a request that still does not fit marks
+  // its pipe full for this step and waits.
   bool any_prefill = false;
   for (int m = 0; m < N; ++m) round_prefill_[m].clear();
-  for (int l = 0; l < B && !queue_.empty(); ++l) {
-    for (int m = 0; m < N && !queue_.empty(); ++m) {
+  std::deque<Session> resume = std::move(parked_);
+  parked_.clear();
+  std::vector<char> pipe_full(schedule_.num_pipes, 0);
+  for (int l = 0; l < B; ++l) {
+    for (int m = 0; m < N; ++m) {
+      if (resume.empty() && queue_.empty()) break;
       if (lanes_[m][l] != 0) continue;
-      PendingDecode req = std::move(queue_.front());
-      queue_.pop_front();
+      const int p = schedule_.pipe_of_micro[m];
+      if (pipe_full[p]) continue;
+      const bool is_resume = !resume.empty();
       Session s;
-      s.id = req.id;
-      s.prompt = std::move(req.prompt);
-      const int L = static_cast<int>(s.prompt.size());
-      // Cap generation so every decoded position stays inside the learned
-      // embeddings: the prefill's final position seeds token 1 "for free",
-      // hence the +1.
-      s.max_new = std::min(req.max_new, model_.seq - L + 1);
+      if (is_resume) {
+        s = std::move(resume.front());
+        resume.pop_front();
+      } else {
+        PendingDecode req = std::move(queue_.front());
+        queue_.pop_front();
+        s.id = req.id;
+        s.prompt = std::move(req.prompt);
+        const int L = static_cast<int>(s.prompt.size());
+        // Cap generation so every decoded position stays inside the learned
+        // embeddings: the prefill's final position seeds token 1 "for
+        // free", hence the +1.
+        s.max_new = std::min(req.max_new, model_.seq - L + 1);
+        s.priority = req.priority;
+        s.enqueue_us = req.enqueue_us;
+        s.rng = Rng(opts_.sample_seed).split(s.id);
+      }
       s.micro = m;
       s.lane = l;
-      s.pipe = schedule_.pipe_of_micro[m];
+      s.pipe = p;
       s.slot = stream_pos_[m] * B + l;
-      s.enqueue_us = req.enqueue_us;
-      s.rng = Rng(opts_.sample_seed).split(s.id);
-      for (StageUnit* u : pipe_units_[s.pipe]) u->cache.claim(s.slot);
-      lanes_[m][l] = s.id;
+      // The re-prefill of a resume spans everything the session has seen:
+      // its final row is then bitwise the pending next-token distribution
+      // (the step-vs-reforward contract applied to prompt+generated).
+      std::vector<int> tokens = s.prompt;
+      tokens.insert(tokens.end(), s.generated.begin(), s.generated.end());
+      const int T = static_cast<int>(tokens.size());
+      CHIMERA_CHECK(T <= model_.seq);
+      for (StageUnit* u : pipe_units_[p]) u->cache.claim(s.slot);
+      int write_start = 0;
+      PrefixEntry* donor = match_prefix(p, tokens, &write_start);
+      if (donor != nullptr) {
+        // Adopt ceil(match/page_size) pages copy-on-write; a partially
+        // matched last page splits at the prefill's first write.
+        const int adopt =
+            nn::PagedKvCache::pages_for(write_start, opts_.kv_page_size);
+        std::vector<int> pages(donor->pages.begin(),
+                               donor->pages.begin() + adopt);
+        for (StageUnit* u : pipe_units_[p])
+          u->cache.adopt_prefix(s.slot, pages);
+      }
+      nn::PagedKvCache& cache = pipe_cache(p);
+      int need = cache.pages_needed(s.slot, write_start, T);
+      while (need > cache.free_pages() && unpin_lru_prefix(p))
+        need = cache.pages_needed(s.slot, write_start, T);
+      if (need > cache.free_pages()) {
+        // Undo and wait: the pipe's pages are held by running sessions.
+        for (StageUnit* u : pipe_units_[p]) u->cache.release(s.slot);
+        pipe_full[p] = 1;
+        if (is_resume)
+          resume.push_front(std::move(s));
+        else
+          queue_.push_front(PendingDecode{s.id, std::move(s.prompt),
+                                          s.max_new, s.priority,
+                                          s.enqueue_us});
+        continue;
+      }
+      for (StageUnit* u : pipe_units_[p])
+        u->cache.ensure_writable(s.slot, write_start, T);
+      if (write_start > 0) ++stats_.prefix_hits;
+      if (is_resume) {
+        ++stats_.resumes;
+        stats_.resume_prefill_tokens += T;
+      } else {
+        ++stats_.admitted;
+      }
       PrefillJob job;
       job.sid = s.id;
       job.slot = s.slot;
+      job.write_start = write_start;
+      job.resume = is_resume;
       job.mb.batch = 1;
-      job.mb.seq = L;
-      job.mb.tokens = s.prompt;
+      job.mb.seq = T;
+      job.mb.tokens = std::move(tokens);
       round_prefill_[m].push_back(std::move(job));
+      lanes_[m][l] = s.id;
       sessions_.emplace(s.id, std::move(s));
-      ++stats_.admitted;
       any_prefill = true;
     }
   }
+  // Resumes that found no lane or no pages stay parked, order preserved.
+  for (auto it = resume.rbegin(); it != resume.rend(); ++it)
+    parked_.push_front(std::move(*it));
 
-  // ---- prefill round: populate caches, seed each session's first token ---
+  // ---- prefill round: populate pages, seed each session's next token -----
   if (any_prefill) {
     for (int m = 0; m < N; ++m) {
       slot_active_[m] = round_prefill_[m].empty() ? 0 : 1;
@@ -342,7 +535,11 @@ int DecodeEngine::step() {
       for (std::size_t i = 0; i < round_prefill_[m].size(); ++i) {
         const PrefillJob& job = round_prefill_[m][i];
         Session& s = sessions_.at(job.sid);
-        const Tensor& logits = prefill_logits_[m][i];  // [prompt, vocab]
+        // Pin fresh prompts into the prefix registry before the emit below
+        // can retire the session (retirement derefs its pages; the registry
+        // must grab its references first).
+        register_prefix(s, job);
+        const Tensor& logits = prefill_logits_[m][i];  // [T, vocab]
         CHIMERA_CHECK(logits.rows() == job.mb.seq &&
                       logits.cols() == model_.vocab);
         const float* row = logits.data() +
@@ -352,6 +549,34 @@ int DecodeEngine::step() {
         ++emitted;
         if (emit_token(s, tok, now, row, events)) sessions_.erase(job.sid);
       }
+    }
+  }
+
+  // ---- page growth / preemption for this step's decode round -------------
+  // Each active session writes K/V at one new position: at most one page
+  // (a boundary crossing, or a COW split of a shared page). Under pool
+  // exhaustion the lowest-priority session of the pipe parks — the grower
+  // itself as last resort (the pool holds ≥ one full session, so a sole
+  // session always proceeds). Runs before the round is built so a parked
+  // session is never dispatched.
+  for (int m = 0; m < N; ++m) {
+    for (int l = 0; l < B; ++l) {
+      const std::uint64_t sid = lanes_[m][l];
+      if (sid == 0) continue;
+      Session& s = sessions_.at(sid);
+      const int pos = static_cast<int>(s.prompt.size()) +
+                      static_cast<int>(s.generated.size()) - 1;
+      nn::PagedKvCache& cache = pipe_cache(s.pipe);
+      const int need = cache.pages_needed(s.slot, pos, pos + 1);
+      if (need > cache.free_pages() &&
+          !free_pipe_pages(s.pipe, need, sid)) {
+        park_session(sid);
+        continue;
+      }
+      // free_pipe_pages may have parked sessions on this pipe, but never
+      // this one — its write target is guaranteed backed now.
+      for (StageUnit* u : pipe_units_[s.pipe])
+        u->cache.ensure_writable(s.slot, pos, pos + 1);
     }
   }
 
@@ -419,7 +644,7 @@ int DecodeEngine::step() {
 
 bool DecodeEngine::idle() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.empty() && sessions_.empty();
+  return queue_.empty() && sessions_.empty() && parked_.empty();
 }
 
 std::vector<DecodeResult> DecodeEngine::run_until_drained() {
@@ -440,6 +665,15 @@ DecodeStats DecodeEngine::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   DecodeStats out = stats_;
   out.queue_depth = static_cast<long>(queue_.size());
+  out.parked = static_cast<long>(parked_.size());
+  // Logical paging counters: one replica per pipe (all of a pipe's replicas
+  // hold identical paging state), summed across pipes.
+  for (const auto& pu : pipe_units_) {
+    const nn::PagedKvCache& cache = pu.front()->cache;
+    out.pool_pages += cache.pool_pages();
+    out.pages_in_use_peak += cache.pool().peak_pages_in_use();
+    out.cow_splits += cache.cow_splits();
+  }
   return out;
 }
 

@@ -1,5 +1,5 @@
 // Autoregressive generation over bidirectional pipelines — the first
-// workload with cross-round state (DESIGN.md §6).
+// workload with cross-round state (DESIGN.md §6, §8).
 //
 // PR 4's ServingEngine serves one-shot full-sequence logits; generation is
 // the opposite regime: repeated seq-1 decode steps whose per-step compute is
@@ -12,29 +12,53 @@
 //   core/execution_plan   — the same lowering, now with cache-slot
 //                           acquire/release events bracketing each stream's
 //                           step (admission at the head, retirement at the
-//                           tail) — the decode analogue of stash events
-//   nn/kv_cache           — per-session, per-layer K/V state, slot-arena
-//                           backed so memory is bounded by session capacity
-//   nn::StageModule       — prefill() populates a slot from the existing
-//                           forward; decode_step() appends + attends
+//                           tail) — the decode analogue of stash events —
+//                           and kv_page_budget() turning those events into
+//                           the per-worker page capacity the engine
+//                           cross-checks at construction
+//   nn/kv_cache           — paged per-session K/V state: page-table
+//                           indirection over a refcounted KvPagePool, so
+//                           memory tracks the tokens sessions actually hold
+//   nn::StageModule       — prefill() populates a session's pages from the
+//                           existing forward; decode_step() appends + attends
 //   runtime/worker_pool   — every round is one dispatch on the persistent
 //                           rank threads
 //
 // Continuous batching: a session table admits queued requests into free
-// cache slots *mid-flight* — finished sequences (EOS or max_new_tokens)
-// retire the moment their last token is sampled and their slots refill at
-// the next step's admission; there is no round barrier between unrelated
-// requests. Each step runs (1) a prefill round for newly admitted sessions
-// (one batch-1 forward over the prompt, populating the KV cache and seeding
-// the first sampled token) and (2) one decode round carrying every active
-// session's current token at its position.
+// lanes *mid-flight* — finished sequences (EOS or max_new_tokens) retire the
+// moment their last token is sampled and their lanes refill at the next
+// step's admission; there is no round barrier between unrelated requests.
+// Each step runs (1) an admission pass (resumes first, then fresh requests)
+// that reserves pages and builds a prefill round, (2) the prefill round
+// (one batch-1 forward per admitted session, populating its KV pages and
+// seeding its next sampled token), and (3) one decode round carrying every
+// active session's current token at its position.
 //
-// Determinism contract (tests/decode_test.cc): each decode step's logits
-// row is bitwise equal to the final-position logits of a full re-forward
-// over that session's token prefix, for every scheme — the kernels'
-// fixed accumulation orders make the incremental path exact, so the whole
-// subsystem is testable without golden files. Sampling is deterministic
-// too: greedy, or top-k driven by a per-session support/rng stream.
+// Paged admission and preemption (DESIGN.md §8): admission reserves the
+// pages a prompt needs before dispatch — under pressure it unpins prefix-
+// registry entries (LRU) and otherwise requeues the request; it never
+// preempts running sessions. Decode growth (one page at a page boundary, or
+// a COW split of a shared page) is what preempts: when a session's next
+// position cannot be backed, the engine parks the lowest-priority session
+// on the pipe (the grower itself as last resort) — its lanes and pages are
+// released, and it resumes later by a deterministic re-prefill over
+// prompt+generated whose final-row logits seed the next token with the
+// preserved RNG stream. The pool always holds at least one full-length
+// session, so a sole session can never deadlock.
+//
+// Prefix sharing: after a fresh prompt's prefill, its pages are pinned in a
+// per-pipe registry; later prompts sharing a ≥page_size token prefix adopt
+// those pages copy-on-write and their prefill skips the shared positions'
+// cache writes (the forward still runs full-length — the skipped rows are
+// bitwise what it would have written, by causality).
+//
+// Determinism contract (tests/decode_test.cc, tests/paged_kv_test.cc): each
+// decode step's logits row is bitwise equal to the final-position logits of
+// a full re-forward over that session's token prefix, for every scheme —
+// the kernels' fixed accumulation orders make the incremental path exact,
+// and paging/sharing/evict-resume only change *where* K/V rows live, never
+// their values. Sampling is deterministic too: greedy, or top-k driven by a
+// per-session support/rng stream that survives preemption.
 #pragma once
 
 #include <atomic>
@@ -45,6 +69,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "comm/world.h"
@@ -91,8 +116,8 @@ struct DecodeStats {
   long prefill_rounds = 0;  ///< pool dispatches populating new sessions
   long decode_rounds = 0;   ///< pool dispatches advancing active sessions
   long tokens = 0;          ///< generated tokens
-  long admitted = 0;        ///< sessions admitted into cache slots
-  long retired = 0;         ///< sessions completed (slots freed)
+  long admitted = 0;        ///< fresh sessions admitted into lanes
+  long retired = 0;         ///< sessions completed (lanes freed)
   /// Batcher efficiency (the decode analogue of ServingStats::padded_rows):
   /// lane-steps a dispatched decode stream ran below its max_batch width —
   /// capacity the continuous batcher could not fill from the queue.
@@ -101,6 +126,17 @@ struct DecodeStats {
   long queue_depth = 0;          ///< waiting requests when stats() was taken
   long max_queue_depth = 0;      ///< intake high-water mark
   long dropped_results = 0;      ///< results evicted before take_completed()
+  // ---- paged KV accounting (DESIGN.md §8). Logical counts: one stage
+  // replica per pipe is sampled (all replicas of a pipe behave identically)
+  // and pipes are summed.
+  long pool_pages = 0;          ///< total page capacity across pipes
+  long pages_in_use_peak = 0;   ///< high-water mark of claimed pages
+  long cow_splits = 0;          ///< copy-on-write page splits
+  long prefix_hits = 0;         ///< admissions that adopted registry pages
+  long evictions = 0;           ///< sessions parked under page pressure
+  long resumes = 0;             ///< parked sessions re-admitted
+  long resume_prefill_tokens = 0;  ///< positions re-prefilled by resumes
+  long parked = 0;              ///< sessions parked when stats() was taken
   /// Bounded most-recent reservoirs (ring overwrite past kMaxLatencySamples).
   std::vector<long> ttft_us;         ///< enqueue→first-token per session
   std::vector<long> inter_token_us;  ///< successive token stamps per session
@@ -110,9 +146,11 @@ class DecodeEngine {
  public:
   /// Builds the steady-state decode schedule of `scheme`
   /// (`sched_cfg.num_micro` decode streams, `pipes_f` Chimera pairs), plans
-  /// the partition, sizes one KvCache per hosted stage replica
-  /// (streams-on-pipe × max_batch slots, model.seq rows) and hosts the
-  /// modules on persistent rank threads.
+  /// the partition, sizes one PagedKvCache per hosted stage replica
+  /// (streams-on-pipe × max_batch lanes; kv_pool_pages pages, 0 = the
+  /// arena-equivalent lanes × pages-per-session) and hosts the modules on
+  /// persistent rank threads. The constructed pools are cross-checked
+  /// against the plan's kv_page_budget().
   DecodeEngine(const nn::SmallModelConfig& model, Scheme scheme,
                const ScheduleConfig& sched_cfg, const DecodeOptions& opts);
 
@@ -120,10 +158,18 @@ class DecodeEngine {
   const ExecutionPlan& plan() const { return *plan_; }
   const Partition& partition() const { return *partition_; }
 
-  /// Concurrent-session capacity: decode streams × max_batch.
+  /// Concurrent-session capacity: decode streams × max_batch. With a
+  /// shrunken pool (kv_pool_pages > 0) this is the lane count, not a
+  /// memory guarantee — page pressure parks the excess.
   int session_capacity() const { return capacity_; }
-  /// Total KV-cache bytes reserved across every stage replica.
+  /// Total KV page-pool bytes reserved across every stage replica.
   std::size_t cache_bytes() const { return cache_bytes_; }
+  /// The page geometry the engine planned with (for plan_json exports and
+  /// bench reporting).
+  const KvPageGeometry& page_geometry() const { return geometry_; }
+  /// Serialized plan + kv_pages claim (core/plan_json.h) — what the
+  /// standalone verifier's kPageBudget check consumes.
+  std::string plan_json() const;
 
   /// Per-token stream callback, fired outside the engine lock in sampling
   /// order. Not thread-safe against a concurrent step() — set it before
@@ -137,19 +183,25 @@ class DecodeEngine {
   /// the recoverable RequestError (same validation as serving, variable
   /// lengths; runtime/request.h). `max_new_tokens` 0 uses the engine
   /// default; either way generation is capped so positions stay inside the
-  /// learned embeddings. Returns the request id.
-  std::uint64_t submit(std::vector<int> prompt, int max_new_tokens = 0);
+  /// learned embeddings. Higher `priority` sessions are parked last under
+  /// page pressure (ties: newer ids park first). Returns the request id.
+  std::uint64_t submit(std::vector<int> prompt, int max_new_tokens = 0,
+                       int priority = 0);
 
   static constexpr std::size_t kMaxQueuedRequests = 1 << 16;
   static constexpr std::size_t kMaxCompletedResults = 1 << 16;
+  /// Prefix-registry entries kept per pipe (LRU beyond this).
+  static constexpr std::size_t kMaxPrefixEntries = 8;
 
-  /// One scheduler tick: retire-and-refill admission, a prefill round for
-  /// sessions admitted this step, one decode round for every active
-  /// session. Returns the number of tokens emitted. Not reentrant; drive it
-  /// from one thread (submit() may race freely).
+  /// One scheduler tick: resume/admission with page reservation, a prefill
+  /// round for sessions (re-)admitted this step, page-growth/preemption for
+  /// active sessions, one decode round. Returns the number of tokens
+  /// emitted. Not reentrant; drive it from one thread (submit() may race
+  /// freely).
   int step();
 
-  /// True when no request is queued and no session is in flight.
+  /// True when no request is queued, no session is in flight and none is
+  /// parked awaiting resume.
   bool idle() const;
 
   /// Steps until idle, then returns every completed result (the synchronous
@@ -167,12 +219,13 @@ class DecodeEngine {
     int pipe;
     int stage;
     nn::StageModule module;
-    nn::KvCache cache;
+    nn::PagedKvCache cache;
   };
   struct PendingDecode {
     std::uint64_t id = 0;
     std::vector<int> prompt;
     int max_new = 0;
+    int priority = 0;
     long enqueue_us = 0;
   };
   struct Session {
@@ -180,14 +233,32 @@ class DecodeEngine {
     std::vector<int> prompt;
     std::vector<int> generated;
     int max_new = 0;  ///< effective cap (position-limited)
+    int priority = 0;
     int micro = 0, lane = 0, pipe = 0, slot = 0;
     long enqueue_us = 0, first_token_us = 0, last_token_us = 0;
-    Rng rng;  ///< per-session sampling stream
+    Rng rng;  ///< per-session sampling stream (survives preemption)
   };
   struct PrefillJob {
     std::uint64_t sid = 0;
     int slot = 0;
+    /// First position whose K/V the prefill writes; positions below it are
+    /// already resident in adopted shared pages.
+    int write_start = 0;
+    /// Resume re-prefill (mb spans prompt+generated): its final row seeds
+    /// the *next* token, not token 0, and it never registers a prefix.
+    bool resume = false;
     nn::MicroBatch mb;
+  };
+  /// One pinned prompt in a pipe's prefix registry: sessions admitted later
+  /// with a matching token prefix adopt `pages` copy-on-write. Page ids are
+  /// valid for every stage replica of the pipe (deterministic allocator +
+  /// identical op sequence), so one vector serves all of them.
+  struct PrefixEntry {
+    std::uint64_t id = 0;      ///< donor session id (diagnostics)
+    std::vector<int> tokens;   ///< the donor's prompt
+    int valid_len = 0;         ///< positions of `pages` holding prefix rows
+    std::vector<int> pages;    ///< pinned page ids, position order
+    long last_used_step = 0;   ///< LRU stamp (admission match refreshes)
   };
 
   long now_us() const;
@@ -195,16 +266,44 @@ class DecodeEngine {
   void run_worker(int w);
   int sample_token(const float* row, Rng& rng);
   /// Emits one sampled token for `s`: stamps, reservoirs, TokenEvent, and
-  /// either retires the session (slots released, result queued) or keeps it
+  /// either retires the session (lanes released, result queued) or keeps it
   /// active. Caller holds the lock. Returns true if the session retired.
   bool emit_token(Session& s, int token, long now, const float* logits_row,
                   std::vector<TokenEvent>& events);
   void push_sample(std::vector<long>& reservoir, std::size_t& cursor,
                    long sample);
+  /// The pipe's representative cache (replica 0 in stage order) — every
+  /// replica of a pipe holds identical paging state, so policy decisions
+  /// read one and apply mutations to all.
+  nn::PagedKvCache& pipe_cache(int pipe) {
+    return pipe_units_[pipe].front()->cache;
+  }
+  /// Unpins and removes the least-recently-used prefix entry of `pipe`
+  /// (lowest last_used_step, oldest id on ties). Returns false when the
+  /// registry is empty.
+  bool unpin_lru_prefix(int pipe);
+  /// Parks session `sid`: lanes and pages released, state moved to the
+  /// resume queue, stats updated. Caller holds the lock.
+  void park_session(std::uint64_t sid);
+  /// Frees pages on `pipe` until `need` can be allocated: unpins registry
+  /// entries LRU-first, then parks the lowest-priority active session
+  /// repeatedly — except `protect`, which is only parked by the caller.
+  /// Returns true once free_pages ≥ need, false when only `protect` is left
+  /// to take pages from.
+  bool free_pipe_pages(int pipe, int need, std::uint64_t protect);
+  /// Best prefix-registry match for `tokens` on `pipe`: sets `write_start`
+  /// (matched positions, ≥ page_size or 0) and returns the entry, or
+  /// nullptr. Refreshes the entry's LRU stamp.
+  PrefixEntry* match_prefix(int pipe, const std::vector<int>& tokens,
+                            int* write_start);
+  /// Pins the freshly prefilled prompt pages of `job`'s session into the
+  /// pipe's registry (fresh full-write jobs only; capped LRU).
+  void register_prefix(const Session& s, const PrefillJob& job);
 
   nn::SmallModelConfig model_;
   DecodeOptions opts_;
   PipelineSchedule schedule_;
+  KvPageGeometry geometry_;
   std::unique_ptr<Partition> partition_;
   std::unique_ptr<ExecutionPlan> plan_;
   std::unique_ptr<comm::World> world_;
@@ -229,6 +328,10 @@ class DecodeEngine {
   std::deque<PendingDecode> queue_;
   std::map<std::uint64_t, Session> sessions_;
   std::vector<std::vector<std::uint64_t>> lanes_;  ///< [micro][lane]: 0 = free
+  /// Sessions parked by preemption, in park order; resumed FIFO ahead of
+  /// fresh admissions.
+  std::deque<Session> parked_;
+  std::vector<std::vector<PrefixEntry>> registry_;  ///< [pipe]
   std::deque<DecodeResult> completed_;
   DecodeStats stats_;
   std::uint64_t next_id_ = 1;

@@ -131,6 +131,21 @@ struct DecodeOptions {
   /// step-vs-reforward parity hook of tests/decode_test.cc. Off by default
   /// (a [1, vocab] copy per generated token).
   bool capture_logits = false;
+  /// Positions per KV page (nn/kv_page_pool.h). Smaller pages track ragged
+  /// prompt lengths more tightly (less last-page waste) at the cost of a
+  /// longer page table; must be in [1, model.seq].
+  int kv_page_size = 16;
+  /// Pages per stage-replica pool. 0 sizes the pool arena-equivalent —
+  /// streams-on-pipe × max_batch × ceil(model.seq / kv_page_size) — so every
+  /// lane can hold a full-length session (no eviction unless prompts are
+  /// adversarial). Smaller pools trade memory for evictions; the engine
+  /// requires at least ceil(model.seq / kv_page_size) so a sole session can
+  /// always decode to the context limit (the progress guarantee).
+  int kv_pool_pages = 0;
+  /// Share K/V pages across sessions with a common prompt prefix
+  /// (copy-on-write; nn/kv_cache.h). Token streams are bitwise unchanged
+  /// either way — sharing only dedupes identical cache rows.
+  bool prefix_sharing = true;
   /// Layer→stage planners, as in ServeOptions.
   PartitionPolicy partition = PartitionPolicy::kEven;
   /// Intra-op kernel helper threads; see TrainerOptions::intra_op.

@@ -565,6 +565,10 @@ void check_cache_slots(const PlanModel& m, Diagnostics& out) {
                            msg("non-decode plan claims ",
                                doc.claimed_cache_bindings[w],
                                " cache bindings on worker ", w)));
+    if (doc.has_kv_pages)
+      out.push_back(diag(check::kPageBudget, -1, -1, -1,
+                         "non-decode plan carries a kv_pages claim — only "
+                         "decode streams bind KV state"));
     return;
   }
 
@@ -616,6 +620,54 @@ void check_cache_slots(const PlanModel& m, Diagnostics& out) {
                              doc.claimed_cache_bindings[w],
                              " — the decode engine would mis-size its KV "
                              "arenas")));
+  }
+
+  // Paged generalization: re-derive the per-worker page budget from stage
+  // hosting + the exported geometry and cross-check the kv_pages claim.
+  if (!doc.has_kv_pages) return;
+  const KvPageDoc& kv = doc.kv_pages;
+  if (kv.page_size < 1 || kv.max_seq < kv.page_size || kv.max_batch < 1 ||
+      kv.pool_pages < 0) {
+    out.push_back(diag(check::kPageBudget, -1, -1, -1,
+                       msg("kv_pages geometry out of range: page_size ",
+                           kv.page_size, ", max_seq ", kv.max_seq,
+                           ", max_batch ", kv.max_batch, ", pool_pages ",
+                           kv.pool_pages)));
+    return;
+  }
+  const int per_session = (kv.max_seq + kv.page_size - 1) / kv.page_size;
+  if (kv.pages_per_session != per_session)
+    out.push_back(diag(check::kPageBudget, -1, -1, -1,
+                       msg("kv_pages claims ", kv.pages_per_session,
+                           " pages per session; ceil(", kv.max_seq, " / ",
+                           kv.page_size, ") is ", per_session)));
+  if (kv.pool_pages > 0 && kv.pool_pages < per_session)
+    out.push_back(diag(check::kPageBudget, -1, -1, -1,
+                       msg("a ", kv.pool_pages, "-page pool cannot hold one "
+                           "full ", kv.max_seq, "-position session (",
+                           per_session, " pages) — eviction could not "
+                           "guarantee progress")));
+  if (static_cast<int>(kv.claimed_pages.size()) != doc.depth) {
+    out.push_back(diag(check::kPageBudget, -1, -1, -1,
+                       msg("kv_pages claims ", kv.claimed_pages.size(),
+                           " worker budgets for depth ", doc.depth)));
+    return;
+  }
+  for (int w = 0; w < doc.depth; ++w) {
+    int pages = 0;
+    for (int p = 0; p < doc.num_pipes; ++p)
+      for (int st = 0; st < doc.depth; ++st)
+        if (doc.stage_worker[p][st] == w) {
+          const int lanes = std::max(1, streams_on_pipe[p] * kv.max_batch);
+          pages += kv.pool_pages > 0 ? kv.pool_pages : lanes * per_session;
+        }
+    if (pages != kv.claimed_pages[w])
+      out.push_back(diag(check::kPageBudget, w, -1, -1,
+                         msg("worker ", w, " hosts pools totalling ", pages,
+                             " pages under the exported geometry but the "
+                             "plan claims ", kv.claimed_pages[w],
+                             " — the decode engine would mis-size its page "
+                             "pools")));
   }
 }
 

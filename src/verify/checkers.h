@@ -70,7 +70,11 @@ void check_stash(const PlanModel& m, Diagnostics& out);
 /// stage and one release at the tail stage of every stream's step, and the
 /// per-worker binding capacity recomputed from stage hosting equals the
 /// document's claimed_cache_bindings (what the decode engine sizes KV
-/// arenas by).
+/// arenas by). When the document carries a kv_pages claim, the paged
+/// generalization is re-derived too: geometry fields consistent
+/// (pages_per_session = ceil(max_seq / page_size), a fixed pool holds at
+/// least one full session) and per-worker claimed_pages equal to the page
+/// budget recomputed from stage hosting + geometry alone (kPageBudget).
 void check_cache_slots(const PlanModel& m, Diagnostics& out);
 
 /// Symbolic dataflow: every micro-batch visits stage 0..D−1 of its pipe in

@@ -31,6 +31,7 @@ inline constexpr const char* kStashBalance = "stash-balance";  ///< acquire/rele
 inline constexpr const char* kStashClaim = "stash-claim";      ///< peak in-flight != memory model's claim
 inline constexpr const char* kCacheBalance = "cache-slot-balance";  ///< decode slot window malformed
 inline constexpr const char* kCacheClaim = "cache-claim";      ///< binding capacity != exported claim
+inline constexpr const char* kPageBudget = "kv-page-budget";   ///< paged-KV pool claim inconsistent
 inline constexpr const char* kDataflow = "dataflow";           ///< micro does not visit stages in order
 }  // namespace check
 

@@ -159,9 +159,28 @@ FuzzStats run_fuzz(const FuzzOptions& options) {
     }
     ++stats.plans;
 
+    // Decode plans carry a drawn-but-valid paged-KV geometry so the page
+    // budget claim and its mutation are exercised across the sweep.
+    std::optional<KvPageGeometry> kv;
+    if (d.kind == PlanKind::kDecode) {
+      KvPageGeometry g;
+      g.max_seq = 8 << rng.next_below(3);
+      static const int kPageSizes[] = {1, 4, 16, 64};
+      g.page_size = kPageSizes[rng.next_below(std::size(kPageSizes))];
+      if (g.page_size > g.max_seq) g.page_size = g.max_seq;
+      g.max_batch = 1 + static_cast<int>(rng.next_below(4));
+      // Either auto-sized pools (0) or a fixed pool big enough for one
+      // session — anything smaller is rejected at engine construction.
+      g.pool_pages = rng.next_below(2) == 0
+                         ? 0
+                         : g.pages_per_session() *
+                               (1 + static_cast<int>(rng.next_below(4)));
+      kv = g;
+    }
+
     // Export, round-trip, verify.
-    const PlanDoc exported =
-        make_plan_doc(*plan, partition ? &*partition : nullptr);
+    const PlanDoc exported = make_plan_doc(
+        *plan, partition ? &*partition : nullptr, kv ? &*kv : nullptr);
     const std::string json = plan_doc_to_json(exported);
     PlanDoc doc;
     try {

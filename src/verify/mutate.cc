@@ -221,6 +221,21 @@ std::optional<Mutation> retarget_send(PlanDoc& doc, Rng& rng) {
                    check::kDataflow}};
 }
 
+std::optional<Mutation> corrupt_page_budget(PlanDoc& doc, Rng& rng) {
+  if (!doc.has_kv_pages || doc.kv_pages.claimed_pages.empty())
+    return std::nullopt;
+  const int w =
+      static_cast<int>(rng.next_below(doc.kv_pages.claimed_pages.size()));
+  // +1 keeps the figure positive so only the budget check fires, never a
+  // structural range complaint.
+  doc.kv_pages.claimed_pages[w] += 1;
+  std::ostringstream os;
+  os << "inflated claimed kv pages of worker " << w << " to "
+     << doc.kv_pages.claimed_pages[w];
+  return Mutation{MutationKind::kCorruptPageBudget, os.str(),
+                  {check::kPageBudget}};
+}
+
 }  // namespace
 
 const std::vector<MutationKind>& all_mutation_kinds() {
@@ -228,7 +243,8 @@ const std::vector<MutationKind>& all_mutation_kinds() {
       MutationKind::kDropStashRelease,  MutationKind::kDropCacheRelease,
       MutationKind::kSpuriousCacheAcquire, MutationKind::kDuplicateTag,
       MutationKind::kFlipDep,           MutationKind::kDropDep,
-      MutationKind::kCorruptPartition,  MutationKind::kRetargetSend};
+      MutationKind::kCorruptPartition,  MutationKind::kRetargetSend,
+      MutationKind::kCorruptPageBudget};
   return kinds;
 }
 
@@ -242,6 +258,7 @@ const char* mutation_name(MutationKind kind) {
     case MutationKind::kDropDep: return "drop-dep";
     case MutationKind::kCorruptPartition: return "corrupt-partition";
     case MutationKind::kRetargetSend: return "retarget-send";
+    case MutationKind::kCorruptPageBudget: return "corrupt-page-budget";
   }
   return "unknown";
 }
@@ -258,6 +275,7 @@ std::optional<Mutation> apply_mutation(MutationKind kind, PlanDoc& doc,
     case MutationKind::kDropDep: return drop_dep(doc, rng);
     case MutationKind::kCorruptPartition: return corrupt_partition(doc, rng);
     case MutationKind::kRetargetSend: return retarget_send(doc, rng);
+    case MutationKind::kCorruptPageBudget: return corrupt_page_budget(doc, rng);
   }
   return std::nullopt;
 }

@@ -29,6 +29,7 @@ enum class MutationKind {
   kDropDep,              ///< a recv no longer waits for its producer
   kCorruptPartition,     ///< the layer cover gains a gap or empty range
   kRetargetSend,         ///< a transfer is wired to the wrong worker
+  kCorruptPageBudget,    ///< the exported kv-page pool claim is perturbed
 };
 
 /// All kinds, in declaration order — the fuzzer tries every one per plan.

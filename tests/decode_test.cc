@@ -96,26 +96,35 @@ TEST(DecodeSchedule, StepScheduleInvariantsAndCacheEvents) {
 
 // ------------------------------------------------------------------ 2 ----
 
-TEST(KvCache, SlotArenaBoundsAndReuse) {
-  nn::KvCache cache(/*layers=*/2, /*slots=*/3, /*max_seq=*/8, /*hidden=*/4);
-  EXPECT_EQ(cache.free_slots(), 3);
+TEST(KvCache, PagedSessionBoundsAndReuse) {
+  // 3 sessions over a 6-page pool of 4 positions each (max_seq 8 = 2 pages
+  // per full session); tests/paged_kv_test.cc covers COW and exhaustion.
+  nn::PagedKvCache cache(/*layers=*/2, /*sessions=*/3, /*max_seq=*/8,
+                         /*hidden=*/4, /*page_size=*/4, /*pool_pages=*/6);
+  EXPECT_EQ(cache.free_pages(), 6);
   cache.claim(0);
   cache.claim(2);
-  EXPECT_EQ(cache.free_slots(), 1);
   EXPECT_THROW(cache.claim(0), CheckError);  // double claim
-  EXPECT_THROW(cache.release(1), CheckError);  // releasing a free slot
-  cache.release(0);
-  EXPECT_TRUE(cache.is_free(0));
-  cache.claim(0);  // released slots are immediately reusable
-  EXPECT_EQ(cache.total_claims(), 3);
-  // Rows are per (layer, slot, pos) and bounded.
+  EXPECT_THROW(cache.release(1), CheckError);  // releasing a free session
+  // Pages map on demand: rows are unreachable until ensured writable.
+  EXPECT_THROW(cache.k_row(1, 2, 0), CheckError);
+  cache.ensure_writable(2, 0, 8);
+  EXPECT_EQ(cache.pages_in_use(), 2);
   float* row = cache.k_row(1, 2, 7);
   row[0] = 42.0f;
   EXPECT_EQ(cache.k_row(1, 2, 7)[0], 42.0f);
   EXPECT_THROW(cache.k_row(1, 2, 8), CheckError);
-  EXPECT_THROW(cache.v_row(2, 0, 0), CheckError);
-  // Memory is fixed at construction: layers·slots·max_seq·hidden·2 floats.
-  EXPECT_EQ(cache.bytes(), 2u * 3u * 8u * 4u * 2u * sizeof(float));
+  EXPECT_THROW(cache.v_row(2, 2, 0), CheckError);  // layer out of range
+  cache.release(0);
+  EXPECT_TRUE(cache.is_free(0));
+  cache.claim(0);  // released sessions are immediately reusable
+  EXPECT_EQ(cache.total_claims(), 3);
+  // Releasing returns pages to the pool.
+  cache.release(2);
+  EXPECT_EQ(cache.free_pages(), 6);
+  // Memory is fixed at construction: pool_pages pages of
+  // layers·2·page_size·hidden floats, regardless of mapping.
+  EXPECT_EQ(cache.bytes(), 6u * (2u * 2u * 4u * 4u) * sizeof(float));
 }
 
 // ------------------------------------------------------------------ 3 ----

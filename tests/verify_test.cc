@@ -64,6 +64,17 @@ PlanDoc decode_doc(Scheme scheme, int depth, int micro, int f = 1) {
   return make_plan_doc(plan);
 }
 
+PlanDoc paged_decode_doc(Scheme scheme, int depth, int micro, int f,
+                         const KvPageGeometry& g) {
+  ScheduleConfig cfg;
+  cfg.depth = depth;
+  cfg.num_micro = micro;
+  cfg.pipes_f = f;
+  const PipelineSchedule s = build_decode_schedule(scheme, cfg);
+  const ExecutionPlan plan(s);
+  return make_plan_doc(plan, nullptr, &g);
+}
+
 // ---- healthy plans certify, per scheme ----------------------------------
 
 TEST(VerifyPlan, CertifiesEveryTrainingScheme) {
@@ -337,6 +348,99 @@ TEST(CheckerDetectionDecode, CacheClaim) {
   ASSERT_TRUE(verify_plan(doc).empty());
   doc.claimed_cache_bindings[2] += 1;
   EXPECT_TRUE(has_check(verify_plan(doc), check::kCacheClaim));
+}
+
+// ---- paged-KV page budget claim ------------------------------------------
+
+KvPageGeometry small_geometry() {
+  KvPageGeometry g;
+  g.page_size = 4;
+  g.max_seq = 16;
+  g.max_batch = 2;
+  g.pool_pages = 0;  // auto-sized per worker from lanes * pages_per_session
+  return g;
+}
+
+TEST(PagedKvClaim, CertifiesAndRoundTripsEveryDecodeScheme) {
+  const struct {
+    Scheme scheme;
+    int f;
+  } cases[] = {{Scheme::kChimera, 1}, {Scheme::kChimera, 2},
+               {Scheme::kGPipe, 1},   {Scheme::kDapple, 1}};
+  for (const auto& c : cases) {
+    const PlanDoc doc =
+        paged_decode_doc(c.scheme, 4, 8, c.f, small_geometry());
+    ASSERT_TRUE(doc.has_kv_pages);
+    EXPECT_EQ(doc.kv_pages.pages_per_session, 4);
+    EXPECT_EQ(static_cast<int>(doc.kv_pages.claimed_pages.size()), doc.depth);
+    const Diagnostics diags = verify_plan(doc);
+    EXPECT_TRUE(diags.empty()) << scheme_name(c.scheme) << " f=" << c.f
+                               << ":\n" << render(diags);
+    const std::string json = plan_doc_to_json(doc);
+    const PlanDoc parsed = plan_from_json(json);
+    EXPECT_TRUE(parsed == doc);
+    EXPECT_EQ(plan_doc_to_json(parsed), json);
+  }
+}
+
+TEST(PagedKvClaim, FixedPoolCertifies) {
+  KvPageGeometry g = small_geometry();
+  g.pool_pages = 2 * g.pages_per_session();
+  const PlanDoc doc = paged_decode_doc(Scheme::kChimera, 4, 8, 2, g);
+  EXPECT_TRUE(verify_plan(doc).empty());
+}
+
+TEST(PagedKvClaim, CorruptClaimCaught) {
+  PlanDoc doc = paged_decode_doc(Scheme::kGPipe, 4, 6, 1, small_geometry());
+  ASSERT_TRUE(verify_plan(doc).empty());
+  doc.kv_pages.claimed_pages[1] += 1;
+  EXPECT_TRUE(has_check(verify_plan(doc), check::kPageBudget));
+}
+
+TEST(PagedKvClaim, InconsistentGeometryCaught) {
+  {
+    PlanDoc doc = paged_decode_doc(Scheme::kGPipe, 4, 6, 1, small_geometry());
+    doc.kv_pages.pages_per_session += 1;  // != ceil(max_seq / page_size)
+    EXPECT_TRUE(has_check(verify_plan(doc), check::kPageBudget));
+  }
+  {
+    PlanDoc doc = paged_decode_doc(Scheme::kGPipe, 4, 6, 1, small_geometry());
+    // A fixed pool smaller than one session breaks the progress guarantee
+    // the decode engine's eviction policy relies on.
+    doc.kv_pages.pool_pages = doc.kv_pages.pages_per_session - 1;
+    for (int& p : doc.kv_pages.claimed_pages) p = doc.kv_pages.pool_pages;
+    EXPECT_TRUE(has_check(verify_plan(doc), check::kPageBudget));
+  }
+}
+
+TEST(PagedKvClaim, NonDecodePlanWithPagesFlagged) {
+  PlanDoc doc = training_doc(Scheme::kGPipe, 4, 4);
+  ASSERT_TRUE(verify_plan(doc).empty());
+  doc.has_kv_pages = true;
+  doc.kv_pages.page_size = 4;
+  doc.kv_pages.max_seq = 16;
+  doc.kv_pages.max_batch = 1;
+  doc.kv_pages.pages_per_session = 4;
+  doc.kv_pages.claimed_pages.assign(doc.depth, 4);
+  EXPECT_TRUE(has_check(verify_plan(doc), check::kPageBudget));
+}
+
+TEST(PagedKvClaim, MutationCaughtOnPagedDecodePlan) {
+  const PlanDoc doc =
+      paged_decode_doc(Scheme::kChimera, 4, 8, 2, small_geometry());
+  ASSERT_TRUE(verify_plan(doc).empty());
+  Rng rng(44);
+  PlanDoc corrupted = doc;
+  const auto mutation =
+      apply_mutation(MutationKind::kCorruptPageBudget, corrupted, rng);
+  ASSERT_TRUE(mutation.has_value());
+  EXPECT_TRUE(mutation_caught(*mutation, verify_plan(corrupted)))
+      << mutation->description;
+  // And it declines plans without the claim — the training-plan count in
+  // EveryClassCaughtOnTrainingPlan depends on that.
+  PlanDoc plain = decode_doc(Scheme::kGPipe, 4, 6);
+  EXPECT_FALSE(
+      apply_mutation(MutationKind::kCorruptPageBudget, plain, rng).has_value());
 }
 
 // ---- validate_schedule: structured issues replace aborts -----------------
