@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
 
       rt::ServingStats timed;
       for (const rt::ServeResult& r : results)
-        timed.latencies_us.push_back(r.latency_us());
+        timed.latencies.add(r.latency_us());
       const rt::ServingStats stats = engine.stats();
       const double req_per_s = results.size() / secs;
       const double p50 = timed.percentile_us(50.0) / 1000.0;

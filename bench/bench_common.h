@@ -13,6 +13,7 @@
 
 #include "core/config_search.h"
 #include "core/perf_model.h"
+#include "obs/metrics.h"
 #include "sim/simulate.h"
 #include "support/table.h"
 #include "tensor/kernels.h"
@@ -159,6 +160,25 @@ inline const std::vector<Scheme>& all_schemes() {
       Scheme::kPipeDream, Scheme::kPipeDream2BW, Scheme::kGPipe,
       Scheme::kGems, Scheme::kDapple, Scheme::kChimera};
   return schemes;
+}
+
+/// Appends a MetricsRegistry's flattened (name, value) pairs to a
+/// JsonReporter `extra` list, skipping names the caller already set — hand-
+/// computed values (timed-phase deltas, ratios) take precedence over the
+/// engine's lifetime counters.
+inline std::vector<std::pair<std::string, double>> with_metrics(
+    std::vector<std::pair<std::string, double>> extra,
+    const obs::MetricsRegistry& reg) {
+  for (const auto& [name, value] : reg.flatten()) {
+    bool present = false;
+    for (const auto& [have, _] : extra)
+      if (have == name) {
+        present = true;
+        break;
+      }
+    if (!present) extra.emplace_back(name, value);
+  }
+  return extra;
 }
 
 }  // namespace chimera::bench

@@ -31,6 +31,9 @@
 #include <cstring>
 #include <map>
 
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "obs/trace_json.h"
 #include "runtime/decode.h"
 #include "tensor/compute_pool.h"
 
@@ -61,6 +64,7 @@ struct LegResult {
   double inter_p50_ms = 0.0;
   double inter_p99_ms = 0.0;
   double predicted_step = 0.0;  ///< replay units (per-stage decode FLOPs)
+  double bubble_fraction = 0.0;  ///< replay bubble ratio of the step plan
   long tokens = 0;
   long idle_lane_steps = 0;
   long occupied_lane_steps = 0;
@@ -88,7 +92,9 @@ LegResult measure(const nn::SmallModelConfig& model, Scheme scheme, int f,
     costs.forward_by_stage[s] =
         engine.partition().stage_decode_flops(s, bc.batch, mid_ctx);
   LegResult out;
-  out.predicted_step = replay(engine.plan(), costs).makespan;
+  const ReplayResult pred = replay(engine.plan(), costs);
+  out.predicted_step = pred.makespan;
+  out.bubble_fraction = pred.bubble_ratio();
 
   auto submit_all = [&](int count, std::uint64_t seed) {
     Rng rng(seed);
@@ -110,18 +116,18 @@ LegResult measure(const nn::SmallModelConfig& model, Scheme scheme, int f,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  std::vector<long> ttft;
+  obs::Histogram ttft;
   long tokens = 0;
   for (const rt::DecodeResult& r : results) {
-    ttft.push_back(r.ttft_us());
+    ttft.add(r.ttft_us());
     tokens += static_cast<long>(r.tokens.size());
   }
   const rt::DecodeStats stats = engine.stats();
   out.tokens = tokens;
   out.tokens_per_s = tokens / secs;
-  out.ttft_p50_ms = rt::percentile_us(ttft, 50.0) / 1000.0;
-  out.inter_p50_ms = rt::percentile_us(stats.inter_token_us, 50.0) / 1000.0;
-  out.inter_p99_ms = rt::percentile_us(stats.inter_token_us, 99.0) / 1000.0;
+  out.ttft_p50_ms = ttft.percentile(50.0) / 1000.0;
+  out.inter_p50_ms = stats.inter_token_us.percentile(50.0) / 1000.0;
+  out.inter_p99_ms = stats.inter_token_us.percentile(99.0) / 1000.0;
   // Batcher-efficiency counters as timed-phase deltas: the fully-occupied
   // warm-up drain would otherwise overstate occupancy in the JSON record.
   out.idle_lane_steps = stats.idle_lane_steps - warm.idle_lane_steps;
@@ -245,6 +251,9 @@ RaggedResult measure_ragged(const nn::SmallModelConfig& model,
 int main(int argc, char** argv) {
   JsonReporter json(argc, argv, "decode_throughput");
   BenchConfig bc;
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (!std::strcmp(argv[i], "--trace")) trace_path = argv[i + 1];
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--small")) {
       bc.hidden = 48;
@@ -331,27 +340,21 @@ int main(int argc, char** argv) {
         ", prompt=" + std::to_string(bc.prompt) +
         ", max_new=" + std::to_string(bc.max_new);
     json.add(leg.name, config, r.tokens_per_s, 0.0,
+             with_metrics(
              {{"tokens", static_cast<double>(r.tokens)},
               {"ttft_p50_ms", r.ttft_p50_ms},
               {"inter_token_p50_ms", r.inter_p50_ms},
               {"inter_token_p99_ms", r.inter_p99_ms},
               {"predicted_speedup_vs_gpipe", pred_speedup},
               {"wall_speedup_vs_gpipe", wall_speedup},
+              {"bubble_fraction", r.bubble_fraction},
               {"scalar_tokens_per_s", rs.tokens_per_s},
               {"kernel_speedup", r.tokens_per_s / rs.tokens_per_s},
               {"idle_lane_steps", static_cast<double>(r.idle_lane_steps)},
               {"occupied_lane_steps",
                static_cast<double>(r.occupied_lane_steps)},
-              {"max_queue_depth", static_cast<double>(r.max_queue_depth)},
-              {"pool_pages", static_cast<double>(r.stats.pool_pages)},
-              {"pages_in_use_peak",
-               static_cast<double>(r.stats.pages_in_use_peak)},
-              {"cow_splits", static_cast<double>(r.stats.cow_splits)},
-              {"prefix_hits", static_cast<double>(r.stats.prefix_hits)},
-              {"evictions", static_cast<double>(r.stats.evictions)},
-              {"resumes", static_cast<double>(r.stats.resumes)},
-              {"resume_prefill_tokens",
-               static_cast<double>(r.stats.resume_prefill_tokens)}});
+              {"max_queue_depth", static_cast<double>(r.max_queue_depth)}},
+             r.stats.metrics()));
   }
   table.print();
 
@@ -371,21 +374,71 @@ int main(int argc, char** argv) {
            "D=" + std::to_string(bc.depth) + ", B=" + std::to_string(bc.batch) +
                ", N=" + std::to_string(bc.streams) + ", pool=half-arena",
            rg.tokens_per_s, 0.0,
-           {{"concurrent_sessions",
-             static_cast<double>(rg.concurrent_sessions)},
-            {"arena_sessions_equal_bytes",
-             static_cast<double>(rg.arena_sessions)},
-            {"session_ratio", rg.session_ratio},
-            {"bitwise_equal", rg.bitwise_equal ? 1.0 : 0.0},
-            {"pool_pages", static_cast<double>(rg.stats.pool_pages)},
-            {"pages_in_use_peak",
-             static_cast<double>(rg.stats.pages_in_use_peak)},
-            {"cow_splits", static_cast<double>(rg.stats.cow_splits)},
-            {"prefix_hits", static_cast<double>(rg.stats.prefix_hits)},
-            {"evictions", static_cast<double>(rg.stats.evictions)},
-            {"resumes", static_cast<double>(rg.stats.resumes)},
-            {"resume_prefill_tokens",
-             static_cast<double>(rg.stats.resume_prefill_tokens)}});
+           with_metrics({{"concurrent_sessions",
+                          static_cast<double>(rg.concurrent_sessions)},
+                         {"arena_sessions_equal_bytes",
+                          static_cast<double>(rg.arena_sessions)},
+                         {"session_ratio", rg.session_ratio},
+                         {"bitwise_equal", rg.bitwise_equal ? 1.0 : 0.0}},
+                        rg.stats.metrics()));
+
+  // Traced leg (--trace <path>): one Chimera f=1 run with the span recorder
+  // on, exported as a Chrome/Perfetto trace that trace_report can rebuild
+  // the deployment from. Tracing is scoped to this run so the timed legs
+  // above stay uninstrumented.
+  if (!trace_path.empty()) {
+    rt::DecodeOptions opts;
+    opts.max_batch = bc.batch;
+    opts.max_new_tokens = bc.max_new;
+    rt::DecodeEngine engine(
+        model, Scheme::kChimera,
+        ScheduleConfig{bc.depth, bc.streams, 1, ScaleMethod::kDirect}, opts);
+    obs::reset();
+    obs::set_enabled(true);
+    Rng rng(99);
+    for (int r = 0; r < bc.requests; ++r) {
+      std::vector<int> prompt(bc.prompt);
+      for (int& t : prompt) t = static_cast<int>(rng.next_below(model.vocab));
+      engine.submit(std::move(prompt));
+    }
+    (void)engine.run_until_drained();
+    obs::set_enabled(false);
+    obs::TraceDoc doc;
+    doc.meta.workload = "decode";
+    doc.meta.scheme = scheme_name(Scheme::kChimera);
+    doc.meta.depth = bc.depth;
+    doc.meta.num_micro = bc.streams;
+    doc.meta.pipes_f = 1;
+    doc.meta.scale = scale_method_name(ScaleMethod::kDirect);
+    doc.meta.sync = "none";
+    doc.meta.recompute = false;
+    doc.meta.data_parallel = 1;
+    doc.meta.micro_batch = bc.batch;
+    doc.meta.partition = partition_policy_name(opts.partition);
+    doc.meta.hidden = model.hidden;
+    doc.meta.heads = model.heads;
+    doc.meta.layers = model.layers;
+    doc.meta.seq = model.seq;
+    doc.meta.vocab = model.vocab;
+    doc.meta.causal = model.causal;
+    doc.events = obs::collect();
+    obs::reset();
+    if (!obs::write_trace(trace_path, doc)) return 1;
+    const obs::TraceReport rep = obs::analyze_trace(doc);
+    std::printf("\nTraced Chimera f=1 decode run: %zu events -> %s "
+                "(measured bubble ratio %.4f)\n",
+                doc.events.size(), trace_path.c_str(),
+                rep.measured_bubble_ratio);
+    json.add("Traced decode run (Chimera f=1)",
+             "D=" + std::to_string(bc.depth) +
+                 ", B=" + std::to_string(bc.batch) +
+                 ", N=" + std::to_string(bc.streams),
+             0.0, 0.0,
+             with_metrics({{"bubble_fraction", rep.measured_bubble_ratio},
+                           {"trace_events",
+                            static_cast<double>(doc.events.size())}},
+                          engine.stats().metrics()));
+  }
 
   // Acceptance: Chimera-2f decode ≥ 1.3× GPipe tokens/s on the
   // dependency-exact replay prediction — deterministic on any host, and

@@ -27,6 +27,11 @@
 #include <string>
 #include <thread>
 
+#include "core/execution_plan.h"
+#include "core/sync_placement.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "obs/trace_json.h"
 #include "runtime/trainer.h"
 #include "tensor/compute_pool.h"
 
@@ -86,6 +91,9 @@ double measure(const nn::SmallModelConfig& model, Scheme scheme,
 int main(int argc, char** argv) {
   JsonReporter json(argc, argv, "runtime_throughput");
   BenchConfig bc;
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (!std::strcmp(argv[i], "--trace")) trace_path = argv[i + 1];
   // --small is a preset applied first, so flag order never matters: any
   // explicit --iters/--hidden/... always wins over it.
   for (int i = 1; i < argc; ++i) {
@@ -163,6 +171,23 @@ int main(int argc, char** argv) {
         determinism_broken = true;
       }
       const int samples = bc.micro * c.num_micro;
+      // Schedule-level bubble fraction: the dependency-exact replay with
+      // the planned partition's per-stage FLOPs as op costs — the paper's
+      // compute-only accounting, deterministic on any host.
+      PipelineSchedule ps = build_schedule(c.scheme, sc);
+      if (ps.synchronous) ps = with_gradient_sync(ps, SyncPolicy::kAtEnd);
+      const ExecutionPlan plan(ps);
+      const Partition part =
+          plan_partition(model.spec(), c.depth, PartitionPolicy::kEven, &ps);
+      ReplayCosts costs;
+      costs.recompute = recompute;
+      costs.forward_by_stage.resize(c.depth);
+      costs.backward_by_stage.resize(c.depth);
+      for (int s = 0; s < c.depth; ++s) {
+        costs.forward_by_stage[s] = part.stage_fwd_flops(s, bc.micro);
+        costs.backward_by_stage[s] = 2.0 * costs.forward_by_stage[s];
+      }
+      const double bubble_fraction = replay(plan, costs).bubble_ratio();
       const std::string name =
           std::string(scheme_name(c.scheme)) + (recompute ? "+R" : "");
       const std::string config = "D=" + std::to_string(c.depth) +
@@ -179,10 +204,70 @@ int main(int argc, char** argv) {
                 {"scalar_iters_per_s", scalar},
                 {"speedup_vs_serial", pooled / serial},
                 {"kernel_speedup", pooled / scalar},
+                {"bubble_fraction", bubble_fraction},
                 {"loss", loss_pooled}});
     }
   }
   table.print();
+
+  // Traced leg (--trace <path>): one Chimera D=4 training run with the span
+  // recorder on, exported as a Chrome/Perfetto trace whose otherData block
+  // lets trace_report rebuild the schedule, plan and partition. Tracing is
+  // scoped to this run so the timed legs above stay uninstrumented.
+  if (!trace_path.empty()) {
+    rt::TrainerOptions opts;
+    const ScheduleConfig sc{4, 4, 1, ScaleMethod::kDirect};
+    rt::PipelineTrainer t(model, Scheme::kChimera, sc, opts);
+    const nn::MicroBatch batch = make_batch(model, bc.micro * sc.num_micro);
+    t.train_iteration(batch);  // warm-up outside the trace
+    obs::reset();
+    obs::set_enabled(true);
+    for (int i = 0; i < bc.iters; ++i) t.train_iteration(batch);
+    obs::set_enabled(false);
+    obs::TraceDoc doc;
+    doc.meta.workload = "training";
+    doc.meta.scheme = scheme_name(Scheme::kChimera);
+    doc.meta.depth = sc.depth;
+    doc.meta.num_micro = sc.num_micro;
+    doc.meta.pipes_f = sc.pipes_f;
+    doc.meta.scale = scale_method_name(sc.scale);
+    // The *effective* sync policy: the trainer resolves kNone to kAtEnd on
+    // synchronous schedules; async schemes carry no sync ops at all.
+    doc.meta.sync = t.schedule().synchronous
+                        ? sync_policy_name(opts.sync == SyncPolicy::kNone
+                                               ? SyncPolicy::kAtEnd
+                                               : opts.sync)
+                        : "none";
+    doc.meta.recompute = opts.recompute;
+    doc.meta.data_parallel = opts.data_parallel;
+    doc.meta.micro_batch = bc.micro;
+    doc.meta.partition = partition_policy_name(opts.partition);
+    doc.meta.hidden = model.hidden;
+    doc.meta.heads = model.heads;
+    doc.meta.layers = model.layers;
+    doc.meta.seq = model.seq;
+    doc.meta.vocab = model.vocab;
+    doc.meta.causal = model.causal;
+    doc.events = obs::collect();
+    obs::reset();
+    if (!obs::write_trace(trace_path, doc)) return 1;
+    const obs::TraceReport rep = obs::analyze_trace(doc);
+    std::printf("\nTraced Chimera D=4 training run: %zu events over %d "
+                "iteration(s) -> %s (measured bubble ratio %.4f, predicted "
+                "%.4f)\n",
+                doc.events.size(), rep.iterations, trace_path.c_str(),
+                rep.measured_bubble_ratio, rep.predicted_bubble_ratio);
+    json.add("Traced training run (Chimera)",
+             "D=" + std::to_string(sc.depth) +
+                 ", N=" + std::to_string(sc.num_micro) +
+                 ", B=" + std::to_string(bc.micro),
+             0.0, 0.0,
+             {{"bubble_fraction", rep.measured_bubble_ratio},
+              {"predicted_bubble_fraction", rep.predicted_bubble_ratio},
+              {"trace_events", static_cast<double>(doc.events.size())},
+              {"iterations", static_cast<double>(rep.iterations)}});
+  }
+
   ComputePool::instance().set_helpers(0);
   // Nonzero on a pooled-vs-serial mismatch so the CI smoke job enforces
   // the bitwise-parity contract, not just wall-clock collection.

@@ -100,8 +100,7 @@ LegResult measure(const nn::SmallModelConfig& model, Scheme scheme, int f,
           .count();
 
   rt::ServingStats timed;
-  for (const rt::ServeResult& r : results)
-    timed.latencies_us.push_back(r.latency_us());
+  for (const rt::ServeResult& r : results) timed.latencies.add(r.latency_us());
   const rt::ServingStats stats = engine.stats();
   const long rounds = stats.rounds - warm.rounds;
   out.req_per_s = results.size() / secs;

@@ -1,0 +1,76 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chimera::obs {
+
+long percentile_nearest_rank(const std::vector<long>& samples, double p) {
+  if (samples.empty()) return 0;
+  std::vector<long> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank =
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t i = static_cast<std::size_t>(std::min<double>(
+      std::max(rank - 1.0, 0.0), static_cast<double>(sorted.size()) - 1.0));
+  return sorted[i];
+}
+
+void Histogram::add(long sample) {
+  if (samples_.size() < max_samples_) {
+    samples_.push_back(sample);
+  } else {
+    samples_[cursor_ % max_samples_] = sample;
+  }
+  ++cursor_;
+  ++count_;
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (long s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+long Histogram::min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+long Histogram::max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::size_t max_samples) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(name, Histogram(max_samples)).first;
+  return it->second;
+}
+
+void MetricsRegistry::set_histogram(const std::string& name,
+                                    const Histogram& h) {
+  histograms_.insert_or_assign(name, h);
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::flatten() const {
+  // One sorted namespace: counters and gauges verbatim, histograms as
+  // derived scalars. std::map keeps each group sorted; merge by name so
+  // the output order is deterministic regardless of insertion order.
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [k, v] : counters_) out.emplace_back(k, v);
+  for (const auto& [k, v] : gauges_) out.emplace_back(k, v);
+  for (const auto& [k, h] : histograms_) {
+    out.emplace_back(k + "_count", static_cast<double>(h.count()));
+    out.emplace_back(k + "_mean", h.mean());
+    out.emplace_back(k + "_p50", static_cast<double>(h.percentile(50.0)));
+    out.emplace_back(k + "_p99", static_cast<double>(h.percentile(99.0)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace chimera::obs

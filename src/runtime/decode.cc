@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/plan_json.h"
+#include "obs/trace.h"
 #include "tensor/compute_pool.h"
 
 namespace chimera::rt {
@@ -160,12 +161,22 @@ std::uint64_t DecodeEngine::submit(std::vector<int> prompt,
 }
 
 void DecodeEngine::run_worker(int w) {
-  for (const PlannedOp& pop : plan_->worker_plan(w)) {
+  const std::vector<PlannedOp>& wplan = plan_->worker_plan(w);
+  for (std::size_t opi = 0; opi < wplan.size(); ++opi) {
+    const PlannedOp& pop = wplan[opi];
     const MicroUnit& u = pop.units.front();
     // Streams without work this round are skipped wholesale: every worker
     // computes the same predicate from the shared round state, so sends and
-    // recvs stay matched (same contract as the serving engine).
+    // recvs stay matched (same contract as the serving engine). Skipped ops
+    // record no span — the trace shows only what ran.
     if (!slot_active_[u.micro]) continue;
+    obs::OpSpan op_span(round_is_prefill_ ? obs::EventKind::kPrefillOp
+                                          : obs::EventKind::kDecodeOp,
+                        w, w, static_cast<int>(opi), pop.op.micro,
+                        pop.op.stage, pop.op.pipe);
+    if (u.acquires_cache_slot)
+      obs::instant(obs::EventKind::kCacheAcquire, w, u.micro, pop.op.stage,
+                   pop.op.pipe, u.micro);
     StageUnit& unit = find_unit(w, pop.op.pipe, pop.op.stage);
     if (round_is_prefill_) {
       // One batch-1 pass per admitted session, in admission order. Several
@@ -177,27 +188,45 @@ void DecodeEngine::run_worker(int w) {
       for (std::size_t i = 0; i < jobs.size(); ++i) {
         const std::int64_t jtag = static_cast<std::int64_t>(i) << 40;
         Tensor x;
-        if (u.recv_from >= 0)
+        if (u.recv_from >= 0) {
+          obs::Span recv_span(obs::EventKind::kRecv, w, u.micro, pop.op.stage,
+                              pop.op.pipe,
+                              static_cast<long>(u.recv_tag + jtag));
           x = comms_[w]->recv(u.recv_from, u.recv_tag + jtag);
+        }
         Tensor y = unit.module.prefill(jobs[i].mb, x, unit.cache,
                                        jobs[i].slot, jobs[i].write_start);
-        if (u.send_to >= 0)
+        if (u.send_to >= 0) {
+          obs::Span send_span(obs::EventKind::kSend, w, u.micro, pop.op.stage,
+                              pop.op.pipe,
+                              static_cast<long>(u.send_tag + jtag));
           comms_[w]->send(u.send_to, u.send_tag + jtag, std::move(y));
-        else if (u.releases_cache_slot)
+        } else if (u.releases_cache_slot) {
           prefill_logits_[u.micro][i] = std::move(y);
+        }
       }
     } else {
       Tensor x;
-      if (u.recv_from >= 0) x = comms_[w]->recv(u.recv_from, u.recv_tag);
+      if (u.recv_from >= 0) {
+        obs::Span recv_span(obs::EventKind::kRecv, w, u.micro, pop.op.stage,
+                            pop.op.pipe, static_cast<long>(u.recv_tag));
+        x = comms_[w]->recv(u.recv_from, u.recv_tag);
+      }
       Tensor y = unit.module.decode_step(rd_tokens_[u.micro],
                                          rd_slots_[u.micro],
                                          rd_positions_[u.micro], x,
                                          unit.cache);
-      if (u.send_to >= 0)
+      if (u.send_to >= 0) {
+        obs::Span send_span(obs::EventKind::kSend, w, u.micro, pop.op.stage,
+                            pop.op.pipe, static_cast<long>(u.send_tag));
         comms_[w]->send(u.send_to, u.send_tag, std::move(y));
-      else if (u.releases_cache_slot)
+      } else if (u.releases_cache_slot) {
         round_logits_[u.micro] = std::move(y);
+      }
     }
+    if (u.releases_cache_slot)
+      obs::instant(obs::EventKind::kCacheRelease, w, u.micro, pop.op.stage,
+                   pop.op.pipe, u.micro);
   }
 }
 
@@ -238,13 +267,32 @@ int DecodeEngine::sample_token(const float* row, Rng& rng) {
   return topk_idx_[k - 1];
 }
 
-void DecodeEngine::push_sample(std::vector<long>& reservoir,
-                               std::size_t& cursor, long sample) {
-  if (reservoir.size() < DecodeStats::kMaxLatencySamples)
-    reservoir.push_back(sample);
-  else
-    reservoir[cursor % DecodeStats::kMaxLatencySamples] = sample;
-  ++cursor;
+obs::MetricsRegistry DecodeStats::metrics() const {
+  obs::MetricsRegistry reg;
+  reg.set_counter("steps", static_cast<double>(steps));
+  reg.set_counter("prefill_rounds", static_cast<double>(prefill_rounds));
+  reg.set_counter("decode_rounds", static_cast<double>(decode_rounds));
+  reg.set_counter("tokens", static_cast<double>(tokens));
+  reg.set_counter("admitted", static_cast<double>(admitted));
+  reg.set_counter("retired", static_cast<double>(retired));
+  reg.set_counter("idle_lane_steps", static_cast<double>(idle_lane_steps));
+  reg.set_counter("occupied_lane_steps",
+                  static_cast<double>(occupied_lane_steps));
+  reg.set_counter("dropped_results", static_cast<double>(dropped_results));
+  reg.set_counter("cow_splits", static_cast<double>(cow_splits));
+  reg.set_counter("prefix_hits", static_cast<double>(prefix_hits));
+  reg.set_counter("evictions", static_cast<double>(evictions));
+  reg.set_counter("resumes", static_cast<double>(resumes));
+  reg.set_counter("resume_prefill_tokens",
+                  static_cast<double>(resume_prefill_tokens));
+  reg.set_gauge("queue_depth", static_cast<double>(queue_depth));
+  reg.set_gauge("max_queue_depth", static_cast<double>(max_queue_depth));
+  reg.set_gauge("pool_pages", static_cast<double>(pool_pages));
+  reg.set_gauge("pages_in_use_peak", static_cast<double>(pages_in_use_peak));
+  reg.set_gauge("parked", static_cast<double>(parked));
+  reg.set_histogram("ttft_us", ttft_us);
+  reg.set_histogram("inter_token_us", inter_token_us);
+  return reg;
 }
 
 bool DecodeEngine::emit_token(Session& s, int token, long now,
@@ -254,12 +302,14 @@ bool DecodeEngine::emit_token(Session& s, int token, long now,
   const int index = static_cast<int>(s.generated.size()) - 1;
   if (index == 0) {
     s.first_token_us = now;
-    push_sample(stats_.ttft_us, ttft_cursor_, now - s.enqueue_us);
+    stats_.ttft_us.add(now - s.enqueue_us);
   } else {
-    push_sample(stats_.inter_token_us, inter_cursor_, now - s.last_token_us);
+    stats_.inter_token_us.add(now - s.last_token_us);
   }
   s.last_token_us = now;
   ++stats_.tokens;
+  obs::instant(obs::EventKind::kToken, obs::thread_worker(), s.micro, -1,
+               s.pipe, static_cast<long>(s.id));
   const bool done = token == opts_.eos_token ||
                     static_cast<int>(s.generated.size()) >= s.max_new;
   TokenEvent ev;
@@ -319,6 +369,8 @@ void DecodeEngine::park_session(std::uint64_t sid) {
   for (StageUnit* u : pipe_units_[s.pipe]) u->cache.release(s.slot);
   lanes_[s.micro][s.lane] = 0;
   ++stats_.evictions;
+  obs::instant(obs::EventKind::kPark, obs::thread_worker(), s.micro, -1,
+               s.pipe, static_cast<long>(s.id));
   parked_.push_back(std::move(s));
   sessions_.erase(it);
 }
@@ -494,12 +546,20 @@ int DecodeEngine::step() {
       }
       for (StageUnit* u : pipe_units_[p])
         u->cache.ensure_writable(s.slot, write_start, T);
-      if (write_start > 0) ++stats_.prefix_hits;
+      if (write_start > 0) {
+        ++stats_.prefix_hits;
+        obs::instant(obs::EventKind::kPrefixHit, obs::thread_worker(), m, -1,
+                     p, write_start);
+      }
       if (is_resume) {
         ++stats_.resumes;
         stats_.resume_prefill_tokens += T;
+        obs::instant(obs::EventKind::kResume, obs::thread_worker(), m, -1, p,
+                     static_cast<long>(s.id));
       } else {
         ++stats_.admitted;
+        obs::instant(obs::EventKind::kAdmit, obs::thread_worker(), m, -1, p,
+                     static_cast<long>(s.id));
       }
       PrefillJob job;
       job.sid = s.id;
@@ -527,7 +587,11 @@ int DecodeEngine::step() {
     }
     round_is_prefill_ = true;
     lock.unlock();
-    pool_->run([this](int rank) { run_worker(rank); });
+    {
+      obs::Span round_span(obs::EventKind::kPrefillRound,
+                           obs::thread_worker());
+      pool_->run([this](int rank) { run_worker(rank); });
+    }
     lock.lock();
     ++stats_.prefill_rounds;
     const long now = now_us();
@@ -575,8 +639,13 @@ int DecodeEngine::step() {
       }
       // free_pipe_pages may have parked sessions on this pipe, but never
       // this one — its write target is guaranteed backed now.
+      const long splits_before =
+          obs::enabled() ? cache.cow_splits() : 0;
       for (StageUnit* u : pipe_units_[s.pipe])
         u->cache.ensure_writable(s.slot, pos, pos + 1);
+      if (obs::enabled() && cache.cow_splits() > splits_before)
+        obs::instant(obs::EventKind::kCowSplit, obs::thread_worker(), s.micro,
+                     -1, s.pipe, cache.cow_splits() - splits_before);
     }
   }
 
@@ -607,7 +676,11 @@ int DecodeEngine::step() {
   if (any_decode) {
     round_is_prefill_ = false;
     lock.unlock();
-    pool_->run([this](int rank) { run_worker(rank); });
+    {
+      obs::Span round_span(obs::EventKind::kDecodeRound,
+                           obs::thread_worker());
+      pool_->run([this](int rank) { run_worker(rank); });
+    }
     lock.lock();
     ++stats_.decode_rounds;
     const long now = now_us();

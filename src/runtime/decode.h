@@ -77,7 +77,7 @@
 #include "core/execution_plan.h"
 #include "nn/kv_cache.h"
 #include "nn/stage.h"
-#include "runtime/latency.h"
+#include "obs/metrics.h"
 #include "runtime/options.h"
 #include "runtime/request.h"
 #include "runtime/worker_pool.h"
@@ -138,8 +138,12 @@ struct DecodeStats {
   long resume_prefill_tokens = 0;  ///< positions re-prefilled by resumes
   long parked = 0;              ///< sessions parked when stats() was taken
   /// Bounded most-recent reservoirs (ring overwrite past kMaxLatencySamples).
-  std::vector<long> ttft_us;         ///< enqueue→first-token per session
-  std::vector<long> inter_token_us;  ///< successive token stamps per session
+  obs::Histogram ttft_us{kMaxLatencySamples};  ///< enqueue→first-token
+  obs::Histogram inter_token_us{kMaxLatencySamples};  ///< token-to-token
+
+  /// Every counter plus both latency histograms as one registry — the
+  /// single emission path the benches flatten into BENCH_*.json extras.
+  obs::MetricsRegistry metrics() const;
 };
 
 class DecodeEngine {
@@ -270,8 +274,6 @@ class DecodeEngine {
   /// active. Caller holds the lock. Returns true if the session retired.
   bool emit_token(Session& s, int token, long now, const float* logits_row,
                   std::vector<TokenEvent>& events);
-  void push_sample(std::vector<long>& reservoir, std::size_t& cursor,
-                   long sample);
   /// The pipe's representative cache (replica 0 in stage order) — every
   /// replica of a pipe holds identical paging state, so policy decisions
   /// read one and apply mutations to all.
@@ -335,7 +337,6 @@ class DecodeEngine {
   std::deque<DecodeResult> completed_;
   DecodeStats stats_;
   std::uint64_t next_id_ = 1;
-  std::size_t ttft_cursor_ = 0, inter_cursor_ = 0;
   /// Top-k sampling scratch (candidate ids + softmax weights), hoisted out
   /// of the per-token hot loop; only touched under the step lock.
   std::vector<int> topk_idx_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "comm/compression.h"
+#include "obs/trace.h"
 #include "support/rng.h"
 #include "tensor/kernels.h"
 
@@ -259,6 +260,7 @@ void GradSyncEngine::wait(int stage) {
 }
 
 void GradSyncEngine::sync_micro(Replica& r) {
+  obs::Span span(obs::EventKind::kGradSync, rank_, -1, r.stage, r.pipe);
   const int D = plan_.schedule().depth;
   std::vector<int> ranks;
   for (int g = 0; g < opts_.data_parallel; ++g)
@@ -269,6 +271,7 @@ void GradSyncEngine::sync_micro(Replica& r) {
 }
 
 void GradSyncEngine::finalize(double lr_mult) {
+  obs::Span span(obs::EventKind::kOptimStep, rank_);
   float grad_scale = 1.0f;
   if (opts_.optimizer.clip_norm > 0.0f) {
     float local = strategy_->local_sq_norm(*this);

@@ -1,9 +1,12 @@
-// Shared latency-sample statistics for the serving and decode engines.
+// Latency-sample statistics for runtime callers. The reservoir and
+// percentile logic live in obs/metrics.h (shared with the serving and
+// decode engines' obs::Histogram reservoirs); this header keeps the
+// historical rt::percentile_us name as a thin alias.
 #pragma once
 
-#include <algorithm>
-#include <cmath>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace chimera::rt {
 
@@ -11,13 +14,7 @@ namespace chimera::rt {
 /// value with at least p% of samples ≤ it — p99 of a 64-sample set is the
 /// maximum, not the 62nd sample. Returns 0 when empty.
 inline long percentile_us(const std::vector<long>& samples, double p) {
-  if (samples.empty()) return 0;
-  std::vector<long> sorted = samples;
-  std::sort(sorted.begin(), sorted.end());
-  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
-  const std::size_t i = static_cast<std::size_t>(
-      std::min<double>(std::max(rank - 1.0, 0.0), sorted.size() - 1.0));
-  return sorted[i];
+  return obs::percentile_nearest_rank(samples, p);
 }
 
 }  // namespace chimera::rt

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/trace.h"
 #include "tensor/compute_pool.h"
 
 namespace chimera::rt {
@@ -29,8 +30,16 @@ Round form_round(std::deque<PendingRequest>& queue, const BatchPolicy& policy,
   return round;
 }
 
-long ServingStats::percentile_us(double p) const {
-  return rt::percentile_us(latencies_us, p);
+obs::MetricsRegistry ServingStats::metrics() const {
+  obs::MetricsRegistry reg;
+  reg.set_counter("requests", static_cast<double>(requests));
+  reg.set_counter("rounds", static_cast<double>(rounds));
+  reg.set_counter("padded_rows", static_cast<double>(padded_rows));
+  reg.set_counter("dropped_results", static_cast<double>(dropped_results));
+  reg.set_gauge("queue_depth", static_cast<double>(queue_depth));
+  reg.set_gauge("max_queue_depth", static_cast<double>(max_queue_depth));
+  reg.set_histogram("latency_us", latencies);
+  return reg;
 }
 
 ServingEngine::ServingEngine(const nn::SmallModelConfig& model, Scheme scheme,
@@ -134,21 +143,34 @@ std::uint64_t ServingEngine::submit(std::vector<int> tokens) {
 
 void ServingEngine::run_worker(int w) {
   const int D = schedule_.depth;
-  for (const PlannedOp& pop : plan_->worker_plan(w)) {
+  const std::vector<PlannedOp>& wplan = plan_->worker_plan(w);
+  for (std::size_t opi = 0; opi < wplan.size(); ++opi) {
+    const PlannedOp& pop = wplan[opi];
     const MicroUnit& u = pop.units.front();
     // Slots beyond the round's dispatched count carry no requests: skip
     // their ops entirely. Micro-batch slots never interact (each has its
     // own dependency chain and tags), and every worker computes the same
-    // cutoff, so sends and recvs stay matched.
+    // cutoff, so sends and recvs stay matched. Skipped ops record no span —
+    // the trace shows only what ran.
     if (u.micro >= round_active_slots_) continue;
+    obs::OpSpan op_span(obs::EventKind::kForward, w, w,
+                        static_cast<int>(opi), pop.op.micro, pop.op.stage,
+                        pop.op.pipe);
     StageUnit& unit = find_unit(w, pop.op.pipe, pop.op.stage);
     Tensor x;
-    if (u.recv_from >= 0) x = comms_[w]->recv(u.recv_from, u.recv_tag);
+    if (u.recv_from >= 0) {
+      obs::Span recv_span(obs::EventKind::kRecv, w, u.micro, pop.op.stage,
+                          pop.op.pipe, static_cast<long>(u.recv_tag));
+      x = comms_[w]->recv(u.recv_from, u.recv_tag);
+    }
     Tensor y = unit.module.infer(round_inputs_[u.micro], x);
-    if (u.send_to >= 0)
+    if (u.send_to >= 0) {
+      obs::Span send_span(obs::EventKind::kSend, w, u.micro, pop.op.stage,
+                          pop.op.pipe, static_cast<long>(u.send_tag));
       comms_[w]->send(u.send_to, u.send_tag, std::move(y));
-    else if (pop.op.stage == D - 1)
+    } else if (pop.op.stage == D - 1) {
       round_logits_[u.micro] = std::move(y);
+    }
   }
 }
 
@@ -175,7 +197,13 @@ std::vector<ServeResult> ServingEngine::execute_round(Round round) {
   }
 
   round_active_slots_ = active;
-  pool_->run([this](int rank) { run_worker(rank); });
+  {
+    // One span per serving round on the dispatching (driver) thread; micro
+    // carries the active slot count, tag the coalesced request count.
+    obs::Span round_span(obs::EventKind::kServeRound, obs::thread_worker(),
+                         active, -1, -1, round.requests());
+    pool_->run([this](int rank) { run_worker(rank); });
+  }
   const long done = now_us();
 
   std::vector<ServeResult> results;
@@ -200,17 +228,7 @@ std::vector<ServeResult> ServingEngine::execute_round(Round round) {
     stats_.rounds += 1;
     stats_.requests += round.requests();
     stats_.padded_rows += static_cast<long>(active) * B - round.requests();
-    // Bounded reservoir: long-running loops keep the most recent samples
-    // instead of growing without limit.
-    for (const ServeResult& r : results) {
-      if (stats_.latencies_us.size() < ServingStats::kMaxLatencySamples) {
-        stats_.latencies_us.push_back(r.latency_us());
-      } else {
-        stats_.latencies_us[latency_cursor_ %
-                            ServingStats::kMaxLatencySamples] = r.latency_us();
-      }
-      ++latency_cursor_;
-    }
+    for (const ServeResult& r : results) stats_.latencies.add(r.latency_us());
   }
   return results;
 }

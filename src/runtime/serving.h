@@ -46,7 +46,7 @@
 #include "core/execution_plan.h"
 #include "core/inference_schedule.h"
 #include "nn/stage.h"
-#include "runtime/latency.h"
+#include "obs/metrics.h"
 #include "runtime/options.h"
 #include "runtime/request.h"
 #include "runtime/worker_pool.h"
@@ -126,11 +126,15 @@ struct ServingStats {
   /// means producers outrun round throughput.
   long queue_depth = 0;
   long max_queue_depth = 0;
-  /// Enqueue→logits samples, at most kMaxLatencySamples most-recent.
-  std::vector<long> latencies_us;
+  /// Enqueue→logits reservoir, at most kMaxLatencySamples most-recent.
+  obs::Histogram latencies{kMaxLatencySamples};
 
   /// Nearest-rank percentile of the recorded latencies (p in [0, 100]).
-  long percentile_us(double p) const;
+  long percentile_us(double p) const { return latencies.percentile(p); }
+
+  /// Every counter plus the latency histogram as one registry — the single
+  /// emission path the benches flatten into BENCH_*.json extras.
+  obs::MetricsRegistry metrics() const;
 };
 
 class ServingEngine {
@@ -226,7 +230,6 @@ class ServingEngine {
   std::deque<ServeResult> completed_;  ///< bounded; see kMaxCompletedResults
   ServingStats stats_;
   std::uint64_t next_id_ = 1;
-  std::size_t latency_cursor_ = 0;  ///< ring cursor once the reservoir fills
   bool stopping_ = false;
   /// Atomic so the serve_pending()/start() mutual-exclusion CHECK is a
   /// reliable fail-fast even when callers misuse the API across threads.

@@ -1,8 +1,23 @@
 #include "runtime/worker_executor.h"
 
+#include "obs/trace.h"
 #include "runtime/grad_sync.h"
 
 namespace chimera::rt {
+
+namespace {
+
+obs::EventKind op_event_kind(OpKind k) {
+  switch (k) {
+    case OpKind::kForward: return obs::EventKind::kForward;
+    case OpKind::kBackward: return obs::EventKind::kBackward;
+    case OpKind::kAllReduceBegin: return obs::EventKind::kAllReduceBegin;
+    case OpKind::kAllReduceWait: return obs::EventKind::kAllReduceWait;
+  }
+  return obs::EventKind::kForward;
+}
+
+}  // namespace
 
 WorkerExecutor::WorkerExecutor(const ExecutionPlan& plan,
                                const TrainerOptions& opts, WeightStore& store,
@@ -31,18 +46,40 @@ void WorkerExecutor::run(const nn::MicroBatch& batch, int B,
   const float sync_scale =
       1.0f / (static_cast<float>(N) * opts_.data_parallel);
 
-  for (const PlannedOp& pop : plan_.worker_plan(worker_)) {
+  const int rank = base + worker_;
+  const std::vector<PlannedOp>& wplan = plan_.worker_plan(worker_);
+  for (std::size_t opi = 0; opi < wplan.size(); ++opi) {
+    const PlannedOp& pop = wplan[opi];
+    // One span per executed plan op, keyed (plan worker, op index) so
+    // trace_report can replay the trace against the plan 1:1 — and so
+    // armed plan times can stamp it straight from a ReplayResult.
+    obs::OpSpan op_span(op_event_kind(pop.op.kind), rank, worker_,
+                        static_cast<int>(opi), pop.op.micro, pop.op.stage,
+                        pop.op.pipe);
     switch (pop.op.kind) {
       case OpKind::kForward: {
         Replica& r = me_.find(pop.op.pipe, pop.op.stage);
         for (const MicroUnit& u : pop.units) {
-          if (u.acquires_stash) store_.acquire(r, u.micro);
+          if (u.acquires_stash) {
+            store_.acquire(r, u.micro);
+            obs::instant(obs::EventKind::kStashAcquire, rank, u.micro,
+                         pop.op.stage, pop.op.pipe, u.stash_key);
+          }
           Tensor x;
-          if (u.recv_from >= 0) x = comm_.recv(base + u.recv_from, u.recv_tag);
+          if (u.recv_from >= 0) {
+            obs::Span recv_span(obs::EventKind::kRecv, rank, u.micro,
+                                pop.op.stage, pop.op.pipe,
+                                static_cast<long>(u.recv_tag));
+            x = comm_.recv(base + u.recv_from, u.recv_tag);
+          }
           Tensor y = r.module.forward(micro_slice(u.micro, u.half, u.halves),
                                       x, u.stash_key);
-          if (u.send_to >= 0)
+          if (u.send_to >= 0) {
+            obs::Span send_span(obs::EventKind::kSend, rank, u.micro,
+                                pop.op.stage, pop.op.pipe,
+                                static_cast<long>(u.send_tag));
             comm_.send(base + u.send_to, u.send_tag, std::move(y));
+          }
         }
         break;
       }
@@ -50,8 +87,12 @@ void WorkerExecutor::run(const nn::MicroBatch& batch, int B,
         Replica& r = me_.find(pop.op.pipe, pop.op.stage);
         const MicroUnit& u = pop.units.front();
         Tensor grad;
-        if (u.recv_from >= 0)
+        if (u.recv_from >= 0) {
+          obs::Span recv_span(obs::EventKind::kRecv, rank, u.micro,
+                              pop.op.stage, pop.op.pipe,
+                              static_cast<long>(u.recv_tag));
           grad = comm_.recv(base + u.recv_from, u.recv_tag);
+        }
         // Weight stashing: backward runs against the version the forward of
         // this micro-batch used.
         store_.begin_backward(r, u.micro);
@@ -65,8 +106,15 @@ void WorkerExecutor::run(const nn::MicroBatch& batch, int B,
         if (pop.op.stage == D - 1)
           losses[static_cast<std::size_t>(group_ * N + u.micro) * 2 + u.half] =
               r.module.last_loss() / u.halves;
-        if (u.send_to >= 0)
+        if (u.send_to >= 0) {
+          obs::Span send_span(obs::EventKind::kSend, rank, u.micro,
+                              pop.op.stage, pop.op.pipe,
+                              static_cast<long>(u.send_tag));
           comm_.send(base + u.send_to, u.send_tag, std::move(dx));
+        }
+        if (u.releases_stash)
+          obs::instant(obs::EventKind::kStashRelease, rank, u.micro,
+                       pop.op.stage, pop.op.pipe, u.stash_key);
         if (per_micro_updates) {
           // Per-micro-batch update: sync gradients across the W replicas of
           // this stage, then apply to the *latest* weights.

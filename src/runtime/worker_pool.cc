@@ -1,5 +1,6 @@
 #include "runtime/worker_pool.h"
 
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace chimera::rt {
@@ -21,6 +22,9 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::thread_main(int rank) {
+  // Trace identity: every event this thread records carries its rank
+  // (exported as the Perfetto pid).
+  obs::set_thread_worker(rank);
   long seen = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace chimera {
 
 namespace {
@@ -55,7 +57,10 @@ struct ComputePool::Impl {
   std::atomic<int> helper_count{0};
   bool shutdown = false;
 
-  void helper_main() {
+  void helper_main(int index) {
+    // Trace identity: helper i records at (worker −1, lane i+1); the
+    // shard spans below carry the shard index as their tag.
+    obs::set_thread_lane(index + 1);
     std::unique_lock<std::mutex> lock(mutex);
     for (;;) {
       cv_work.wait(lock, [&] { return shutdown || !active.empty(); });
@@ -66,6 +71,8 @@ struct ComputePool::Impl {
       lock.unlock();
       std::exception_ptr err;
       try {
+        obs::Span span(obs::EventKind::kHelperTask, obs::thread_worker(), -1,
+                       -1, -1, shard);
         job->fn(job->ctx, shard);
       } catch (...) {
         err = std::current_exception();
@@ -114,7 +121,7 @@ void ComputePool::set_helpers(int helpers) {
   impl_->stop_threads();
   impl_->threads.reserve(helpers);
   for (int i = 0; i < helpers; ++i)
-    impl_->threads.emplace_back([this] { impl_->helper_main(); });
+    impl_->threads.emplace_back([this, i] { impl_->helper_main(i); });
   impl_->helper_count.store(helpers, std::memory_order_release);
 }
 
@@ -142,6 +149,9 @@ void ComputePool::run(int shards, void (*fn)(void*, int), void* ctx) {
     lock.unlock();
     std::exception_ptr err;
     try {
+      // Caller-claimed shards record on the caller's own (worker, lane).
+      obs::Span span(obs::EventKind::kHelperTask, obs::thread_worker(), -1,
+                     -1, -1, shard);
       fn(ctx, shard);
     } catch (...) {
       err = std::current_exception();

@@ -1,0 +1,75 @@
+// trace_report: measured-vs-predicted bubble analysis of a recorded trace.
+//
+//   trace_report <trace.json> [--check]
+//
+// Loads a Chrome/Perfetto trace written by the benches' --trace flag
+// (obs/trace_json.h), rebuilds the deployment from the trace's otherData
+// block and prints per-worker measured bubble fractions plus — for training
+// traces — the predicted timeline from the dependency-exact replay and a
+// per-op-kind perf-model error table (obs/report.h).
+//
+// --check runs the recoverable structural validation instead: every
+// violation is printed and the exit status is nonzero when any is found
+// (what the CI traced smoke run asserts). Without --check, malformed traces
+// exit nonzero with the first violation's diagnostic.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
+#include "support/check.h"
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (path.empty() && !arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::cerr << "usage: trace_report <trace.json> [--check]\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: trace_report <trace.json> [--check]\n";
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "trace_report: cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  chimera::obs::TraceDoc doc;
+  try {
+    doc = chimera::obs::trace_from_json(buf.str());
+  } catch (const chimera::CheckError& e) {
+    std::cerr << "trace_report: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+
+  if (check) {
+    const std::vector<std::string> issues = chimera::obs::check_trace(doc);
+    for (const std::string& issue : issues)
+      std::cout << "FAIL " << issue << "\n";
+    std::cout << "trace_report --check: " << doc.events.size() << " events, "
+              << issues.size() << " issue(s)\n";
+    return issues.empty() ? 0 : 1;
+  }
+
+  try {
+    std::cout << chimera::obs::format_report(chimera::obs::analyze_trace(doc));
+  } catch (const chimera::CheckError& e) {
+    std::cerr << "trace_report: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
